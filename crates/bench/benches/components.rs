@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for every pipeline component: the latency
+//! numbers behind each experiment table's row (tokenization → annotation →
+//! classifier inference → adversarial influence → seq2seq decode → SQL
+//! execution → canonical matching).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nlidb_core::mention::adversarial::influence;
+use nlidb_core::mention::classifier::{training_pairs, MentionClassifier};
+use nlidb_core::vocab::build_input_vocab;
+use nlidb_core::{ModelConfig, Nlidb, NlidbOptions};
+use nlidb_data::wikisql::{generate, WikiSqlConfig};
+use nlidb_sqlir::{canonicalize, parse_sql, query_match};
+use nlidb_storage::{execute, TableStats};
+use nlidb_text::{tokenize, DepTree, EmbeddingSpace};
+
+fn bench_text(c: &mut Criterion) {
+    let q = "which film directed by jerzy antczak did piotr adamczyk star in ?";
+    c.bench_function("text/tokenize", |b| b.iter(|| tokenize(black_box(q))));
+    let toks = tokenize(q);
+    c.bench_function("text/dep_parse", |b| b.iter(|| DepTree::parse(black_box(&toks))));
+    let space = EmbeddingSpace::with_builtin_lexicon(24, 7);
+    c.bench_function("text/embed_phrase", |b| {
+        b.iter(|| space.phrase_vector(black_box(&toks)))
+    });
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let ds = generate(&WikiSqlConfig::tiny(7));
+    let e = &ds.train[0];
+    let names = e.table.column_names();
+    let sql = e.query.to_sql(&names);
+    c.bench_function("sql/parse", |b| b.iter(|| parse_sql(black_box(&sql), &names)));
+    c.bench_function("sql/canonicalize", |b| b.iter(|| canonicalize(black_box(&e.query))));
+    c.bench_function("sql/query_match", |b| {
+        b.iter(|| query_match(black_box(&e.query), black_box(&e.query)))
+    });
+    c.bench_function("sql/execute", |b| {
+        b.iter(|| execute(black_box(&e.table), black_box(&e.query)))
+    });
+    let space = EmbeddingSpace::with_builtin_lexicon(24, 7);
+    c.bench_function("storage/column_stats", |b| {
+        b.iter(|| TableStats::compute(black_box(&e.table), &space))
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let cfg = ModelConfig::tiny();
+    let ds = generate(&WikiSqlConfig::tiny(7));
+    let vocab = build_input_vocab(&ds, &cfg);
+    let space = EmbeddingSpace::with_builtin_lexicon(cfg.word_dim, 7);
+    let mut clf = MentionClassifier::new(&cfg, vocab, &space);
+    let pairs = training_pairs(&ds.train[..8]);
+    clf.train(&pairs, 1);
+    let q = tokenize("which film directed by jerzy antczak did piotr adamczyk star in ?");
+    let col = tokenize("director");
+    c.bench_function("mention/classifier_predict", |b| {
+        b.iter(|| clf.predict(black_box(&q), black_box(&col)))
+    });
+    c.bench_function("mention/adversarial_influence", |b| {
+        b.iter(|| influence(black_box(&clf), &q, &col))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut gen_cfg = WikiSqlConfig::tiny(7);
+    gen_cfg.questions_per_table = 4;
+    let ds = generate(&gen_cfg);
+    let opts = NlidbOptions { model: ModelConfig::tiny(), ..NlidbOptions::default() };
+    let nlidb = Nlidb::train(&ds, opts);
+    let e = &ds.dev[0];
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.bench_function("annotate_question", |b| {
+        b.iter(|| nlidb.annotate_question(black_box(&e.question), &e.table))
+    });
+    group.bench_function("predict_end_to_end", |b| {
+        b.iter(|| nlidb.predict(black_box(&e.question), &e.table))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_text, bench_sql, bench_models, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! **Dataset documentation** — challenge-channel composition of every
+//! generated corpus (the transparency table WikiSQL's release provides
+//! for its real data).
+
+use nlidb_bench::{print_header, Scale};
+use nlidb_data::overnight::{generate as gen_overnight, OvernightConfig};
+use nlidb_data::paraphrase::generate as gen_paraphrase;
+use nlidb_data::{corpus_stats, wikisql};
+
+fn main() {
+    let (scale, seed) = Scale::from_args();
+    print_header("Corpus statistics (challenge-channel composition)");
+    let ds = wikisql::generate(&scale.wikisql_config(seed));
+    print!("{}", corpus_stats(&ds.train).report("wikisql/train"));
+    print!("{}", corpus_stats(&ds.dev).report("wikisql/dev"));
+    print!("{}", corpus_stats(&ds.test).report("wikisql/test"));
+
+    let overnight = gen_overnight(&OvernightConfig { seed: seed ^ 0x08, ..Default::default() });
+    for (name, d) in &overnight.domains {
+        let all: Vec<_> = d.train.iter().chain(&d.test).cloned().collect();
+        print!("{}", corpus_stats(&all).report(&format!("overnight/{name}")));
+    }
+
+    let bench = gen_paraphrase(seed ^ 0x9b, 40);
+    let all: Vec<_> = bench.records.iter().map(|(_, e)| e.clone()).collect();
+    print!("{}", corpus_stats(&all).report("paraphrase-bench"));
+}

@@ -1,0 +1,102 @@
+//! **Figures 5 & 7** — per-token gradient (influence) profiles.
+//!
+//! The paper plots, for several (question, column) pairs, the ℓ2 norm of
+//! the loss gradient with respect to each word's word-level and
+//! character-level embeddings, showing that the mention term carries the
+//! highest influence. This harness prints the same series as ASCII bar
+//! charts: one row per token with `I_word` and `I_char` bars, the
+//! located span marked with `*`.
+
+use nlidb_bench::{print_header, wikisql_corpus, Scale};
+use nlidb_core::mention::adversarial::{influence, influential_span};
+use nlidb_core::mention::classifier::{training_pairs, MentionClassifier};
+use nlidb_core::vocab::build_input_vocab;
+use nlidb_text::{tokenize, EmbeddingSpace};
+
+fn bar(x: f32, max: f32, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((x / max) * width as f32).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+fn main() {
+    let (scale, seed) = Scale::from_args();
+    print_header("Figures 5 & 7: influence I(w) per question token");
+    let ds = wikisql_corpus(scale, seed);
+    let cfg = scale.model_config(seed);
+    let vocab = build_input_vocab(&ds, &cfg);
+    let space = EmbeddingSpace::with_builtin_lexicon(cfg.word_dim.max(8), 77);
+    let mut clf = MentionClassifier::new(&cfg, vocab, &space);
+    eprintln!("training classifier on {} examples ...", ds.train.len());
+    let pairs = training_pairs(&ds.train);
+    clf.train(&pairs, cfg.mention_epochs.max(3));
+
+    // Figure-5/7-style probes: the SQL column under investigation plus a
+    // question mentioning it implicitly or by synonym.
+    let probes: Vec<(&str, &str, &str)> = vec![
+        (
+            "winning driver",
+            "which driver won the race on 20 may ?",
+            "fig5-a: SELECT [winning driver] WHERE ...",
+        ),
+        (
+            "winning driver",
+            "who did win at crescent arena ?",
+            "fig5-b: mention via 'win' only",
+        ),
+        (
+            "year",
+            "which team did he play for in 2008 ?",
+            "fig7-1: [year] inferred around '2008'",
+        ),
+        (
+            "candidates",
+            "which candidate got 9500 votes ?",
+            "fig7-2: [candidates] by its singular form",
+        ),
+        (
+            "season",
+            "who played for the golden lions in 2006-07 ?",
+            "fig7-3: [season] from the range token",
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (column, question, caption) in probes {
+        let q = tokenize(question);
+        let col = tokenize(column);
+        let inf = influence(&clf, &q, &col);
+        let combined = inf.combined(cfg.alpha, 1.0); // show char series too
+        let span = influential_span(&inf.combined(cfg.alpha, cfg.beta), cfg.max_mention_len, 0.5);
+        let wmax = inf.word.iter().cloned().fold(0.0f32, f32::max);
+        let cmax = inf.char.iter().cloned().fold(0.0f32, f32::max);
+        println!("\n--- {caption}");
+        println!("    column: \"{column}\"");
+        println!("    {:<14} {:<26} {:<26}", "token", "I_word (l2)", "I_char (l2)");
+        for (i, t) in q.iter().enumerate() {
+            let mark = match span {
+                Some((a, b)) if i >= a && i < b => "*",
+                _ => " ",
+            };
+            println!(
+                "  {mark} {:<14} {:<26} {:<26}",
+                t,
+                format!("{:7.4} {}", inf.word[i], bar(inf.word[i], wmax, 14)),
+                format!("{:7.4} {}", inf.char[i], bar(inf.char[i], cmax, 14)),
+            );
+        }
+        rows.push(serde_json::json!({
+            "column": column, "question": question,
+            "i_word": inf.word, "i_char": inf.char, "span": span,
+            "combined": combined,
+        }));
+    }
+    println!("\n(The * rows are the located mention span; the paper's figures show");
+    println!(" the same word/char gradient series peaking on the mention term.)");
+    nlidb_bench::write_result(
+        "fig5_7_gradients",
+        &serde_json::json!({"scale": format!("{scale:?}"), "seed": seed, "probes": rows}),
+    );
+}

@@ -1,0 +1,87 @@
+//! **§VII-A1** — mention-detection accuracy on `$COND_COL` / `$COND_VAL`.
+//!
+//! The paper reports 91.8% canonical-match accuracy on condition columns
+//! and values for its mention detection, vs 87.9% for TypeSQL's slot
+//! filling. This harness measures the same quantity on the synthetic
+//! corpus: for ours, the (column, value) pairs recovered by the full
+//! pipeline; for TypeSQL, the pairs its sketch filling predicts. The claim
+//! under reproduction: ours > TypeSQL.
+
+use nlidb_bench::{pct, print_header, wikisql_corpus, Scale};
+use nlidb_core::baselines::new_typesql;
+use nlidb_core::vocab::build_input_vocab;
+use nlidb_core::{cond_col_val_accuracy, Nlidb, NlidbOptions};
+use nlidb_sqlir::Query;
+use nlidb_text::EmbeddingSpace;
+
+fn main() {
+    let (scale, seed) = Scale::from_args();
+    print_header("§VII-A1: COND_COL / COND_VAL canonical-match accuracy");
+    let ds = wikisql_corpus(scale, seed);
+    let cfg = scale.model_config(seed);
+
+    // Ours.
+    let nlidb = Nlidb::train(&ds, NlidbOptions { model: cfg.clone(), ..NlidbOptions::default() });
+    let ours_preds: Vec<(Option<Query>, _)> = ds
+        .test
+        .iter()
+        .map(|e| (nlidb.predict(&e.question, &e.table), e))
+        .collect();
+    let ours = cond_col_val_accuracy(&ours_preds);
+    // Subsystem-level: the paper evaluates mention detection as "a
+    // pre-processing component"; score the detected slots directly (value
+    // slots as (col, value) pairs), before any seq2seq involvement.
+    let slot_preds: Vec<(Option<Query>, _)> = ds
+        .test
+        .iter()
+        .map(|e| {
+            let slots = nlidb.detector.detect(&e.question, &e.table);
+            let mut q = Query::select(0);
+            for s in slots {
+                if let Some(v) = s.value {
+                    q = q.and_where(
+                        s.column,
+                        nlidb_sqlir::CmpOp::Eq,
+                        nlidb_sqlir::Literal::parse(&v),
+                    );
+                }
+            }
+            (Some(q), e)
+        })
+        .collect();
+    let ours_subsystem = cond_col_val_accuracy(&slot_preds);
+
+    // TypeSQL (content-sensitive).
+    let vocab = build_input_vocab(&ds, &cfg);
+    let space = EmbeddingSpace::with_builtin_lexicon(cfg.word_dim.max(8), 77);
+    let mut typesql = new_typesql(&cfg, vocab, &space);
+    typesql.train(&ds.train, cfg.epochs);
+    let ts_preds: Vec<(Option<Query>, _)> = ds
+        .test
+        .iter()
+        .map(|e| (typesql.predict(&e.question, &e.table), e))
+        .collect();
+    let ts = cond_col_val_accuracy(&ts_preds);
+
+    println!("{:<38} {:>8}", "method", "accuracy");
+    println!("{}", "-".repeat(48));
+    println!("{:<38} {:>8}", "Ours (mention detection, subsystem)", pct(ours_subsystem));
+    println!("{:<38} {:>8}", "Ours (through full pipeline)", pct(ours));
+    println!("{:<38} {:>8}", "TypeSQL (content-sensitive)", pct(ts));
+    println!("{}", "-".repeat(48));
+    println!("paper: ours 91.8%  >  TypeSQL 87.9%  (mention detection is the");
+    println!("paper's pre-processing component; the subsystem row is comparable)");
+    println!(
+        "shape {}: ours(subsystem) {} TypeSQL",
+        if ours_subsystem > ts { "HOLDS" } else { "VIOLATED" },
+        if ours_subsystem > ts { ">" } else { "<=" }
+    );
+    nlidb_bench::write_result(
+        "mention_detection",
+        &serde_json::json!({
+            "scale": format!("{scale:?}"), "seed": seed,
+            "ours_subsystem": ours_subsystem, "ours_pipeline": ours, "typesql": ts,
+            "paper_ours": 0.918, "paper_typesql": 0.879,
+        }),
+    );
+}

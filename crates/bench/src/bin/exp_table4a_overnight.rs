@@ -1,0 +1,78 @@
+//! **Table IV(a)** — zero-shot transfer to OVERNIGHT-style sub-domains.
+//!
+//! Trains the annotated seq2seq on the WikiSQL-shaped corpus only, then
+//! evaluates query-match accuracy on five unseen sub-domains (basketball,
+//! calendar, housing, recipes, restaurants), counting only
+//! sketch-compatible records, exactly as the paper does. Also reports the
+//! in-domain upper bound (a model trained on the OVERNIGHT training
+//! splits, the paper's 81.4% remark).
+
+use nlidb_bench::{pct, print_header, Scale};
+use nlidb_core::{evaluate, Nlidb, NlidbOptions};
+use nlidb_data::overnight::{generate as gen_overnight, OvernightConfig};
+use nlidb_data::{Dataset, Example};
+use nlidb_sqlir::Query;
+
+fn qm_on(nlidb: &Nlidb, examples: &[Example]) -> (f32, usize) {
+    let compat: Vec<&Example> = examples.iter().filter(|e| e.sketch_compatible).collect();
+    let preds: Vec<(Option<Query>, &Example)> =
+        compat.iter().map(|e| (nlidb.predict(&e.question, &e.table), *e)).collect();
+    (evaluate(&preds).acc_qm, compat.len())
+}
+
+fn main() {
+    let (scale, seed) = Scale::from_args();
+    print_header("Table IV(a): OVERNIGHT zero-shot transfer (Acc_qm)");
+    let wikisql = nlidb_bench::wikisql_corpus(scale, seed);
+    let cfg = scale.model_config(seed);
+    eprintln!("training transfer model on WikiSQL corpus only ...");
+    let transfer =
+        Nlidb::train(&wikisql, NlidbOptions { model: cfg.clone(), ..Default::default() });
+
+    let on_cfg = match scale {
+        Scale::Small => OvernightConfig { seed: seed ^ 0x08, tables_per_split: 3, questions_per_table: 8 },
+        _ => OvernightConfig { seed: seed ^ 0x08, ..OvernightConfig::default() },
+    };
+    let overnight = gen_overnight(&on_cfg);
+
+    println!("{:<14} {:>10} {:>8}", "sub-domain", "Acc_qm", "n");
+    println!("{}", "-".repeat(36));
+    let mut total_ok = 0.0f32;
+    let mut total_n = 0usize;
+    let mut rows = Vec::new();
+    for (name, ds) in &overnight.domains {
+        // Transfer is evaluated over both splits, as in the paper.
+        let all: Vec<Example> =
+            ds.train.iter().chain(&ds.test).cloned().collect();
+        let (acc, n) = qm_on(&transfer, &all);
+        println!("{name:<14} {:>10} {:>8}", pct(acc), n);
+        total_ok += acc * n as f32;
+        total_n += n;
+        rows.push(serde_json::json!({"domain": name, "acc_qm": acc, "n": n}));
+    }
+    let overall = total_ok / total_n.max(1) as f32;
+    println!("{}", "-".repeat(36));
+    println!("{:<14} {:>10} {:>8}", "OVERALL", pct(overall), total_n);
+    println!("\npaper: basketball 39.7 | calendar 76.3 | housing 51.5 | recipes 81.8 |");
+    println!("       restaurants 79.3 | overall 60.6  (zero-shot, sketch-compatible)");
+
+    // In-domain upper bound: train on the union of OVERNIGHT train splits.
+    eprintln!("training in-domain model on OVERNIGHT train splits ...");
+    let mut pooled = Dataset::default();
+    for (_, ds) in &overnight.domains {
+        pooled.train.extend(ds.train.iter().cloned());
+        pooled.test.extend(ds.test.iter().cloned());
+    }
+    let in_domain =
+        Nlidb::train(&pooled, NlidbOptions { model: cfg.clone(), ..Default::default() });
+    let (in_acc, in_n) = qm_on(&in_domain, &pooled.test);
+    println!("\nin-domain (trained on OVERNIGHT): {} over {in_n} records", pct(in_acc));
+    println!("paper's in-domain remark: 81.4%");
+    nlidb_bench::write_result(
+        "table4a_overnight",
+        &serde_json::json!({
+            "scale": format!("{scale:?}"), "seed": seed,
+            "rows": rows, "overall": overall, "in_domain": in_acc,
+        }),
+    );
+}

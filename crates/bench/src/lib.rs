@@ -1,0 +1,172 @@
+//! # nlidb-bench
+//!
+//! Shared harness for the experiment binaries, one per paper artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `exp_mention_detection` | §VII-A1 COND_COL/COND_VAL accuracy (ours vs TypeSQL) |
+//! | `exp_table1_cases` | Table I mention-detection case studies |
+//! | `exp_fig5_7_gradients` | Figures 5 & 7 per-token influence profiles |
+//! | `exp_table2_main` | Table II model comparison + ablations |
+//! | `exp_table3_recovery` | Table III annotation-recovery accuracy |
+//! | `exp_table4a_overnight` | Table IV(a) OVERNIGHT zero-shot transfer |
+//! | `exp_table4b_paraphrase` | Table IV(b) ParaphraseBench robustness |
+//! | `exp_ablation_influence` | §IV-C design-choice sweep (beyond the paper) |
+//!
+//! Every binary accepts `--scale small|default|full` (CPU-time knob) and
+//! `--seed <u64>`, prints the paper-shaped table to stdout, and writes a
+//! JSON record under `results/`.
+
+use nlidb_core::ModelConfig;
+use nlidb_data::wikisql::WikiSqlConfig;
+use nlidb_data::Dataset;
+
+/// Experiment scale: trades corpus size/epochs for wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// A few minutes total across all experiments.
+    Small,
+    /// The reported configuration (tens of minutes for Table II).
+    Default,
+    /// Larger corpus and more epochs.
+    Full,
+}
+
+impl Scale {
+    /// Parses `--scale` (and `--seed`) from `std::env::args`.
+    pub fn from_args() -> (Scale, u64) {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = Scale::Default;
+        let mut seed = 42u64;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    scale = match args.get(i + 1).map(String::as_str) {
+                        Some("small") => Scale::Small,
+                        Some("full") => Scale::Full,
+                        Some("default") | None => Scale::Default,
+                        Some(other) => {
+                            eprintln!("unknown scale '{other}', using default");
+                            Scale::Default
+                        }
+                    };
+                    i += 2;
+                }
+                "--seed" => {
+                    seed = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(42);
+                    i += 2;
+                }
+                other => {
+                    eprintln!("ignoring unknown argument '{other}'");
+                    i += 1;
+                }
+            }
+        }
+        (scale, seed)
+    }
+
+    /// The WikiSQL-shaped corpus configuration for this scale.
+    pub fn wikisql_config(self, seed: u64) -> WikiSqlConfig {
+        match self {
+            Scale::Small => WikiSqlConfig {
+                seed,
+                train_tables: 24,
+                dev_tables: 8,
+                test_tables: 8,
+                questions_per_table: 10,
+                ..WikiSqlConfig::default()
+            },
+            Scale::Default => WikiSqlConfig { seed, ..WikiSqlConfig::default() },
+            Scale::Full => WikiSqlConfig {
+                seed,
+                train_tables: 100,
+                dev_tables: 25,
+                test_tables: 25,
+                questions_per_table: 24,
+                ..WikiSqlConfig::default()
+            },
+        }
+    }
+
+    /// The model configuration for this scale.
+    pub fn model_config(self, seed: u64) -> ModelConfig {
+        let mut cfg = ModelConfig { seed, ..ModelConfig::default() };
+        match self {
+            Scale::Small => {
+                cfg.epochs = 3;
+                cfg.mention_epochs = 2;
+            }
+            Scale::Default => {
+                cfg.epochs = 10;
+                cfg.mention_epochs = 3;
+            }
+            Scale::Full => {
+                cfg.epochs = 12;
+                cfg.mention_epochs = 4;
+                cfg.hidden = 64;
+            }
+        }
+        cfg
+    }
+}
+
+/// Generates the WikiSQL-shaped corpus for a scale.
+pub fn wikisql_corpus(scale: Scale, seed: u64) -> Dataset {
+    nlidb_data::wikisql::generate(&scale.wikisql_config(seed))
+}
+
+/// Prints a boxed experiment header.
+pub fn print_header(title: &str) {
+    let line = "=".repeat(title.len() + 4);
+    println!("{line}");
+    println!("| {title} |");
+    println!("{line}");
+}
+
+/// Writes an experiment's JSON record under `results/`.
+pub fn write_result(name: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(s) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(&path, s);
+        eprintln!("(wrote {})", path.display());
+    }
+}
+
+/// Formats a percentage.
+pub fn pct(x: f32) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_configs_are_ordered() {
+        let s = Scale::Small.wikisql_config(1);
+        let d = Scale::Default.wikisql_config(1);
+        let f = Scale::Full.wikisql_config(1);
+        assert!(s.train_tables < d.train_tables);
+        assert!(d.train_tables < f.train_tables);
+    }
+
+    #[test]
+    fn corpus_generation_respects_scale() {
+        let ds = wikisql_corpus(Scale::Small, 3);
+        assert_eq!(ds.train.len(), 24 * 10);
+        assert!(ds.splits_share_no_tables());
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.756), " 75.6%");
+    }
+}

@@ -1,0 +1,227 @@
+//! Checkpointing: save and restore a trained [`crate::Nlidb`].
+//!
+//! Layout (one directory per checkpoint):
+//!
+//! ```text
+//! manifest.json            options + embedding-space spec
+//! lexicon.json             §II metadata lexicon
+//! vocab.json               input vocabulary
+//! classifier.params.json   §IV-B classifier weights
+//! value.params.json        §IV-D value-detector weights
+//! translator.params.json   §V-B seq2seq (or transformer) weights
+//! ```
+//!
+//! Restoration rebuilds each model with the saved configuration (parameter
+//! registration is deterministic, so names and shapes line up) and then
+//! swaps in the stored weights, verifying the layout first.
+
+use std::path::Path;
+
+use nlidb_tensor::ParamStore;
+use nlidb_text::{EmbeddingSpace, Lexicon, Vocab};
+use serde::{Deserialize, Serialize};
+
+use crate::mention::MentionDetector;
+use crate::pipeline::{Nlidb, NlidbOptions, Translator};
+use crate::seq2seq::Seq2Seq;
+use crate::transformer::TransformerSeq2Seq;
+use crate::vocab::OutVocab;
+
+/// Checkpoint errors.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// Stored weights do not match the reconstructed model's layout.
+    LayoutMismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Json(e) => write!(f, "checkpoint json error: {e}"),
+            CheckpointError::LayoutMismatch(m) => write!(f, "checkpoint layout mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Json(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct Manifest {
+    options: NlidbOptions,
+    space_dim: usize,
+    space_seed: u64,
+    format_version: u32,
+}
+
+/// Replaces `target`'s values with `loaded`'s after verifying that both
+/// stores register the same parameters in the same order.
+fn replace_params(target: &mut ParamStore, loaded: ParamStore) -> Result<(), CheckpointError> {
+    if target.len() != loaded.len() {
+        return Err(CheckpointError::LayoutMismatch(format!(
+            "parameter count {} != {}",
+            target.len(),
+            loaded.len()
+        )));
+    }
+    for ((id, name, value), (_, lname, lvalue)) in target.iter().zip(loaded.iter()) {
+        if name != lname {
+            return Err(CheckpointError::LayoutMismatch(format!("{name} != {lname}")));
+        }
+        if value.shape() != lvalue.shape() {
+            return Err(CheckpointError::LayoutMismatch(format!(
+                "{name}: shape {:?} != {:?}",
+                value.shape(),
+                lvalue.shape()
+            )));
+        }
+        let _ = id;
+    }
+    // Layout verified: copy values across.
+    let ids: Vec<_> = loaded.iter().map(|(i, _, v)| (i, v.clone())).collect();
+    for (id, v) in ids {
+        *target.get_mut(id) = v;
+    }
+    Ok(())
+}
+
+fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> Result<(), CheckpointError> {
+    std::fs::write(dir.join(name), serde_json::to_string(value)?)?;
+    Ok(())
+}
+
+fn read_string(dir: &Path, name: &str) -> Result<String, CheckpointError> {
+    Ok(std::fs::read_to_string(dir.join(name))?)
+}
+
+impl Nlidb {
+    /// Saves the trained system into a directory (created if absent).
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let space = self.detector.space();
+        let manifest = Manifest {
+            options: self.options().clone(),
+            space_dim: space.dim(),
+            space_seed: space.seed(),
+            format_version: 1,
+        };
+        write_json(dir, "manifest.json", &manifest)?;
+        write_json(dir, "lexicon.json", self.detector.lexicon())?;
+        write_json(dir, "vocab.json", self.in_vocab())?;
+        std::fs::write(
+            dir.join("classifier.params.json"),
+            self.detector.classifier.store.to_json(),
+        )?;
+        std::fs::write(
+            dir.join("value.params.json"),
+            self.detector.value_detector.store.to_json(),
+        )?;
+        let translator_json = match self.translator() {
+            Translator::Gru(m) => m.store.to_json(),
+            Translator::Transformer(m) => m.store.to_json(),
+        };
+        std::fs::write(dir.join("translator.params.json"), translator_json)?;
+        Ok(())
+    }
+
+    /// Restores a system saved with [`Nlidb::save`].
+    pub fn load(dir: impl AsRef<Path>) -> Result<Nlidb, CheckpointError> {
+        let dir = dir.as_ref();
+        let manifest: Manifest = serde_json::from_str(&read_string(dir, "manifest.json")?)?;
+        let mut lexicon: Lexicon = serde_json::from_str(&read_string(dir, "lexicon.json")?)?;
+        lexicon.rebuild_index();
+        let mut vocab: Vocab = serde_json::from_str(&read_string(dir, "vocab.json")?)?;
+        vocab.rebuild_index();
+        let space = EmbeddingSpace::new(manifest.space_dim, manifest.space_seed, lexicon.clone());
+        let opts = manifest.options;
+        let cfg = &opts.model;
+
+        let mut detector = MentionDetector::untrained(cfg, vocab.clone(), &space, lexicon);
+        let clf_store = ParamStore::from_json(&read_string(dir, "classifier.params.json")?)?;
+        replace_params(&mut detector.classifier.store, clf_store)?;
+        let val_store = ParamStore::from_json(&read_string(dir, "value.params.json")?)?;
+        replace_params(&mut detector.value_detector.store, val_store)?;
+
+        let out_vocab = OutVocab::new(cfg);
+        let translator_store =
+            ParamStore::from_json(&read_string(dir, "translator.params.json")?)?;
+        let translator = if opts.use_transformer {
+            let mut m = TransformerSeq2Seq::new(cfg, &vocab, out_vocab.clone(), &space);
+            replace_params(&mut m.store, translator_store)?;
+            Translator::Transformer(m)
+        } else {
+            let mut m = Seq2Seq::new(cfg, &vocab, out_vocab.clone(), &space, opts.copy);
+            replace_params(&mut m.store, translator_store)?;
+            Translator::Gru(m)
+        };
+        Ok(Nlidb::from_parts(detector, translator, vocab, out_vocab, opts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use nlidb_data::wikisql::{generate, WikiSqlConfig};
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let mut gen_cfg = WikiSqlConfig::tiny(2024);
+        gen_cfg.train_tables = 6;
+        gen_cfg.questions_per_table = 6;
+        let ds = generate(&gen_cfg);
+        let opts = NlidbOptions { model: ModelConfig::tiny(), ..NlidbOptions::default() };
+        let nlidb = Nlidb::train(&ds, opts);
+
+        let dir = std::env::temp_dir().join(format!("nlidb-ckpt-{}", std::process::id()));
+        nlidb.save(&dir).expect("save");
+        let restored = Nlidb::load(&dir).expect("load");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        for e in ds.dev.iter().take(8) {
+            let a = nlidb.predict(&e.question, &e.table);
+            let b = restored.predict(&e.question, &e.table);
+            assert_eq!(a, b, "prediction drift after reload for {:?}", e.question_text());
+        }
+    }
+
+    #[test]
+    fn load_from_missing_directory_errors() {
+        match Nlidb::load("/nonexistent/nlidb-checkpoint") {
+            Err(CheckpointError::Io(_)) => {}
+            Err(other) => panic!("expected Io error, got {other}"),
+            Ok(_) => panic!("load from missing directory succeeded"),
+        }
+    }
+
+    #[test]
+    fn layout_mismatch_is_detected() {
+        let mut a = ParamStore::new();
+        a.add("x", nlidb_tensor::Tensor::zeros(1, 2));
+        let mut b = ParamStore::new();
+        b.add("y", nlidb_tensor::Tensor::zeros(1, 2));
+        let err = replace_params(&mut a, b).unwrap_err();
+        assert!(matches!(err, CheckpointError::LayoutMismatch(_)));
+        let mut c = ParamStore::new();
+        c.add("x", nlidb_tensor::Tensor::zeros(2, 2));
+        let err = replace_params(&mut a, c).unwrap_err();
+        assert!(matches!(err, CheckpointError::LayoutMismatch(_)));
+    }
+}

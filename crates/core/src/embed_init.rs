@@ -1,0 +1,109 @@
+//! Embedding-table initialization (§VII-A2 training details).
+//!
+//! Regular words are initialized from the synthetic pre-trained space (the
+//! GloVe stand-in). Annotation symbols (`c_i`/`v_i`/`g_i`) are represented
+//! as the paper specifies: the concatenation of an *annotation-type*
+//! embedding and an *index* embedding, each of half width, both drawn
+//! deterministically from the seed.
+
+use nlidb_sqlir::AnnTok;
+use nlidb_tensor::Tensor;
+use nlidb_text::{special, EmbeddingSpace, Vocab};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn seeded_vec(seed: u64, key: u64, dim: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ key.wrapping_mul(0x9e3779b97f4a7c15));
+    (0..dim).map(|_| rng.gen_range(-0.5..0.5)).collect()
+}
+
+/// Splits a symbol token into (type id, index), if it is one.
+fn parse_symbol(word: &str) -> Option<(u64, usize)> {
+    match AnnTok::parse(word)? {
+        AnnTok::C(i) => Some((1, i)),
+        AnnTok::V(i) => Some((2, i)),
+        AnnTok::G(i) => Some((3, i)),
+        _ => None,
+    }
+}
+
+/// Builds the initial embedding table for a vocabulary.
+pub fn pretrained_table(vocab: &Vocab, space: &EmbeddingSpace, dim: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7AB1E);
+    let mut table = Tensor::zeros(vocab.len(), dim);
+    let half = dim / 2;
+    for id in special::COUNT..vocab.len() {
+        let word = vocab.word(id);
+        if let Some((ty, idx)) = parse_symbol(word) {
+            // Type embedding ⊕ index embedding.
+            let tvec = seeded_vec(seed, 0xA000 + ty, half);
+            let ivec = seeded_vec(seed, 0xB000 + idx as u64, dim - half);
+            for (c, &x) in tvec.iter().chain(ivec.iter()).enumerate() {
+                table.set(id, c, x);
+            }
+        } else {
+            let v = space.vector(word);
+            for c in 0..dim {
+                let x = if c < v.len() { v[c] } else { rng.gen_range(-0.05..0.05) };
+                table.set(id, c, x);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Vocab {
+        let mut v = Vocab::new();
+        for w in ["c1", "c2", "v1", "g1", "film", "director"] {
+            v.add(w);
+        }
+        v
+    }
+
+    #[test]
+    fn specials_are_zero_rows() {
+        let space = EmbeddingSpace::with_builtin_lexicon(12, 1);
+        let t = pretrained_table(&vocab(), &space, 12, 7);
+        for id in 0..special::COUNT {
+            assert!(t.row(id).iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn symbols_share_type_half_but_differ_by_index() {
+        let space = EmbeddingSpace::with_builtin_lexicon(12, 1);
+        let v = vocab();
+        let t = pretrained_table(&v, &space, 12, 7);
+        let c1 = t.row(v.id("c1")).to_vec();
+        let c2 = t.row(v.id("c2")).to_vec();
+        let v1 = t.row(v.id("v1")).to_vec();
+        // Same type (c): identical first half.
+        assert_eq!(&c1[..6], &c2[..6]);
+        // Different type (c vs v), same index: identical second half.
+        assert_eq!(&c1[6..], &v1[6..]);
+        // But overall distinct.
+        assert_ne!(c1, c2);
+        assert_ne!(c1, v1);
+    }
+
+    #[test]
+    fn words_use_the_embedding_space() {
+        let space = EmbeddingSpace::with_builtin_lexicon(12, 1);
+        let v = vocab();
+        let t = pretrained_table(&v, &space, 12, 7);
+        let film = t.row(v.id("film"));
+        assert_eq!(film, space.vector("film").as_slice());
+    }
+
+    #[test]
+    fn wider_dim_than_space_is_padded_not_panicking() {
+        let space = EmbeddingSpace::with_builtin_lexicon(8, 1);
+        let t = pretrained_table(&vocab(), &space, 16, 7);
+        assert_eq!(t.cols(), 16);
+        assert!(t.all_finite());
+    }
+}

@@ -1,0 +1,38 @@
+//! # nlidb-core
+//!
+//! The paper's contribution, end to end:
+//!
+//! - [`mention`] — §IV mention detection and resolution: context-free
+//!   matchers, the Column Mention Binary Classifier (§IV-B), the
+//!   adversarial FGM localization (§IV-C), the Value Detection Classifier
+//!   (§IV-D), and dependency-tree resolution (§IV-E).
+//! - [`annotate`] — §V-A annotation encodings (symbol appending /
+//!   substitution, table-header encoding).
+//! - [`seq2seq`] — §V-B GRU encoder/decoder with Bahdanau attention and
+//!   the paper's additive copy mechanism; beam-search decoding.
+//! - [`transformer`] — the Table II transformer ablation.
+//! - [`pipeline`] — the [`pipeline::Nlidb`] facade: train / predict /
+//!   recover.
+//! - [`metrics`] — `Acc_lf` / `Acc_qm` / `Acc_ex` and §VII-A1 mention
+//!   accuracy.
+//! - [`baselines`] — Seq2SQL-, SQLNet-, and TypeSQL-style comparators.
+
+#![warn(missing_docs)]
+
+pub mod annotate;
+pub mod baselines;
+pub mod checkpoint;
+pub mod config;
+pub mod embed_init;
+pub mod mention;
+pub mod metrics;
+pub mod pipeline;
+pub mod seq2seq;
+pub mod transformer;
+pub mod vocab;
+
+pub use annotate::{AnnotateConfig, Annotation, SymbolEncoding};
+pub use config::ModelConfig;
+pub use mention::MentionDetector;
+pub use metrics::{cond_col_val_accuracy, evaluate, EvalResult};
+pub use pipeline::{Nlidb, NlidbOptions};

@@ -1,0 +1,244 @@
+//! The Adversarial Text Method (§IV-C).
+//!
+//! Given that the classifier decided column `c` is mentioned in question
+//! `q`, find the *term* (continuous word span) that constitutes the
+//! mention. Following the Fast Gradient Method intuition: the mention is
+//! the part of the input most influential on the classifier's decision, so
+//! take the gradient of the loss w.r.t. each word's embeddings and score
+//! each token with
+//!
+//! ```text
+//! I(w) = α · ‖dL/dE_word(w)‖_p + β · ‖dL/dE_char(w)‖_p
+//! ```
+//!
+//! then search for the continuous span with the highest influence subject
+//! to a maximum mention length. No extra supervision is needed — the
+//! signal comes entirely from the trained classifier (§IV-A).
+
+use nlidb_tensor::{Graph, Tensor};
+
+use crate::config::ModelConfig;
+use crate::mention::classifier::MentionClassifier;
+
+/// Per-token influence levels for one (question, column) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Influence {
+    /// `‖dL/dE_word(w_i)‖_p` per question token.
+    pub word: Vec<f32>,
+    /// `‖dL/dE_char(w_i)‖_p` per question token.
+    pub char: Vec<f32>,
+}
+
+impl Influence {
+    /// Combined influence `α·I_word + β·I_char`.
+    pub fn combined(&self, alpha: f32, beta: f32) -> Vec<f32> {
+        self.word
+            .iter()
+            .zip(&self.char)
+            .map(|(&w, &c)| alpha * w + beta * c)
+            .collect()
+    }
+}
+
+/// Computes per-token influence by backpropagating the classifier loss to
+/// the question's word/char embedding rows.
+pub fn influence(
+    clf: &MentionClassifier,
+    question: &[String],
+    column: &[String],
+) -> Influence {
+    let cfg = clf.config();
+    let mut g = Graph::new();
+    let out = clf.forward(&mut g, question, column);
+    // L(q, c) with the positive label — the loss of predicting "mentioned".
+    let loss = g.bce_with_logits(out.logit, Tensor::row_vector(&[1.0]));
+    g.backward(loss);
+    let norm_rows = |grad: Option<&Tensor>| -> Vec<f32> {
+        match grad {
+            Some(t) => (0..t.rows())
+                .map(|r| {
+                    let row = t.row(r);
+                    match cfg.norm_p {
+                        p if (p - 2.0).abs() < 1e-6 => {
+                            row.iter().map(|x| x * x).sum::<f32>().sqrt()
+                        }
+                        p if (p - 1.0).abs() < 1e-6 => row.iter().map(|x| x.abs()).sum(),
+                        p => row.iter().map(|x| x.abs().powf(p)).sum::<f32>().powf(1.0 / p),
+                    }
+                })
+                .collect(),
+            None => vec![0.0; question.len()],
+        }
+    };
+    Influence {
+        word: norm_rows(g.grad(out.word_nodes)),
+        char: norm_rows(g.grad(out.char_nodes)),
+    }
+}
+
+/// Finds the mention span from influence levels: seed at the most
+/// influential token, then greedily extend to neighbors whose influence
+/// stays above `extend_ratio` of the peak, bounded by `max_len`.
+pub fn influential_span(
+    scores: &[f32],
+    max_len: usize,
+    extend_ratio: f32,
+) -> Option<(usize, usize)> {
+    if scores.is_empty() {
+        return None;
+    }
+    let peak = scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite influence"))?
+        .0;
+    if scores[peak] <= 0.0 {
+        return None;
+    }
+    let threshold = scores[peak] * extend_ratio;
+    let (mut a, mut b) = (peak, peak + 1);
+    while b - a < max_len {
+        let left_ok = a > 0 && scores[a - 1] >= threshold;
+        let right_ok = b < scores.len() && scores[b] >= threshold;
+        match (left_ok, right_ok) {
+            (false, false) => break,
+            (true, false) => a -= 1,
+            (false, true) => b += 1,
+            (true, true) => {
+                if scores[a - 1] >= scores[b] {
+                    a -= 1;
+                } else {
+                    b += 1;
+                }
+            }
+        }
+    }
+    Some((a, b))
+}
+
+/// End-to-end localization: influence + span search with the configured
+/// α/β/norm and max mention length. Stop words at the span edges are
+/// trimmed — mentions are content terms ("driver won", not "the race at").
+pub fn locate_mention(
+    clf: &MentionClassifier,
+    question: &[String],
+    column: &[String],
+    cfg: &ModelConfig,
+) -> Option<(usize, usize)> {
+    let inf = influence(clf, question, column);
+    let combined = inf.combined(cfg.alpha, cfg.beta);
+    let (mut a, mut b) = influential_span(&combined, cfg.max_mention_len, 0.5)?;
+    while a < b && nlidb_text::is_stop_word(&question[a]) {
+        a += 1;
+    }
+    while b > a && nlidb_text::is_stop_word(&question[b - 1]) {
+        b -= 1;
+    }
+    if a == b {
+        // Entirely stop words: fall back to the untrimmed peak.
+        return influential_span(&combined, cfg.max_mention_len, 0.5);
+    }
+    Some((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mention::classifier::training_pairs;
+    use crate::vocab::build_input_vocab;
+    use nlidb_data::wikisql::{generate, WikiSqlConfig};
+    use nlidb_text::{tokenize, EmbeddingSpace};
+
+    #[test]
+    fn influence_has_one_score_per_token() {
+        let cfg = ModelConfig::tiny();
+        let ds = generate(&WikiSqlConfig::tiny(31));
+        let vocab = build_input_vocab(&ds, &cfg);
+        let space = EmbeddingSpace::with_builtin_lexicon(cfg.word_dim, 3);
+        let clf = MentionClassifier::new(&cfg, vocab, &space);
+        let q = tokenize("which film was directed by jerzy antczak?");
+        let inf = influence(&clf, &q, &tokenize("director"));
+        assert_eq!(inf.word.len(), q.len());
+        assert_eq!(inf.char.len(), q.len());
+        assert!(inf.word.iter().all(|&x| x >= 0.0 && x.is_finite()));
+        assert!(inf.word.iter().any(|&x| x > 0.0), "all-zero influence");
+    }
+
+    #[test]
+    fn combined_weights_alpha_beta() {
+        let inf = Influence { word: vec![1.0, 2.0], char: vec![10.0, 20.0] };
+        assert_eq!(inf.combined(1.0, 0.0), vec![1.0, 2.0]);
+        assert_eq!(inf.combined(0.0, 1.0), vec![10.0, 20.0]);
+        assert_eq!(inf.combined(0.5, 0.5), vec![5.5, 11.0]);
+    }
+
+    #[test]
+    fn span_search_centers_on_peak() {
+        let scores = vec![0.1, 0.1, 5.0, 4.0, 0.1, 0.1];
+        let span = influential_span(&scores, 3, 0.5).unwrap();
+        assert_eq!(span, (2, 4));
+    }
+
+    #[test]
+    fn span_search_respects_max_len() {
+        let scores = vec![4.0, 5.0, 4.5, 4.2, 4.1, 4.0];
+        let span = influential_span(&scores, 2, 0.5).unwrap();
+        assert_eq!(span.1 - span.0, 2);
+        assert!(span.0 <= 1 && span.1 >= 2, "span should include the peak");
+    }
+
+    #[test]
+    fn span_search_single_spike() {
+        let scores = vec![0.0, 0.0, 9.0, 0.0];
+        assert_eq!(influential_span(&scores, 4, 0.5), Some((2, 3)));
+    }
+
+    #[test]
+    fn span_search_edge_cases() {
+        assert_eq!(influential_span(&[], 3, 0.5), None);
+        assert_eq!(influential_span(&[0.0, 0.0], 3, 0.5), None);
+        assert_eq!(influential_span(&[1.0], 3, 0.5), Some((0, 1)));
+    }
+
+    #[test]
+    fn trained_classifier_localizes_explicit_mention() {
+        // Train on a tiny corpus, then check that for a clean question the
+        // located span overlaps the gold column mention more often than a
+        // random baseline would.
+        let cfg = ModelConfig::tiny();
+        let mut gen_cfg = WikiSqlConfig::tiny(32);
+        gen_cfg.noise = nlidb_data::NoiseConfig::clean();
+        gen_cfg.questions_per_table = 8;
+        let ds = generate(&gen_cfg);
+        let vocab = build_input_vocab(&ds, &cfg);
+        let space = EmbeddingSpace::with_builtin_lexicon(cfg.word_dim, 3);
+        let mut clf = MentionClassifier::new(&cfg, vocab, &space);
+        let pairs = training_pairs(&ds.train);
+        clf.train(&pairs, 3);
+
+        let mut hits = 0;
+        let mut total = 0;
+        for e in ds.train.iter().take(20) {
+            for slot in &e.slots {
+                let Some((ga, gb)) = slot.col_span else { continue };
+                let col = tokenize(&e.table.column_names()[slot.column]);
+                let Some((a, b)) = locate_mention(&clf, &e.question, &col, &cfg) else {
+                    continue;
+                };
+                total += 1;
+                if a < gb && ga < b {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(total > 10, "not enough localization attempts");
+        // Random 1-2 token spans in ~12-token questions overlap a gold
+        // mention well under 30% of the time; the gradient signal must
+        // clearly beat that even at this unit-test scale (the bench
+        // harness exercises the trained regime).
+        assert!(
+            hits as f32 / total as f32 > 0.38,
+            "localization no better than chance: {hits}/{total}"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Mention Resolution (§IV-E).
+//!
+//! Multiple candidate pairings between detected value mentions and columns
+//! are disambiguated with the question's dependency tree: a value usually
+//! attaches close to its column's mention, so among the columns a value
+//! plausibly belongs to (per the value detector's per-column scores), pick
+//! the pairing that minimizes tree distance to that column's mention span.
+//! Columns mentioned implicitly (no span) fall back to the value
+//! detector's statistical best column.
+
+use nlidb_text::DepTree;
+
+use crate::mention::matcher::ColumnCandidate;
+use crate::mention::value::ValueMention;
+
+/// A resolved (column, value) pairing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedPair {
+    /// Schema column index.
+    pub column: usize,
+    /// Column mention span, if explicit.
+    pub col_span: Option<(usize, usize)>,
+    /// Value mention span.
+    pub val_span: (usize, usize),
+}
+
+/// Score margin under which a value's alternative columns are considered
+/// "plausible" and submitted to tree-distance arbitration.
+const PLAUSIBLE_MARGIN: f32 = 0.15;
+
+/// Resolves value mentions against detected column mentions.
+///
+/// For each value mention: collect plausible columns (score within
+/// [`PLAUSIBLE_MARGIN`] of its best), prefer ones with an explicit column
+/// mention, and among those choose minimal dependency-tree distance
+/// between the value span and the column's mention span. Each explicit
+/// column mention is consumed by at most one value (greedy in question
+/// order), which resolves the Figure 1(c) Director/Actor ambiguity.
+pub fn resolve(
+    question: &[String],
+    col_mentions: &[ColumnCandidate],
+    val_mentions: &[ValueMention],
+) -> Vec<ResolvedPair> {
+    let tree = DepTree::parse(question);
+    let mut used_cols: Vec<usize> = Vec::new();
+    let mut out = Vec::new();
+    for vm in val_mentions {
+        let best_score = vm
+            .column_scores
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
+        let plausible: Vec<usize> = vm
+            .column_scores
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s >= best_score - PLAUSIBLE_MARGIN)
+            .map(|(c, _)| c)
+            .collect();
+        // Candidate pairings with explicit mentions of plausible columns.
+        // Primary key: dependency-tree distance; ties break on linear
+        // token distance (pseudo-parses are coarse enough to tie often).
+        let linear = |span: (usize, usize)| -> usize {
+            let (a, b) = span;
+            let (va, vb) = vm.span;
+            if b <= va {
+                va - b
+            } else { a.saturating_sub(vb) }
+        };
+        // (tree distance, linear distance, column, mention span)
+        type Pairing = (usize, usize, usize, Option<(usize, usize)>);
+        let mut best: Option<Pairing> = None;
+        for cand in col_mentions {
+            if !plausible.contains(&cand.column) || used_cols.contains(&cand.column) {
+                continue;
+            }
+            let d = tree.span_dist(vm.span, cand.span);
+            let l = linear(cand.span);
+            let better = match &best {
+                None => true,
+                Some((bd, bl, _, _)) => (d, l) < (*bd, *bl),
+            };
+            if better {
+                best = Some((d, l, cand.column, Some(cand.span)));
+            }
+        }
+        let (column, col_span) = match best {
+            Some((_, _, c, s)) => (c, s),
+            // No explicit mention: statistical best column (implicit).
+            None => (vm.column, None),
+        };
+        if col_span.is_some() {
+            used_cols.push(column);
+        }
+        out.push(ResolvedPair { column, col_span, val_span: vm.span });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mention::matcher::MatchSource;
+    use nlidb_text::tokenize;
+
+    fn col_cand(column: usize, span: (usize, usize)) -> ColumnCandidate {
+        ColumnCandidate { column, span, score: 1.0, source: MatchSource::Exact }
+    }
+
+    fn val(span: (usize, usize), scores: Vec<f32>) -> ValueMention {
+        let (column, &score) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        ValueMention { span, column, score, column_scores: scores, text: None }
+    }
+
+    #[test]
+    fn fig1c_ambiguity_resolves_by_tree_distance() {
+        // "which film directed by jerzy antczak did piotr adamczyk star in ?"
+        //   0     1    2        3  4     5       6   7     8        9   10
+        // Both names are person-valued: plausible for Director (col 1) and
+        // Actor (col 2). "directed" mentions col 1 at (2,3); "star" would
+        // mention col 2 at (9,10).
+        let q = tokenize("which film directed by jerzy antczak did piotr adamczyk star in ?");
+        let cols = vec![col_cand(1, (2, 4)), col_cand(2, (9, 11))];
+        // Equal plausibility for both person columns.
+        let vals = vec![
+            val((4, 6), vec![0.1, 0.8, 0.78]), // jerzy antczak
+            val((7, 9), vec![0.1, 0.78, 0.8]), // piotr adamczyk
+        ];
+        let pairs = resolve(&q, &cols, &vals);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].column, 1, "jerzy antczak should pair with director");
+        assert_eq!(pairs[1].column, 2, "piotr adamczyk should pair with actor");
+    }
+
+    #[test]
+    fn explicit_mentions_are_not_reused() {
+        // Two values, one explicit column mention: the second value falls
+        // back to its statistical column.
+        let q = tokenize("games in mayo against galway ?");
+        let cols = vec![col_cand(0, (0, 1))];
+        let vals = vec![
+            val((2, 3), vec![0.9, 0.2]),
+            val((4, 5), vec![0.88, 0.3]),
+        ];
+        let pairs = resolve(&q, &cols, &vals);
+        // First value takes the explicit mention (column 0), second keeps
+        // its statistical best (also 0 here) but without a consumed span.
+        assert_eq!(pairs[0].col_span, Some((0, 1)));
+        assert_eq!(pairs[1].col_span, None);
+    }
+
+    #[test]
+    fn implausible_columns_are_not_paired() {
+        let q = tokenize("population of mayo ?");
+        // Column 1 mentioned, but the value's scores say column 0 by a
+        // wide margin — the mention must not hijack the pairing.
+        let cols = vec![col_cand(1, (0, 1))];
+        let vals = vec![val((2, 3), vec![0.95, 0.2])];
+        let pairs = resolve(&q, &cols, &vals);
+        assert_eq!(pairs[0].column, 0);
+        assert_eq!(pairs[0].col_span, None);
+    }
+
+    #[test]
+    fn no_values_yields_no_pairs() {
+        let q = tokenize("how many films ?");
+        let cols = vec![col_cand(0, (2, 3))];
+        assert!(resolve(&q, &cols, &[]).is_empty());
+    }
+
+    #[test]
+    fn value_without_any_column_mention_is_implicit() {
+        let q = tokenize("which film by jerzy antczak ?");
+        let vals = vec![val((3, 5), vec![0.2, 0.9])];
+        let pairs = resolve(&q, &[], &vals);
+        assert_eq!(pairs[0].column, 1);
+        assert_eq!(pairs[0].col_span, None);
+        assert_eq!(pairs[0].val_span, (3, 5));
+    }
+}

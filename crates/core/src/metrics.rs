@@ -1,0 +1,165 @@
+//! Evaluation metrics (§VII): logical-form, query-match, and execution
+//! accuracy, plus the §VII-A1 condition-column/value mention accuracy.
+
+use nlidb_data::Example;
+use nlidb_sqlir::{logical_form_match, query_match, Query};
+use nlidb_storage::execution_match;
+
+/// Aggregate accuracy over a split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResult {
+    /// Number of evaluated examples.
+    pub n: usize,
+    /// Logical-form (token-exact) accuracy.
+    pub acc_lf: f32,
+    /// Query-match (canonical) accuracy.
+    pub acc_qm: f32,
+    /// Execution accuracy.
+    pub acc_ex: f32,
+}
+
+impl EvalResult {
+    /// Formats like the paper's tables: `lf / qm / ex` in percent.
+    pub fn row(&self) -> String {
+        format!(
+            "{:5.1}% {:5.1}% {:5.1}%",
+            self.acc_lf * 100.0,
+            self.acc_qm * 100.0,
+            self.acc_ex * 100.0
+        )
+    }
+}
+
+/// Evaluates predictions against gold examples. A `None` prediction
+/// counts as wrong on all three metrics.
+pub fn evaluate(preds: &[(Option<Query>, &Example)]) -> EvalResult {
+    let n = preds.len();
+    if n == 0 {
+        return EvalResult { n: 0, acc_lf: 0.0, acc_qm: 0.0, acc_ex: 0.0 };
+    }
+    let mut lf = 0usize;
+    let mut qm = 0usize;
+    let mut ex = 0usize;
+    for (pred, gold) in preds {
+        let Some(q) = pred else { continue };
+        if logical_form_match(q, &gold.query) {
+            lf += 1;
+        }
+        if query_match(q, &gold.query) {
+            qm += 1;
+        }
+        if execution_match(&gold.table, q, &gold.query) {
+            ex += 1;
+        }
+    }
+    EvalResult {
+        n,
+        acc_lf: lf as f32 / n as f32,
+        acc_qm: qm as f32 / n as f32,
+        acc_ex: ex as f32 / n as f32,
+    }
+}
+
+/// §VII-A1: canonical-match accuracy on `$COND_COL` and `$COND_VAL` —
+/// the fraction of examples whose predicted set of (condition column,
+/// canonical value) pairs equals the gold set.
+pub fn cond_col_val_accuracy(preds: &[(Option<Query>, &Example)]) -> f32 {
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let pairs = |q: &Query| -> Vec<(usize, String)> {
+        let mut v: Vec<(usize, String)> =
+            q.conds.iter().map(|c| (c.col, c.value.canonical_text())).collect();
+        v.sort();
+        v
+    };
+    let ok = preds
+        .iter()
+        .filter(|(p, gold)| {
+            p.as_ref().map(|q| pairs(q) == pairs(&gold.query)).unwrap_or(false)
+        })
+        .count();
+    ok as f32 / preds.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_sqlir::{CmpOp, Literal};
+    use nlidb_storage::{Column, DataType, Schema, Table, Value};
+    use std::sync::Arc;
+
+    fn example() -> Example {
+        let schema = Schema::new(vec![
+            Column::new("A", DataType::Text),
+            Column::new("B", DataType::Text),
+        ]);
+        let mut t = Table::new("t", schema);
+        t.push_row(vec![Value::Text("x".into()), Value::Text("y".into())]);
+        t.push_row(vec![Value::Text("z".into()), Value::Text("y".into())]);
+        Example {
+            id: 0,
+            question: vec!["?".into()],
+            table: Arc::new(t),
+            query: Query::select(0).and_where(1, CmpOp::Eq, Literal::Text("y".into())),
+            slots: vec![],
+            sketch_compatible: true,
+        }
+    }
+
+    #[test]
+    fn all_correct() {
+        let e = example();
+        let preds = vec![(Some(e.query.clone()), &e)];
+        let r = evaluate(&preds);
+        assert_eq!(r.n, 1);
+        assert_eq!((r.acc_lf, r.acc_qm, r.acc_ex), (1.0, 1.0, 1.0));
+        assert_eq!(cond_col_val_accuracy(&preds), 1.0);
+    }
+
+    #[test]
+    fn none_prediction_is_wrong_everywhere() {
+        let e = example();
+        let preds = vec![(None, &e)];
+        let r = evaluate(&preds);
+        assert_eq!((r.acc_lf, r.acc_qm, r.acc_ex), (0.0, 0.0, 0.0));
+        assert_eq!(cond_col_val_accuracy(&preds), 0.0);
+    }
+
+    #[test]
+    fn execution_accuracy_can_exceed_query_match() {
+        // Predict a different query that happens to produce the same rows.
+        let e = example();
+        // SELECT A WHERE B = "y" (gold) vs SELECT A (everything) — table
+        // has B = "y" everywhere, so results agree.
+        let pred = Query::select(0);
+        let preds = vec![(Some(pred), &e)];
+        let r = evaluate(&preds);
+        assert_eq!(r.acc_qm, 0.0);
+        assert_eq!(r.acc_ex, 1.0);
+    }
+
+    #[test]
+    fn cond_accuracy_ignores_order_and_case() {
+        let e = {
+            let mut e = example();
+            e.query = Query::select(0)
+                .and_where(1, CmpOp::Eq, Literal::Text("Y".into()))
+                .and_where(0, CmpOp::Eq, Literal::Text("x".into()));
+            e
+        };
+        let pred = Query::select(1) // different select: ignored by this metric
+            .and_where(0, CmpOp::Eq, Literal::Text("X".into()))
+            .and_where(1, CmpOp::Eq, Literal::Text("y".into()));
+        let preds = vec![(Some(pred), &e)];
+        assert_eq!(cond_col_val_accuracy(&preds), 1.0);
+        let r = evaluate(&preds);
+        assert_eq!(r.acc_qm, 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = evaluate(&[]);
+        assert_eq!(r.n, 0);
+    }
+}

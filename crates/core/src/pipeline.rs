@@ -1,0 +1,405 @@
+//! The end-to-end NLIDB (§I's three-step framework).
+//!
+//! [`Nlidb::train`] fits the mention-detection stack and the annotated
+//! seq2seq model on a training split; [`Nlidb::predict`] runs
+//! `q -> q^a -> s^a -> s` on a new question/table pair — including tables
+//! and domains never seen in training, which is the transfer-learnability
+//! claim under test.
+
+use nlidb_data::{Dataset, Example};
+use nlidb_sqlir::{recover, AnnotatedSql, AnnotationMap, Query};
+use nlidb_storage::Table;
+use nlidb_text::{EmbeddingSpace, Lexicon, Vocab};
+
+use crate::annotate::{annotate, annotate_gold, gold_target, AnnotateConfig, Annotation};
+use crate::config::ModelConfig;
+use crate::mention::MentionDetector;
+use crate::seq2seq::{Seq2Seq, Seq2SeqItem};
+use crate::transformer::TransformerSeq2Seq;
+use crate::vocab::{build_input_vocab, OutVocab};
+
+/// Which sequence model translates `q^a -> s^a`.
+pub enum Translator {
+    /// The paper's GRU seq2seq with attention and copy (§V-B).
+    Gru(Seq2Seq),
+    /// The Table II "seq2seq → Transformer" ablation.
+    Transformer(TransformerSeq2Seq),
+}
+
+/// Pipeline options covering the Table II ablation axes.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct NlidbOptions {
+    /// Model hyper-parameters.
+    pub model: ModelConfig,
+    /// Annotation encoding choices.
+    pub annotate: AnnotateConfig,
+    /// Copy mechanism on/off.
+    pub copy: bool,
+    /// Replace the GRU seq2seq with a transformer.
+    pub use_transformer: bool,
+}
+
+impl Default for NlidbOptions {
+    fn default() -> Self {
+        NlidbOptions {
+            model: ModelConfig::default(),
+            annotate: AnnotateConfig::default(),
+            copy: true,
+            use_transformer: false,
+        }
+    }
+}
+
+/// The trained end-to-end system.
+pub struct Nlidb {
+    /// The §IV mention-detection stack.
+    pub detector: MentionDetector,
+    translator: Translator,
+    in_vocab: Vocab,
+    out_vocab: OutVocab,
+    opts: NlidbOptions,
+}
+
+impl Nlidb {
+    /// Trains the full system on a dataset's training split.
+    pub fn train(ds: &Dataset, opts: NlidbOptions) -> Nlidb {
+        let space = EmbeddingSpace::with_builtin_lexicon(opts.model.word_dim.max(8), 77);
+        Self::train_with_space(ds, opts, space, Lexicon::builtin())
+    }
+
+    /// Trains with an explicit embedding space and lexicon (used when the
+    /// caller registers §II metadata phrases).
+    pub fn train_with_space(
+        ds: &Dataset,
+        opts: NlidbOptions,
+        space: EmbeddingSpace,
+        lexicon: Lexicon,
+    ) -> Nlidb {
+        let cfg = &opts.model;
+        let in_vocab = build_input_vocab(ds, cfg);
+        let out_vocab = OutVocab::new(cfg);
+        let detector =
+            MentionDetector::train(cfg, &ds.train, in_vocab.clone(), &space, lexicon);
+        let items = training_items(&ds.train, &opts, &in_vocab, &out_vocab);
+        let translator = match opts.use_transformer {
+            false => {
+                let mut m = Seq2Seq::new(cfg, &in_vocab, out_vocab.clone(), &space, opts.copy);
+                m.train(&items, cfg.epochs);
+                Translator::Gru(m)
+            }
+            true => {
+                let mut m = TransformerSeq2Seq::new(cfg, &in_vocab, out_vocab.clone(), &space);
+                m.train(&items, cfg.epochs);
+                Translator::Transformer(m)
+            }
+        };
+        Nlidb { detector, translator, in_vocab, out_vocab, opts }
+    }
+
+    /// The input vocabulary.
+    pub fn in_vocab(&self) -> &Vocab {
+        &self.in_vocab
+    }
+
+    /// The output vocabulary.
+    pub fn out_vocab(&self) -> &OutVocab {
+        &self.out_vocab
+    }
+
+    /// The pipeline options.
+    pub fn options(&self) -> &NlidbOptions {
+        &self.opts
+    }
+
+    /// The active translator (GRU seq2seq or transformer).
+    pub fn translator(&self) -> &Translator {
+        &self.translator
+    }
+
+    /// Reassembles a system from restored parts (used by checkpointing).
+    pub fn from_parts(
+        detector: MentionDetector,
+        translator: Translator,
+        in_vocab: Vocab,
+        out_vocab: OutVocab,
+        opts: NlidbOptions,
+    ) -> Nlidb {
+        Nlidb { detector, translator, in_vocab, out_vocab, opts }
+    }
+
+    fn encode_src(&self, tokens: &[String]) -> (Vec<usize>, Vec<Option<usize>>) {
+        let src = tokens.iter().map(|t| self.in_vocab.id(t)).collect();
+        let copy = tokens
+            .iter()
+            .map(|t| self.out_vocab.copy_id_for_input_token(t))
+            .collect();
+        (src, copy)
+    }
+
+    fn translate(&self, tokens: &[String]) -> AnnotatedSql {
+        let (src, copy) = self.encode_src(tokens);
+        if src.is_empty() {
+            return AnnotatedSql::default();
+        }
+        let ids = match &self.translator {
+            Translator::Gru(m) => m.decode_beam(&src, &copy, self.opts.model.beam_width),
+            Translator::Transformer(m) => m.decode_greedy(&src, &copy),
+        };
+        self.out_vocab.decode(&ids)
+    }
+
+    /// Runs annotation (step 1) on a question/table pair.
+    pub fn annotate_question(&self, question: &[String], table: &Table) -> Annotation {
+        let slots = self.detector.detect(question, table);
+        annotate(
+            question,
+            &slots,
+            &table.column_names(),
+            &self.opts.annotate,
+            self.opts.model.max_headers,
+        )
+    }
+
+    /// Full prediction `q -> s` with the detected annotation.
+    ///
+    /// If the decoded `s^a` is malformed (references a slot the detector
+    /// did not produce), falls back to a rule-built query from the
+    /// detected slots themselves — an engineering safeguard on top of the
+    /// paper's pipeline so the interface always answers when mentions were
+    /// found.
+    pub fn predict(&self, question: &[String], table: &Table) -> Option<Query> {
+        let (sa, map) = self.predict_annotated(question, table);
+        recover(&sa, &map).ok().or_else(|| fallback_query(&map))
+    }
+
+    /// Steps 1–2 only: returns the predicted annotated SQL and the map.
+    pub fn predict_annotated(
+        &self,
+        question: &[String],
+        table: &Table,
+    ) -> (AnnotatedSql, AnnotationMap) {
+        let ann = self.annotate_question(question, table);
+        let sa = self.translate(&ann.tokens);
+        (sa, ann.map)
+    }
+
+    /// Prediction that bypasses mention detection by using the example's
+    /// gold annotation — isolates the seq2seq model's quality (used by the
+    /// recovery experiment, Table III).
+    pub fn predict_with_gold_annotation(
+        &self,
+        e: &Example,
+    ) -> (AnnotatedSql, AnnotatedSql, AnnotationMap) {
+        let ann = annotate_gold(e, &self.opts.annotate, self.opts.model.max_headers);
+        let predicted = self.translate(&ann.tokens);
+        let gold = gold_target(e, &ann.map);
+        (predicted, gold, ann.map)
+    }
+}
+
+/// Rule-based fallback when the decoded annotated SQL does not recover:
+/// select the first column-only slot (or the first header), and emit an
+/// equality condition for every slot that carries a value.
+fn fallback_query(map: &AnnotationMap) -> Option<Query> {
+    let select_col = map
+        .slots
+        .iter()
+        .find(|s| s.value.is_none())
+        .and_then(|s| s.column)
+        .or_else(|| map.headers.first().copied())?;
+    let mut q = Query::select(select_col);
+    for slot in &map.slots {
+        if let (Some(col), Some(value)) = (slot.column, slot.value.as_ref()) {
+            q = q.and_where(col, nlidb_sqlir::CmpOp::Eq, nlidb_sqlir::Literal::parse(value));
+        }
+    }
+    Some(q)
+}
+
+/// Builds seq2seq training items from gold annotations, skipping the rare
+/// examples whose slot/header counts exceed the configured budget.
+///
+/// Applies *slot dropout*: with some probability the select slot is
+/// removed (forcing the target to fall back to the table-header symbol
+/// `g_k`, §V-A-2) or a condition slot's column span is hidden (forcing the
+/// Figure 1(d) pattern where `c_i` appears in the output but not in the
+/// input). This matches the test-time distribution, where mention
+/// detection occasionally misses a mention.
+pub fn training_items(
+    examples: &[Example],
+    opts: &NlidbOptions,
+    in_vocab: &Vocab,
+    out_vocab: &OutVocab,
+) -> Vec<Seq2SeqItem> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(opts.model.seed ^ 0xD20F);
+    let mut items = Vec::with_capacity(examples.len());
+    for e in examples {
+        let mut slots = crate::annotate::gold_slots(e);
+        if opts.annotate.header_encoding && rng.gen::<f32>() < 0.22 {
+            // Drop the slot that has no value (the select mention), if any.
+            if let Some(i) = slots.iter().position(|s| s.value.is_none()) {
+                slots.remove(i);
+            }
+        }
+        if rng.gen::<f32>() < 0.12 {
+            // Hide one condition slot's column span (implicit mention).
+            if let Some(s) = slots.iter_mut().find(|s| s.value.is_some() && s.col_span.is_some())
+            {
+                s.col_span = None;
+            }
+        }
+        let ann = crate::annotate::annotate(
+            &e.question,
+            &slots,
+            &e.table.column_names(),
+            &opts.annotate,
+            opts.model.max_headers,
+        );
+        let target = gold_target(e, &ann.map);
+        let Some(tgt) = out_vocab.try_encode(&target) else { continue };
+        let src: Vec<usize> = ann.tokens.iter().map(|t| in_vocab.id(t)).collect();
+        let copy: Vec<Option<usize>> = ann
+            .tokens
+            .iter()
+            .map(|t| out_vocab.copy_id_for_input_token(t))
+            .collect();
+        if src.is_empty() || tgt.is_empty() {
+            continue;
+        }
+        items.push(Seq2SeqItem { src, copy, tgt });
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_data::wikisql::{generate, WikiSqlConfig};
+    use nlidb_sqlir::query_match;
+
+    fn tiny_opts() -> NlidbOptions {
+        NlidbOptions { model: ModelConfig::tiny(), ..NlidbOptions::default() }
+    }
+
+    #[test]
+    fn training_items_are_well_formed() {
+        let ds = generate(&WikiSqlConfig::tiny(71));
+        let opts = tiny_opts();
+        let in_vocab = build_input_vocab(&ds, &opts.model);
+        let out_vocab = OutVocab::new(&opts.model);
+        let items = training_items(&ds.train, &opts, &in_vocab, &out_vocab);
+        assert!(items.len() >= ds.train.len() * 9 / 10, "too many skipped");
+        for item in &items {
+            assert_eq!(item.src.len(), item.copy.len());
+            assert!(*item.tgt.last().unwrap() == out_vocab.eos());
+            // Every target references only representable ids.
+            for &t in &item.tgt {
+                assert!(t < out_vocab.len());
+            }
+            // The annotated source must contain copyable symbols.
+            assert!(item.copy.iter().any(Option::is_some), "no symbols in source");
+        }
+    }
+
+    #[test]
+    fn end_to_end_train_and_predict_on_unseen_tables() {
+        let mut gen_cfg = WikiSqlConfig::tiny(72);
+        gen_cfg.train_tables = 8;
+        gen_cfg.questions_per_table = 8;
+        let ds = generate(&gen_cfg);
+        let nlidb = Nlidb::train(&ds, tiny_opts());
+        // Predict on dev (unseen tables); require a meaningful fraction of
+        // canonical matches — the full paper-scale number needs the bench
+        // harness's larger corpus and epochs.
+        let mut qm = 0;
+        let mut total = 0;
+        for e in ds.dev.iter().take(16) {
+            total += 1;
+            if let Some(pred) = nlidb.predict(&e.question, &e.table) {
+                if query_match(&pred, &e.query) {
+                    qm += 1;
+                }
+            }
+        }
+        assert!(total == 16);
+        // Smoke-level bar: tiny corpus (8 tables over 20 domains), tiny
+        // model, 2 epochs — accuracy here is seed-fragile; the bench
+        // harness exercises the trained regime (~44-55% qm).
+        assert!(qm >= 2, "end-to-end query match too low: {qm}/{total}");
+    }
+
+    #[test]
+    fn gold_annotation_prediction_is_at_least_as_good() {
+        let mut gen_cfg = WikiSqlConfig::tiny(73);
+        gen_cfg.train_tables = 8;
+        gen_cfg.questions_per_table = 8;
+        let ds = generate(&gen_cfg);
+        let nlidb = Nlidb::train(&ds, tiny_opts());
+        let mut with_gold = 0;
+        let mut end_to_end = 0;
+        for e in ds.dev.iter().take(12) {
+            let (pred_sa, _, map) = nlidb.predict_with_gold_annotation(e);
+            if let Ok(q) = recover(&pred_sa, &map) {
+                if query_match(&q, &e.query) {
+                    with_gold += 1;
+                }
+            }
+            if let Some(q) = nlidb.predict(&e.question, &e.table) {
+                if query_match(&q, &e.query) {
+                    end_to_end += 1;
+                }
+            }
+        }
+        assert!(
+            with_gold >= end_to_end,
+            "gold annotation should not hurt: {with_gold} vs {end_to_end}"
+        );
+    }
+
+    #[test]
+    fn fallback_query_builds_from_slots() {
+        use nlidb_sqlir::{AnnotationMap, Slot};
+        let map = AnnotationMap {
+            slots: vec![
+                Slot { column: Some(2), value: None },
+                Slot { column: Some(0), value: Some("mayo".into()) },
+            ],
+            headers: vec![0, 1, 2],
+        };
+        let q = super::fallback_query(&map).expect("fallback");
+        assert_eq!(q.select_col, 2);
+        assert_eq!(q.conds.len(), 1);
+        assert_eq!(q.conds[0].col, 0);
+    }
+
+    #[test]
+    fn fallback_query_uses_header_when_no_select_slot() {
+        use nlidb_sqlir::{AnnotationMap, Slot};
+        let map = AnnotationMap {
+            slots: vec![Slot { column: Some(1), value: Some("x".into()) }],
+            headers: vec![0, 1],
+        };
+        let q = super::fallback_query(&map).expect("fallback");
+        assert_eq!(q.select_col, 0, "falls back to the first header");
+        assert_eq!(q.conds.len(), 1);
+    }
+
+    #[test]
+    fn fallback_query_none_when_nothing_detected() {
+        use nlidb_sqlir::AnnotationMap;
+        let map = AnnotationMap { slots: vec![], headers: vec![] };
+        assert!(super::fallback_query(&map).is_none());
+    }
+
+    #[test]
+    fn empty_question_predicts_none_gracefully() {
+        let ds = generate(&WikiSqlConfig::tiny(74));
+        let nlidb = Nlidb::train(&ds, tiny_opts());
+        let table = &ds.dev[0].table;
+        let pred = nlidb.predict(&[], table);
+        // No panic; None or some degenerate query are both acceptable.
+        let _ = pred;
+    }
+}

@@ -1,0 +1,339 @@
+//! Domain archetypes for the WikiSQL-shaped generator.
+//!
+//! WikiSQL draws tables from thousands of unrelated Wikipedia pages; the
+//! generator mirrors that with a library of domain archetypes, each a set
+//! of column archetypes. A concrete table samples a subset of columns and
+//! fills them from the column's [`ValueKind`]. Column archetypes also carry
+//! the natural-language surface forms questions use to mention them —
+//! several synonyms (exercising §III challenges 1–2) and long paraphrases
+//! (challenge 2), plus a flag for whether values are self-identifying
+//! enough for the column mention to be dropped entirely (challenge 3).
+
+use crate::values::ValueKind;
+
+/// How questions may refer to a column.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnArchetype {
+    /// Candidate schema names (one is sampled per table).
+    pub names: &'static [&'static str],
+    /// Value generator for cells of this column.
+    pub kind: ValueKind,
+    /// Short surface forms (words) that mention the column.
+    pub mentions: &'static [&'static str],
+    /// Long paraphrase phrases mentioning the column (`P_c`-style).
+    pub paraphrases: &'static [&'static str],
+    /// Whether the column mention may be omitted (implicit mention).
+    pub implicit_ok: bool,
+}
+
+/// A coherent topic area with its column archetypes. The first archetype
+/// is the table's entity column and is always included.
+#[derive(Debug, Clone, Copy)]
+pub struct Domain {
+    /// Domain name (also used for table names).
+    pub name: &'static str,
+    /// Column archetypes; `columns[0]` is the entity column.
+    pub columns: &'static [ColumnArchetype],
+}
+
+macro_rules! arch {
+    ($names:expr, $kind:expr, $mentions:expr, $paras:expr, $implicit:expr) => {
+        ColumnArchetype {
+            names: $names,
+            kind: $kind,
+            mentions: $mentions,
+            paraphrases: $paras,
+            implicit_ok: $implicit,
+        }
+    };
+}
+
+/// All built-in domains.
+pub const DOMAINS: &[Domain] = &[
+    Domain {
+        name: "films",
+        columns: &[
+            arch!(&["Film Name", "Title", "Picture"], ValueKind::Title, &["film", "movie", "picture"], &[], false),
+            arch!(&["Director"], ValueKind::PersonName, &["director", "directed"], &["directed by"], true),
+            arch!(&["Actor", "Lead Actor", "Star"], ValueKind::PersonName, &["actor", "actress", "star"], &["starred in by", "star in"], true),
+            arch!(&["Genre", "Category"], ValueKind::Genre, &["genre", "category", "kind"], &["what kind of"], true),
+            arch!(&["Release Year", "Year"], ValueKind::Year, &["year", "released"], &["came out in"], true),
+            arch!(&["Nomination", "Award"], ValueKind::Genre, &["nomination", "award", "prize"], &["nominated for"], false),
+        ],
+    },
+    Domain {
+        name: "athletes",
+        columns: &[
+            arch!(&["Player", "Athlete", "Name"], ValueKind::PersonName, &["player", "athlete", "golfer"], &[], true),
+            arch!(&["Team", "Club"], ValueKind::Team, &["team", "club", "side"], &["plays for"], true),
+            arch!(&["Position"], ValueKind::SportPosition, &["position", "role"], &["what position did"], true),
+            arch!(&["Country", "Nationality"], ValueKind::Nationality, &["country", "nationality"], &["golfs for", "comes from"], true),
+            arch!(&["Score", "Points"], ValueKind::SmallInt, &["score", "points"], &["final score"], false),
+            arch!(&["Rank", "Seed"], ValueKind::SmallInt, &["rank", "seed", "standing"], &[], false),
+        ],
+    },
+    Domain {
+        name: "counties",
+        columns: &[
+            arch!(&["County", "District"], ValueKind::Place, &["county", "district", "region"], &[], true),
+            arch!(&["English Name"], ValueKind::Place, &["english name", "name"], &["have the english name"], false),
+            arch!(&["Population"], ValueKind::BigInt, &["population", "people"], &["how many people live in"], false),
+            arch!(&["Irish Speakers", "Speakers"], ValueKind::Percent, &["speakers", "irish"], &["share of irish speakers"], false),
+            arch!(&["Area"], ValueKind::BigInt, &["area", "size"], &["how large is"], false),
+        ],
+    },
+    Domain {
+        name: "missions",
+        columns: &[
+            arch!(&["Mission", "Flight"], ValueKind::Title, &["mission", "missions", "flight"], &[], false),
+            arch!(&["Launch Date", "Date"], ValueKind::DateText, &["date", "launch", "scheduled"], &["scheduled to launch on"], true),
+            arch!(&["Crew Size", "Crew"], ValueKind::SmallInt, &["crew", "astronauts"], &["how many people flew"], false),
+            arch!(&["Agency", "Operator"], ValueKind::Party, &["agency", "operator"], &["run by"], true),
+            arch!(&["Duration Days", "Duration"], ValueKind::SmallInt, &["duration", "days"], &["how long did"], false),
+        ],
+    },
+    Domain {
+        name: "races",
+        columns: &[
+            arch!(&["Race", "Grand Prix"], ValueKind::Title, &["race", "grand prix"], &[], false),
+            arch!(&["Winning Driver", "Winner"], ValueKind::PersonName, &["driver", "winner", "won"], &["driver won", "who won"], true),
+            arch!(&["Venue", "Circuit"], ValueKind::Venue, &["venue", "circuit", "track"], &["where was the race held"], true),
+            arch!(&["Date"], ValueKind::DateText, &["date", "when"], &["played on"], true),
+            arch!(&["Laps"], ValueKind::SmallInt, &["laps"], &["how many laps"], false),
+        ],
+    },
+    Domain {
+        name: "albums",
+        columns: &[
+            arch!(&["Album", "Record"], ValueKind::Title, &["album", "record"], &[], false),
+            arch!(&["Artist", "Band"], ValueKind::PersonName, &["artist", "singer", "band"], &["recorded by"], true),
+            arch!(&["Genre"], ValueKind::Genre, &["genre", "style"], &[], true),
+            arch!(&["Release Year", "Year"], ValueKind::Year, &["year", "released"], &["came out in"], true),
+            arch!(&["Sales"], ValueKind::BigInt, &["sales", "copies"], &["how many copies sold"], false),
+        ],
+    },
+    Domain {
+        name: "elections",
+        columns: &[
+            arch!(&["Candidate", "Nominee"], ValueKind::PersonName, &["candidate", "candidates", "nominee"], &[], true),
+            arch!(&["Party"], ValueKind::Party, &["party", "affiliation"], &["runs for"], true),
+            arch!(&["Votes"], ValueKind::BigInt, &["votes", "ballots"], &["how many votes did"], false),
+            arch!(&["District", "Constituency"], ValueKind::Place, &["district", "constituency"], &["stood in"], true),
+            arch!(&["Election Year", "Year"], ValueKind::Year, &["year", "elected"], &["was elected in"], true),
+        ],
+    },
+    Domain {
+        name: "restaurants",
+        columns: &[
+            arch!(&["Restaurant", "Name"], ValueKind::Title, &["restaurant", "diner", "eatery"], &[], false),
+            arch!(&["City", "Location"], ValueKind::Place, &["city", "location", "where"], &["located in"], true),
+            arch!(&["Cuisine", "Specialty"], ValueKind::Food, &["cuisine", "dish", "specialty"], &["known for serving"], true),
+            arch!(&["Rating", "Stars"], ValueKind::SmallInt, &["rating", "stars"], &["how well rated is"], false),
+            arch!(&["Price", "Average Price"], ValueKind::Money, &["price", "cost"], &["how much does it cost"], false),
+        ],
+    },
+    Domain {
+        name: "schools",
+        columns: &[
+            arch!(&["School", "University"], ValueKind::School, &["school", "college", "university"], &[], false),
+            arch!(&["City", "Town"], ValueKind::Place, &["city", "town"], &["located in"], true),
+            arch!(&["Enrollment", "Students"], ValueKind::BigInt, &["enrollment", "students"], &["how many students attend"], false),
+            arch!(&["Founded", "Established"], ValueKind::Year, &["founded", "established"], &["was founded in"], true),
+            arch!(&["Tuition"], ValueKind::Money, &["tuition", "fee"], &["how much does it cost to attend"], false),
+        ],
+    },
+    Domain {
+        name: "patients",
+        columns: &[
+            arch!(&["Patient", "Name"], ValueKind::PersonName, &["patient", "patients", "name"], &[], true),
+            arch!(&["Disease", "Diagnosis"], ValueKind::Disease, &["disease", "diagnosis", "illness"], &["suffers from"], true),
+            arch!(&["Doctor", "Physician"], ValueKind::PersonName, &["doctor", "physician"], &["treated by"], true),
+            arch!(&["Age"], ValueKind::SmallInt, &["age", "old"], &["how old is"], false),
+            arch!(&["City"], ValueKind::Place, &["city"], &["lives in"], true),
+        ],
+    },
+    Domain {
+        name: "games",
+        columns: &[
+            arch!(&["Game", "Match"], ValueKind::Title, &["game", "match", "fixture"], &[], false),
+            arch!(&["Home Team", "Home"], ValueKind::Team, &["home team", "home"], &["play at home"], true),
+            arch!(&["Away Team", "Opponent"], ValueKind::Team, &["opponent", "away team", "rival"], &["played against"], true),
+            arch!(&["Venue", "Stadium"], ValueKind::Venue, &["venue", "stadium", "where"], &["where was the game played"], true),
+            arch!(&["Date"], ValueKind::DateText, &["date", "when"], &["played on"], true),
+            arch!(&["Attendance", "Crowd"], ValueKind::BigInt, &["attendance", "crowd"], &["how many people watched"], false),
+        ],
+    },
+    Domain {
+        name: "books",
+        columns: &[
+            arch!(&["Book", "Novel", "Title"], ValueKind::Title, &["book", "novel", "title"], &[], false),
+            arch!(&["Author", "Writer"], ValueKind::PersonName, &["author", "writer", "novelist"], &["written by"], true),
+            arch!(&["Language"], ValueKind::Language, &["language", "tongue"], &["written in"], true),
+            arch!(&["Pages"], ValueKind::BigInt, &["pages", "length"], &["how long is"], false),
+            arch!(&["Published", "Year"], ValueKind::Year, &["published", "year"], &["came out in"], true),
+        ],
+    },
+    Domain {
+        name: "flights",
+        columns: &[
+            arch!(&["Flight", "Route"], ValueKind::Title, &["flight", "route"], &[], false),
+            arch!(&["Destination", "City"], ValueKind::Place, &["destination", "city", "where"], &["flies to"], true),
+            arch!(&["Airline", "Carrier"], ValueKind::Party, &["airline", "carrier"], &["operated by"], true),
+            arch!(&["Fare", "Price"], ValueKind::Money, &["fare", "price", "cost"], &["how much is a ticket"], false),
+            arch!(&["Capacity", "Seats"], ValueKind::BigInt, &["capacity", "seats"], &["how many seats"], false),
+        ],
+    },
+    Domain {
+        name: "recipes",
+        columns: &[
+            arch!(&["Recipe", "Dish"], ValueKind::Food, &["recipe", "dish", "meal"], &[], false),
+            arch!(&["Cuisine", "Origin"], ValueKind::Nationality, &["cuisine", "origin"], &["comes from"], true),
+            arch!(&["Cook Time", "Minutes"], ValueKind::SmallInt, &["time", "minutes", "duration"], &["how long does it take to cook"], false),
+            arch!(&["Calories"], ValueKind::BigInt, &["calories", "energy"], &["how many calories"], false),
+            arch!(&["Chef", "Author"], ValueKind::PersonName, &["chef", "author"], &["created by"], true),
+        ],
+    },
+    Domain {
+        name: "buildings",
+        columns: &[
+            arch!(&["Building", "Tower"], ValueKind::Title, &["building", "tower"], &[], false),
+            arch!(&["City"], ValueKind::Place, &["city", "where"], &["located in"], true),
+            arch!(&["Height"], ValueKind::BigInt, &["height", "tall"], &["how tall is"], false),
+            arch!(&["Floors"], ValueKind::SmallInt, &["floors", "storeys"], &["how many floors"], false),
+            arch!(&["Built", "Completed"], ValueKind::Year, &["built", "completed"], &["was built in"], true),
+        ],
+    },
+    Domain {
+        name: "museums",
+        columns: &[
+            arch!(&["Museum", "Gallery"], ValueKind::Title, &["museum", "gallery"], &[], false),
+            arch!(&["City"], ValueKind::Place, &["city", "where"], &["located in"], true),
+            arch!(&["Visitors", "Annual Visitors"], ValueKind::BigInt, &["visitors", "attendance"], &["how many people visit"], false),
+            arch!(&["Founded"], ValueKind::Year, &["founded", "opened"], &["was founded in"], true),
+            arch!(&["Admission", "Ticket Price"], ValueKind::Money, &["admission", "ticket", "price"], &["how much does entry cost"], false),
+        ],
+    },
+    Domain {
+        name: "trains",
+        columns: &[
+            arch!(&["Service", "Train"], ValueKind::Title, &["train", "service"], &[], false),
+            arch!(&["Destination"], ValueKind::Place, &["destination", "where"], &["runs to"], true),
+            arch!(&["Departure", "Date"], ValueKind::DateText, &["departure", "date", "when"], &["leaves on"], true),
+            arch!(&["Platform"], ValueKind::SmallInt, &["platform", "track"], &[], false),
+            arch!(&["Distance Km", "Distance"], ValueKind::BigInt, &["distance", "km"], &["how far does it travel"], false),
+        ],
+    },
+    Domain {
+        name: "startups",
+        columns: &[
+            arch!(&["Company", "Startup"], ValueKind::Title, &["company", "startup", "firm"], &[], false),
+            arch!(&["Founder", "CEO"], ValueKind::PersonName, &["founder", "ceo"], &["started by"], true),
+            arch!(&["Sector", "Industry"], ValueKind::Genre, &["sector", "industry"], &["operates in"], true),
+            arch!(&["Funding", "Raised"], ValueKind::Money, &["funding", "raised", "capital"], &["how much money did", "raise"], false),
+            arch!(&["Employees", "Headcount"], ValueKind::BigInt, &["employees", "headcount", "staff"], &["how many people work at"], false),
+        ],
+    },
+    Domain {
+        name: "mountains",
+        columns: &[
+            arch!(&["Mountain", "Peak"], ValueKind::Title, &["mountain", "peak", "summit"], &[], false),
+            arch!(&["Country"], ValueKind::Nationality, &["country", "nation"], &["lies in"], true),
+            arch!(&["Elevation", "Height"], ValueKind::BigInt, &["elevation", "height", "tall"], &["how high is"], false),
+            arch!(&["First Ascent", "Climbed"], ValueKind::Year, &["climbed", "ascent"], &["was first climbed in"], true),
+            arch!(&["Climber"], ValueKind::PersonName, &["climber", "mountaineer"], &["first climbed by"], true),
+        ],
+    },
+    Domain {
+        name: "courses",
+        columns: &[
+            arch!(&["Course", "Class"], ValueKind::Title, &["course", "class", "subject"], &[], false),
+            arch!(&["Instructor", "Teacher"], ValueKind::PersonName, &["instructor", "teacher", "professor"], &["taught by"], true),
+            arch!(&["Credits"], ValueKind::SmallInt, &["credits", "units"], &["how many credits is"], false),
+            arch!(&["Enrollment"], ValueKind::BigInt, &["enrollment", "students"], &["how many students take"], false),
+            arch!(&["Semester", "Term"], ValueKind::Year, &["semester", "term", "year"], &["is offered in"], true),
+        ],
+    },
+    Domain {
+        name: "employees",
+        columns: &[
+            arch!(&["Employee", "Name"], ValueKind::PersonName, &["employee", "worker", "name"], &[], true),
+            arch!(&["Department", "Division"], ValueKind::Genre, &["department", "division"], &["works in"], true),
+            arch!(&["Salary", "Pay"], ValueKind::Money, &["salary", "pay", "wage"], &["how much does", "earn"], false),
+            arch!(&["Hired", "Start Year"], ValueKind::Year, &["hired", "joined"], &["started working in"], true),
+            arch!(&["Office", "Location"], ValueKind::Place, &["office", "location"], &["based in"], true),
+        ],
+    },
+];
+
+/// Looks up a domain by name.
+pub fn domain_by_name(name: &str) -> Option<&'static Domain> {
+    DOMAINS.iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_domains_have_entity_plus_columns() {
+        for d in DOMAINS {
+            assert!(d.columns.len() >= 4, "{} too small", d.name);
+            assert!(!d.columns[0].names.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_archetype_has_mentions() {
+        for d in DOMAINS {
+            for c in d.columns {
+                assert!(!c.mentions.is_empty(), "{}:{:?} lacks mentions", d.name, c.names);
+                assert!(!c.names.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn domain_names_are_unique() {
+        let mut names: Vec<&str> = DOMAINS.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(domain_by_name("films").is_some());
+        assert!(domain_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn implicit_columns_have_identifying_value_kinds() {
+        // If a column can be mentioned implicitly, its values must be
+        // distinctive enough to infer the column (names, places, ...).
+        use crate::values::ValueKind as VK;
+        for d in DOMAINS {
+            for c in d.columns {
+                if c.implicit_ok {
+                    assert!(
+                        !matches!(c.kind, VK::SmallInt | VK::BigInt | VK::Money | VK::Percent),
+                        "{}:{:?} marked implicit with generic numeric values",
+                        d.name,
+                        c.names
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paraphrases_are_multiword_or_absent() {
+        for d in DOMAINS {
+            for c in d.columns {
+                for p in c.paraphrases {
+                    assert!(p.contains(' ') || p.len() > 3, "{p} is too short a paraphrase");
+                }
+            }
+        }
+    }
+}

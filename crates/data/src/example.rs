@@ -1,0 +1,160 @@
+//! Dataset example structures shared by all generators.
+
+use std::sync::Arc;
+
+use nlidb_sqlir::Query;
+use nlidb_storage::Table;
+
+/// The role a gold mention slot plays in the SQL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotRole {
+    /// The selected column.
+    Select,
+    /// A condition column/value pair (index into `query.conds`).
+    Cond(usize),
+}
+
+/// Gold annotation for one mention slot: which schema column it refers to
+/// and where (if anywhere) the column and value are mentioned in the
+/// question. `col_span == None` models implicit mentions (§III challenge
+/// 3); a value whose text does not occur in the table is a counterfactual
+/// mention (challenge 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldSlot {
+    /// Role in the SQL.
+    pub role: SlotRole,
+    /// Schema column index.
+    pub column: usize,
+    /// Token span `[a, b)` of the column mention, if explicit.
+    pub col_span: Option<(usize, usize)>,
+    /// Raw value text for condition slots.
+    pub value: Option<String>,
+    /// Token span `[a, b)` of the value mention, if present.
+    pub val_span: Option<(usize, usize)>,
+}
+
+/// One (question, table, SQL) record with gold mention annotations.
+#[derive(Debug, Clone)]
+pub struct Example {
+    /// Stable id within its dataset.
+    pub id: usize,
+    /// Question tokens (lowercased).
+    pub question: Vec<String>,
+    /// The table the question is asked against (shared among the table's
+    /// examples).
+    pub table: Arc<Table>,
+    /// Gold SQL.
+    pub query: Query,
+    /// Gold mention slots (select slot first, then conditions in order).
+    pub slots: Vec<GoldSlot>,
+    /// Whether this example's SQL shape is expressible in the WikiSQL
+    /// sketch (used by the OVERNIGHT transfer evaluation, §VII-B1).
+    pub sketch_compatible: bool,
+}
+
+impl Example {
+    /// The question as a display string.
+    pub fn question_text(&self) -> String {
+        self.question.join(" ")
+    }
+
+    /// The gold SQL rendered against this example's schema.
+    pub fn sql_text(&self) -> String {
+        self.query.to_sql(&self.table.column_names())
+    }
+
+    /// The gold slot for a given condition index, if annotated.
+    pub fn cond_slot(&self, idx: usize) -> Option<&GoldSlot> {
+        self.slots.iter().find(|s| s.role == SlotRole::Cond(idx))
+    }
+
+    /// The select slot.
+    pub fn select_slot(&self) -> Option<&GoldSlot> {
+        self.slots.iter().find(|s| s.role == SlotRole::Select)
+    }
+}
+
+/// A train/dev/test dataset. Generators guarantee tables are not shared
+/// across splits (the WikiSQL generalization setting).
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Training examples.
+    pub train: Vec<Example>,
+    /// Development examples.
+    pub dev: Vec<Example>,
+    /// Test examples.
+    pub test: Vec<Example>,
+}
+
+impl Dataset {
+    /// Total number of examples.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.dev.len() + self.test.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Asserts the non-shared-tables invariant (by table name).
+    pub fn splits_share_no_tables(&self) -> bool {
+        use std::collections::HashSet;
+        let names = |xs: &[Example]| -> HashSet<String> {
+            xs.iter().map(|e| e.table.name.clone()).collect()
+        };
+        let tr = names(&self.train);
+        let dv = names(&self.dev);
+        let te = names(&self.test);
+        tr.is_disjoint(&dv) && tr.is_disjoint(&te) && dv.is_disjoint(&te)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_storage::{Column, DataType, Schema};
+
+    fn example(table_name: &str) -> Example {
+        let schema = Schema::new(vec![Column::new("A", DataType::Text)]);
+        Example {
+            id: 0,
+            question: vec!["what".into(), "is".into(), "a".into(), "?".into()],
+            table: Arc::new(Table::new(table_name, schema)),
+            query: Query::select(0),
+            slots: vec![GoldSlot {
+                role: SlotRole::Select,
+                column: 0,
+                col_span: Some((2, 3)),
+                value: None,
+                val_span: None,
+            }],
+            sketch_compatible: true,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let e = example("t1");
+        assert_eq!(e.question_text(), "what is a ?");
+        assert_eq!(e.sql_text(), "SELECT A");
+        assert!(e.select_slot().is_some());
+        assert!(e.cond_slot(0).is_none());
+    }
+
+    #[test]
+    fn disjointness_check() {
+        let ds = Dataset {
+            train: vec![example("t1")],
+            dev: vec![example("t2")],
+            test: vec![example("t3")],
+        };
+        assert!(ds.splits_share_no_tables());
+        let bad = Dataset {
+            train: vec![example("t1")],
+            dev: vec![example("t1")],
+            test: vec![],
+        };
+        assert!(!bad.splits_share_no_tables());
+    }
+}

@@ -1,0 +1,154 @@
+//! Dataset export in a WikiSQL-release-like JSONL format.
+//!
+//! Each line is one record with the question, the table (schema + rows),
+//! the gold SQL (both structured and rendered), and the gold mention
+//! spans — so the synthetic corpora can be inspected, diffed across
+//! seeds, or consumed by external tooling.
+
+use nlidb_sqlir::Query;
+use serde::{Deserialize, Serialize};
+
+use crate::example::{Example, SlotRole};
+
+/// One exported record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExportRecord {
+    /// Example id.
+    pub id: usize,
+    /// Table name (unique per table within a corpus).
+    pub table: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Column types as strings (`text` / `int` / `float`).
+    pub types: Vec<String>,
+    /// Table rows (cell display text).
+    pub rows: Vec<Vec<String>>,
+    /// Question tokens.
+    pub question: Vec<String>,
+    /// Structured gold query.
+    pub sql: Query,
+    /// Rendered gold SQL.
+    pub sql_text: String,
+    /// Gold slots: (role, column, col_span, value, val_span).
+    pub slots: Vec<ExportSlot>,
+    /// WikiSQL-sketch compatibility flag.
+    pub sketch_compatible: bool,
+}
+
+/// One exported gold slot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExportSlot {
+    /// `"select"` or `"cond<i>"`.
+    pub role: String,
+    /// Schema column index.
+    pub column: usize,
+    /// Column mention span, if explicit.
+    pub col_span: Option<(usize, usize)>,
+    /// Value text, if any.
+    pub value: Option<String>,
+    /// Value mention span, if any.
+    pub val_span: Option<(usize, usize)>,
+}
+
+fn record(e: &Example) -> ExportRecord {
+    ExportRecord {
+        id: e.id,
+        table: e.table.name.clone(),
+        columns: e.table.column_names(),
+        types: e
+            .table
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| format!("{:?}", c.dtype).to_lowercase())
+            .collect(),
+        rows: (0..e.table.num_rows())
+            .map(|r| {
+                (0..e.table.num_cols()).map(|c| e.table.cell(r, c).to_string()).collect()
+            })
+            .collect(),
+        question: e.question.clone(),
+        sql: e.query.clone(),
+        sql_text: e.sql_text(),
+        slots: e
+            .slots
+            .iter()
+            .map(|s| ExportSlot {
+                role: match s.role {
+                    SlotRole::Select => "select".to_string(),
+                    SlotRole::Cond(i) => format!("cond{i}"),
+                },
+                column: s.column,
+                col_span: s.col_span,
+                value: s.value.clone(),
+                val_span: s.val_span,
+            })
+            .collect(),
+        sketch_compatible: e.sketch_compatible,
+    }
+}
+
+/// Serializes examples to JSONL (one record per line).
+pub fn to_jsonl(examples: &[Example]) -> String {
+    let mut out = String::new();
+    for e in examples {
+        out.push_str(&serde_json::to_string(&record(e)).expect("export serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses records back from JSONL (for diffing/inspection round trips;
+/// does not rebuild `Example` — tables are kept as raw rows).
+pub fn from_jsonl(jsonl: &str) -> Result<Vec<ExportRecord>, serde_json::Error> {
+    jsonl
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wikisql::{generate, WikiSqlConfig};
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let ds = generate(&WikiSqlConfig::tiny(3));
+        let jsonl = to_jsonl(&ds.dev);
+        let records = from_jsonl(&jsonl).expect("parses");
+        assert_eq!(records.len(), ds.dev.len());
+        for (r, e) in records.iter().zip(&ds.dev) {
+            assert_eq!(r.question, e.question);
+            assert_eq!(r.sql_text, e.sql_text());
+            assert_eq!(r.columns.len(), r.types.len());
+            assert_eq!(r.slots.len(), e.slots.len());
+            assert!(!r.rows.is_empty());
+        }
+    }
+
+    #[test]
+    fn select_slot_is_labeled() {
+        let ds = generate(&WikiSqlConfig::tiny(4));
+        let records = from_jsonl(&to_jsonl(&ds.train[..3])).unwrap();
+        for r in &records {
+            assert!(r.slots.iter().any(|s| s.role == "select"));
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert_eq!(to_jsonl(&[]), "");
+        assert!(from_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn structured_sql_matches_rendered() {
+        let ds = generate(&WikiSqlConfig::tiny(5));
+        let records = from_jsonl(&to_jsonl(&ds.test)).unwrap();
+        for r in &records {
+            assert_eq!(r.sql.to_sql(&r.columns), r.sql_text);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # nlidb-data
+//!
+//! Synthetic corpus generators standing in for the paper's datasets (see
+//! DESIGN.md §1 for the substitution rationale):
+//!
+//! - [`wikisql`] — WikiSQL-shaped multi-domain corpus with non-shared
+//!   tables across splits and all five §III question-understanding
+//!   challenges as rate-controlled noise channels.
+//! - [`overnight`] — five OVERNIGHT-style sub-domains with distinct
+//!   vocabularies and question styles for the zero-shot transfer
+//!   evaluation (Table IV(a)).
+//! - [`paraphrase`] — ParaphraseBench-style six-way linguistic-variation
+//!   benchmark (Table IV(b)).
+//! - [`domains`] / [`values`] — the domain archetype library and typed
+//!   value generators they share.
+//! - [`example`] — the [`example::Example`] record with gold mention-span
+//!   annotations used to train and evaluate mention detection.
+//! - [`question`] — the span-tracking question realization engine.
+//!
+//! Every corpus is a pure function of a `u64` seed.
+
+#![warn(missing_docs)]
+
+pub mod domains;
+pub mod example;
+pub mod export;
+pub mod overnight;
+pub mod paraphrase;
+pub mod question;
+pub mod stats;
+pub mod values;
+pub mod wikisql;
+
+pub use example::{Dataset, Example, GoldSlot, SlotRole};
+pub use question::NoiseConfig;
+pub use export::{from_jsonl, to_jsonl, ExportRecord};
+pub use stats::{corpus_stats, CorpusStats};
+pub use wikisql::{GenTable, WikiSqlConfig};

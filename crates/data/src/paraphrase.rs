@@ -1,0 +1,353 @@
+//! ParaphraseBench-style robustness benchmark (§VII-B2, Table IV(b)).
+//!
+//! A fixed patient table (as in DBPal's benchmark) with six linguistic
+//! variant categories per base question. Categories are engineered to
+//! reproduce the paper's difficulty ordering: NAIVE and SYNTACTIC keep the
+//! column's surface word (easy), MORPHOLOGICAL inflects it (char-level
+//! similarity still works), LEXICAL swaps in rare synonyms outside the
+//! embedding lexicon, SEMANTIC replaces the mention with an unseen
+//! paraphrase, and MISSING removes the signal entirely.
+
+use std::sync::Arc;
+
+use nlidb_sqlir::{CmpOp, Literal, Query};
+use nlidb_storage::{Column, DataType, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::example::{Example, GoldSlot, SlotRole};
+use crate::values::ValueKind;
+
+/// The six linguistic variant categories, in Table IV(b) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParaCategory {
+    /// Direct column-name phrasing.
+    Naive,
+    /// Clause-reordered phrasing.
+    Syntactic,
+    /// Rare single-word synonyms.
+    Lexical,
+    /// Inflected column words.
+    Morphological,
+    /// Full paraphrases that avoid the column vocabulary.
+    Semantic,
+    /// No column signal at all.
+    Missing,
+}
+
+impl ParaCategory {
+    /// All categories in paper order.
+    pub const ALL: [ParaCategory; 6] = [
+        ParaCategory::Naive,
+        ParaCategory::Syntactic,
+        ParaCategory::Lexical,
+        ParaCategory::Morphological,
+        ParaCategory::Semantic,
+        ParaCategory::Missing,
+    ];
+
+    /// Display name matching the paper's table.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParaCategory::Naive => "NAIVE",
+            ParaCategory::Syntactic => "SYNTACTIC",
+            ParaCategory::Lexical => "LEXICAL",
+            ParaCategory::Morphological => "MORPHOLOGICAL",
+            ParaCategory::Semantic => "SEMANTIC",
+            ParaCategory::Missing => "MISSING",
+        }
+    }
+}
+
+/// Question templates for one queried column. `{name}` is replaced by the
+/// patient's name; `«...»` delimits the column-mention span.
+struct ColTemplates {
+    /// Index of the queried column in the patient schema.
+    col: usize,
+    naive: &'static str,
+    syntactic: &'static str,
+    lexical: &'static str,
+    morphological: &'static str,
+    semantic: &'static str,
+}
+
+/// Patient schema: Name, Age, Disease, Doctor, City, Length of Stay.
+const TEMPLATES: &[ColTemplates] = &[
+    ColTemplates {
+        col: 1, // Age
+        naive: "what is the «age» of patient {name} ?",
+        syntactic: "of patient {name} what is the «age» ?",
+        lexical: "what is the «maturity» of patient {name} ?",
+        morphological: "what is the «aging» of patient {name} ?",
+        semantic: "«what year of life is» patient {name} in ?",
+        // accuracy note: "how old" would hit the lexicon; use an unseen phrase
+    },
+    ColTemplates {
+        col: 2, // Disease
+        naive: "what is the «disease» of patient {name} ?",
+        syntactic: "for patient {name} show the «disease» ?",
+        lexical: "what is the «ailment» of patient {name} ?",
+        morphological: "what are the «diseases» of patient {name} ?",
+        semantic: "«what is» patient {name} «suffering from» ?",
+    },
+    ColTemplates {
+        col: 3, // Doctor
+        naive: "who is the «doctor» of patient {name} ?",
+        syntactic: "patient {name} has which «doctor» ?",
+        lexical: "who is the «medic» of patient {name} ?",
+        morphological: "who are the «doctors» of patient {name} ?",
+        semantic: "«who takes care of» patient {name} ?",
+    },
+    ColTemplates {
+        col: 4, // City
+        naive: "what is the «city» of patient {name} ?",
+        syntactic: "in which «city» does patient {name} stay ?",
+        lexical: "what is the «municipality» of patient {name} ?",
+        morphological: "what are the «cities» of patient {name} ?",
+        semantic: "«what are the whereabouts of» patient {name} ?",
+    },
+    ColTemplates {
+        col: 5, // Length of Stay
+        naive: "what is the «length of stay» of patient {name} ?",
+        syntactic: "of patient {name} what is the «length of stay» ?",
+        lexical: "what is the «sojourn» of patient {name} ?",
+        morphological: "what is the «lengthy stay» of patient {name} ?",
+        semantic: "«how many nights did» patient {name} «remain» ?",
+    },
+];
+
+const MISSING_TEMPLATES: &[&str] =
+    &["what about patient {name} ?", "tell me about {name} ?", "patient {name} ?"];
+
+/// Builds the fixed patient table.
+pub fn patient_table(seed: u64, rows: usize) -> Arc<Table> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::new(vec![
+        Column::new("Name", DataType::Text),
+        Column::new("Age", DataType::Int),
+        Column::new("Disease", DataType::Text),
+        Column::new("Doctor", DataType::Text),
+        Column::new("City", DataType::Text),
+        Column::new("Length of Stay", DataType::Int),
+    ]);
+    let mut table = Table::new("patients", schema);
+    let mut seen = std::collections::HashSet::new();
+    while table.num_rows() < rows {
+        let name = ValueKind::PersonName.generate(&mut rng);
+        if !seen.insert(name.canonical_text()) {
+            continue;
+        }
+        table.push_row(vec![
+            name,
+            Value::Int(rng.gen_range(1..=95)),
+            ValueKind::Disease.generate(&mut rng),
+            ValueKind::PersonName.generate(&mut rng),
+            ValueKind::Place.generate(&mut rng),
+            Value::Int(rng.gen_range(1..=40)),
+        ]);
+    }
+    Arc::new(table)
+}
+
+/// Rendered template: tokens, optional column-mention span, value span.
+type Rendered = (Vec<String>, Option<(usize, usize)>, (usize, usize));
+
+/// Renders a marker template into tokens + spans.
+fn render(template: &str, name: &str) -> Rendered {
+    let mut toks: Vec<String> = Vec::new();
+    let mut col_span: Option<(usize, usize)> = None;
+    let mut val_span = (0, 0);
+    let mut col_start: Option<usize> = None;
+    let mut rest = template;
+    while !rest.is_empty() {
+        if let Some(stripped) = rest.strip_prefix('«') {
+            col_start = Some(toks.len());
+            rest = stripped;
+        } else if let Some(stripped) = rest.strip_prefix('»') {
+            let start = col_start.take().expect("unbalanced column marker");
+            // Merge multi-segment mentions into one covering span.
+            col_span = Some(match col_span {
+                None => (start, toks.len()),
+                Some((a, _)) => (a, toks.len()),
+            });
+            rest = stripped;
+        } else if let Some(stripped) = rest.strip_prefix("{name}") {
+            let a = toks.len();
+            toks.extend(nlidb_text::tokenize(name));
+            val_span = (a, toks.len());
+            rest = stripped;
+        } else {
+            let next = rest
+                .char_indices()
+                .find(|(_, c)| *c == '«' || *c == '»' || *c == '{')
+                .map(|(i, _)| i)
+                .unwrap_or(rest.len());
+            let (lit, tail) = rest.split_at(next.max(1));
+            toks.extend(nlidb_text::tokenize(lit));
+            rest = tail;
+        }
+    }
+    (toks, col_span, val_span)
+}
+
+/// The generated benchmark: the table plus categorized examples.
+#[derive(Debug, Clone)]
+pub struct ParaphraseBench {
+    /// The shared patient table.
+    pub table: Arc<Table>,
+    /// `(category, example)` records.
+    pub records: Vec<(ParaCategory, Example)>,
+}
+
+/// Generates the benchmark: for each category, `per_category` questions
+/// uniformly covering the queried columns and patients.
+pub fn generate(seed: u64, per_category: usize) -> ParaphraseBench {
+    let table = patient_table(seed, 12);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut records = Vec::new();
+    let mut next_id = 0;
+    for cat in ParaCategory::ALL {
+        for k in 0..per_category {
+            let t = &TEMPLATES[k % TEMPLATES.len()];
+            let row = rng.gen_range(0..table.num_rows());
+            let name = table.cell(row, 0).to_string().to_lowercase();
+            let template = match cat {
+                ParaCategory::Naive => t.naive,
+                ParaCategory::Syntactic => t.syntactic,
+                ParaCategory::Lexical => t.lexical,
+                ParaCategory::Morphological => t.morphological,
+                ParaCategory::Semantic => t.semantic,
+                ParaCategory::Missing => MISSING_TEMPLATES[k % MISSING_TEMPLATES.len()],
+            };
+            let (question, col_span, val_span) = render(template, &name);
+            let query = Query::select(t.col).and_where(
+                0,
+                CmpOp::Eq,
+                Literal::Text(name.clone()),
+            );
+            let slots = vec![
+                GoldSlot {
+                    role: SlotRole::Select,
+                    column: t.col,
+                    col_span,
+                    value: None,
+                    val_span: None,
+                },
+                GoldSlot {
+                    role: SlotRole::Cond(0),
+                    column: 0,
+                    col_span: None,
+                    value: Some(name.clone()),
+                    val_span: Some(val_span),
+                },
+            ];
+            records.push((
+                cat,
+                Example {
+                    id: next_id,
+                    question,
+                    table: Arc::clone(&table),
+                    query,
+                    slots,
+                    sketch_compatible: true,
+                },
+            ));
+            next_id += 1;
+        }
+    }
+    ParaphraseBench { table, records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_categories_with_requested_counts() {
+        let bench = generate(1, 10);
+        for cat in ParaCategory::ALL {
+            let n = bench.records.iter().filter(|(c, _)| *c == cat).count();
+            assert_eq!(n, 10, "{}", cat.name());
+        }
+    }
+
+    #[test]
+    fn value_spans_cover_the_patient_name() {
+        let bench = generate(2, 15);
+        for (_, e) in &bench.records {
+            let slot = e.cond_slot(0).unwrap();
+            let (a, b) = slot.val_span.unwrap();
+            assert_eq!(
+                e.question[a..b].join(" "),
+                slot.value.clone().unwrap(),
+                "bad span in {:?}",
+                e.question_text()
+            );
+        }
+    }
+
+    #[test]
+    fn naive_mentions_schema_word_and_missing_does_not() {
+        let bench = generate(3, 10);
+        for (cat, e) in &bench.records {
+            let sel = e.select_slot().unwrap();
+            match cat {
+                ParaCategory::Naive | ParaCategory::Syntactic => {
+                    assert!(sel.col_span.is_some(), "{:?}", e.question_text());
+                    let (a, b) = sel.col_span.unwrap();
+                    let mention = e.question[a..b].join(" ");
+                    let col_name =
+                        e.table.schema().column(sel.column).name.to_lowercase();
+                    assert_eq!(mention, col_name, "{}", e.question_text());
+                }
+                ParaCategory::Missing => {
+                    assert!(sel.col_span.is_none(), "{:?}", e.question_text());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn lexical_words_are_outside_the_lexicon_clusters() {
+        let lex = nlidb_text::Lexicon::builtin();
+        for rare in ["maturity", "ailment", "medic", "sojourn"] {
+            assert!(
+                lex.group_of(rare).is_none(),
+                "{rare} unexpectedly in lexicon — lexical category would be easy"
+            );
+        }
+    }
+
+    #[test]
+    fn queries_execute_against_the_table() {
+        let bench = generate(4, 10);
+        for (_, e) in &bench.records {
+            let res = nlidb_storage::execute(&e.table, &e.query);
+            assert!(res.is_ok());
+            // Condition is on a real patient name, so results are non-empty.
+            assert!(!res.unwrap().values.is_empty(), "{}", e.sql_text());
+        }
+    }
+
+    #[test]
+    fn patients_have_unique_names() {
+        let t = patient_table(5, 12);
+        let mut names: Vec<String> =
+            t.column_values(0).iter().map(|v| v.canonical_text()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate(6, 5);
+        let b = generate(6, 5);
+        for ((ca, ea), (cb, eb)) in a.records.iter().zip(&b.records) {
+            assert_eq!(ca, cb);
+            assert_eq!(ea.question, eb.question);
+        }
+    }
+}

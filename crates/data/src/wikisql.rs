@@ -1,0 +1,418 @@
+//! WikiSQL-shaped synthetic corpus generator.
+//!
+//! Mirrors the structural properties of WikiSQL that the paper's claims
+//! rest on: many unrelated domains, tables **not shared** across
+//! train/dev/test, single-table `SELECT agg(col) WHERE ...` queries, and
+//! questions exhibiting all five §III challenges (the counterfactual-value
+//! channel lives here; the surface-noise channels live in
+//! [`crate::question`]).
+
+use std::sync::Arc;
+
+use nlidb_sqlir::{Agg, CmpOp, Cond, Literal, Query};
+use nlidb_storage::{Column, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::domains::{ColumnArchetype, Domain, DOMAINS};
+use crate::example::{Dataset, Example};
+use crate::question::{realize_question, NoiseConfig};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct WikiSqlConfig {
+    /// Master seed; the whole corpus is a pure function of it.
+    pub seed: u64,
+    /// Tables in the train split.
+    pub train_tables: usize,
+    /// Tables in the dev split.
+    pub dev_tables: usize,
+    /// Tables in the test split.
+    pub test_tables: usize,
+    /// Questions generated per table.
+    pub questions_per_table: usize,
+    /// Row-count range per table.
+    pub rows: (usize, usize),
+    /// Probability that a condition value is counterfactual (not in the
+    /// table) — §III challenge 4.
+    pub counterfactual_rate: f32,
+    /// Surface-noise channel rates.
+    pub noise: NoiseConfig,
+}
+
+impl Default for WikiSqlConfig {
+    fn default() -> Self {
+        WikiSqlConfig {
+            seed: 42,
+            train_tables: 60,
+            dev_tables: 15,
+            test_tables: 15,
+            questions_per_table: 20,
+            rows: (4, 9),
+            counterfactual_rate: 0.15,
+            noise: NoiseConfig::default(),
+        }
+    }
+}
+
+impl WikiSqlConfig {
+    /// A tiny configuration for fast unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        WikiSqlConfig {
+            seed,
+            train_tables: 6,
+            dev_tables: 2,
+            test_tables: 2,
+            questions_per_table: 6,
+            ..WikiSqlConfig::default()
+        }
+    }
+}
+
+/// A generated table together with its column archetypes (needed by the
+/// question realizer for surface forms).
+#[derive(Debug, Clone)]
+pub struct GenTable {
+    /// The concrete table.
+    pub table: Arc<Table>,
+    /// Archetype per schema column.
+    pub archetypes: Vec<ColumnArchetype>,
+}
+
+/// Samples one concrete table from a random built-in domain.
+pub fn gen_table(name: &str, rng: &mut StdRng, rows: (usize, usize)) -> GenTable {
+    let domain = &DOMAINS[rng.gen_range(0..DOMAINS.len())];
+    gen_table_from_domain(domain, name, rng, rows)
+}
+
+/// Samples one concrete table from a specific domain archetype.
+pub fn gen_table_from_domain(
+    domain: &Domain,
+    name: &str,
+    rng: &mut StdRng,
+    rows: (usize, usize),
+) -> GenTable {
+    // Entity column plus a random subset of the others, preserving order.
+    let mut chosen: Vec<ColumnArchetype> = vec![domain.columns[0]];
+    let extra: Vec<ColumnArchetype> = domain.columns[1..]
+        .iter()
+        .filter(|_| rng.gen::<f32>() < 0.8)
+        .copied()
+        .collect();
+    chosen.extend(extra);
+    if chosen.len() < 3 {
+        chosen.extend(domain.columns[1..].iter().take(3 - chosen.len()).copied());
+    }
+    // Schema names: sample a variant per archetype, de-duplicated.
+    let mut used = std::collections::HashSet::new();
+    let mut columns = Vec::with_capacity(chosen.len());
+    for arch in &chosen {
+        let mut name_choice =
+            arch.names[rng.gen_range(0..arch.names.len())].to_string();
+        if !used.insert(name_choice.to_lowercase()) {
+            name_choice = arch
+                .names
+                .iter()
+                .map(|n| n.to_string())
+                .find(|n| !used.contains(&n.to_lowercase()))
+                .unwrap_or(format!("{name_choice} 2"));
+            used.insert(name_choice.to_lowercase());
+        }
+        columns.push(Column::new(name_choice, arch.kind.dtype()));
+    }
+    let schema = Schema::new(columns);
+    let mut table = Table::new(name, schema);
+    let n_rows = rng.gen_range(rows.0..=rows.1);
+    for _ in 0..n_rows {
+        let row: Vec<Value> = chosen.iter().map(|a| a.kind.generate(rng)).collect();
+        table.push_row(row);
+    }
+    GenTable { table: Arc::new(table), archetypes: chosen }
+}
+
+fn pick_agg(rng: &mut StdRng) -> Agg {
+    let r: f32 = rng.gen();
+    if r < 0.68 {
+        Agg::None
+    } else if r < 0.80 {
+        Agg::Count
+    } else if r < 0.87 {
+        Agg::Max
+    } else if r < 0.94 {
+        Agg::Min
+    } else if r < 0.97 {
+        Agg::Sum
+    } else {
+        Agg::Avg
+    }
+}
+
+fn numeric_cols(gt: &GenTable) -> Vec<usize> {
+    (0..gt.table.num_cols())
+        .filter(|&c| gt.table.schema().column(c).dtype.is_numeric())
+        .collect()
+}
+
+/// Samples one query against a generated table.
+pub fn gen_query(gt: &GenTable, counterfactual_rate: f32, rng: &mut StdRng) -> Query {
+    let ncols = gt.table.num_cols();
+    let mut agg = pick_agg(rng);
+    let numeric = numeric_cols(gt);
+    let select_col = match agg {
+        Agg::Max | Agg::Min | Agg::Sum | Agg::Avg => {
+            if numeric.is_empty() {
+                agg = Agg::None;
+                rng.gen_range(0..ncols)
+            } else {
+                numeric[rng.gen_range(0..numeric.len())]
+            }
+        }
+        _ => rng.gen_range(0..ncols),
+    };
+    let n_conds = {
+        let r: f32 = rng.gen();
+        if r < 0.10 {
+            0
+        } else if r < 0.60 {
+            1
+        } else if r < 0.92 {
+            2
+        } else {
+            3
+        }
+    };
+    // With no conditions a plain projection is trivial; prefer aggregates.
+    if n_conds == 0 && agg == Agg::None {
+        agg = Agg::Count;
+    }
+    let mut cond_cols: Vec<usize> = (0..ncols).filter(|&c| c != select_col).collect();
+    // Shuffle by repeated swaps (avoids pulling in the shuffle trait).
+    for i in (1..cond_cols.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        cond_cols.swap(i, j);
+    }
+    cond_cols.truncate(n_conds.min(cond_cols.len()));
+    let mut conds = Vec::with_capacity(cond_cols.len());
+    for col in cond_cols {
+        let dtype = gt.table.schema().column(col).dtype;
+        let op = if dtype.is_numeric() {
+            match rng.gen_range(0..10) {
+                0..=4 => CmpOp::Eq,
+                5 => CmpOp::Gt,
+                6 => CmpOp::Lt,
+                7 => CmpOp::Ge,
+                8 => CmpOp::Le,
+                _ => CmpOp::Ne,
+            }
+        } else {
+            CmpOp::Eq
+        };
+        let existing = gt.table.column_values(col);
+        let value = if rng.gen::<f32>() < counterfactual_rate {
+            gt.archetypes[col].kind.generate_counterfactual(rng, existing)
+        } else {
+            existing[rng.gen_range(0..existing.len())].clone()
+        };
+        let lit = match value {
+            Value::Int(i) => Literal::Number(i as f64),
+            Value::Float(f) => Literal::Number(f),
+            Value::Text(t) => Literal::Text(t),
+            Value::Null => Literal::Text(String::new()),
+        };
+        conds.push(Cond { col, op, value: lit });
+    }
+    Query { agg, select_col, conds }
+}
+
+fn gen_split(
+    prefix: &str,
+    n_tables: usize,
+    cfg: &WikiSqlConfig,
+    rng: &mut StdRng,
+    next_id: &mut usize,
+) -> Vec<Example> {
+    let mut examples = Vec::with_capacity(n_tables * cfg.questions_per_table);
+    for t in 0..n_tables {
+        let gt = gen_table(&format!("{prefix}_table_{t}"), rng, cfg.rows);
+        let names = gt.table.column_names();
+        for _ in 0..cfg.questions_per_table {
+            let query = gen_query(&gt, cfg.counterfactual_rate, rng);
+            let (question, slots) =
+                realize_question(&gt.archetypes, &names, &query, &cfg.noise, rng);
+            examples.push(Example {
+                id: *next_id,
+                question,
+                table: Arc::clone(&gt.table),
+                query,
+                slots,
+                sketch_compatible: true,
+            });
+            *next_id += 1;
+        }
+    }
+    examples
+}
+
+/// Generates the full dataset.
+pub fn generate(cfg: &WikiSqlConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut next_id = 0;
+    let train = gen_split("train", cfg.train_tables, cfg, &mut rng, &mut next_id);
+    let dev = gen_split("dev", cfg.dev_tables, cfg, &mut rng, &mut next_id);
+    let test = gen_split("test", cfg.test_tables, cfg, &mut rng, &mut next_id);
+    Dataset { train, dev, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_storage::execute;
+
+    fn tiny() -> Dataset {
+        generate(&WikiSqlConfig::tiny(7))
+    }
+
+    #[test]
+    fn splits_have_expected_sizes_and_disjoint_tables() {
+        let ds = tiny();
+        assert_eq!(ds.train.len(), 6 * 6);
+        assert_eq!(ds.dev.len(), 2 * 6);
+        assert_eq!(ds.test.len(), 2 * 6);
+        assert!(ds.splits_share_no_tables());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&WikiSqlConfig::tiny(9));
+        let b = generate(&WikiSqlConfig::tiny(9));
+        for (x, y) in a.train.iter().zip(&b.train) {
+            assert_eq!(x.question, y.question);
+            assert_eq!(x.query, y.query);
+        }
+        let c = generate(&WikiSqlConfig::tiny(10));
+        assert!(
+            a.train.iter().zip(&c.train).any(|(x, y)| x.question != y.question),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn queries_reference_valid_columns() {
+        let ds = tiny();
+        for e in ds.train.iter().chain(&ds.dev).chain(&ds.test) {
+            assert!(e.query.select_col < e.table.num_cols(), "{}", e.sql_text());
+            for c in &e.query.conds {
+                assert!(c.col < e.table.num_cols());
+            }
+        }
+    }
+
+    #[test]
+    fn queries_execute_without_schema_errors() {
+        let ds = tiny();
+        for e in ds.train.iter().take(30) {
+            let res = execute(&e.table, &e.query);
+            assert!(res.is_ok(), "{} failed: {res:?}", e.sql_text());
+        }
+    }
+
+    #[test]
+    fn gold_value_spans_match_question_tokens() {
+        let ds = tiny();
+        for e in ds.train.iter() {
+            for s in &e.slots {
+                if let (Some(v), Some((a, b))) = (&s.value, s.val_span) {
+                    assert_eq!(
+                        &e.question[a..b],
+                        nlidb_text::tokenize(v).as_slice(),
+                        "span mismatch in {:?}",
+                        e.question_text()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_aggregates_only_on_numeric_columns() {
+        let ds = tiny();
+        for e in ds.train.iter().chain(&ds.dev).chain(&ds.test) {
+            if matches!(e.query.agg, Agg::Max | Agg::Min | Agg::Sum | Agg::Avg) {
+                assert!(
+                    e.table.schema().column(e.query.select_col).dtype.is_numeric(),
+                    "numeric agg over text column: {}",
+                    e.sql_text()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counterfactual_rate_produces_out_of_table_values() {
+        let mut cfg = WikiSqlConfig::tiny(11);
+        cfg.counterfactual_rate = 1.0;
+        let ds = generate(&cfg);
+        let mut counterfactual = 0;
+        let mut total = 0;
+        for e in &ds.train {
+            for c in &e.query.conds {
+                total += 1;
+                let canon = c.value.canonical_text();
+                let in_table = e
+                    .table
+                    .column_values(c.col)
+                    .iter()
+                    .any(|v| v.canonical_text() == canon);
+                if !in_table {
+                    counterfactual += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert_eq!(counterfactual, total, "all values should be counterfactual");
+    }
+
+    #[test]
+    fn zero_counterfactual_rate_keeps_values_in_table() {
+        let mut cfg = WikiSqlConfig::tiny(12);
+        cfg.counterfactual_rate = 0.0;
+        let ds = generate(&cfg);
+        for e in &ds.train {
+            for c in &e.query.conds {
+                let canon = c.value.canonical_text();
+                assert!(
+                    e.table
+                        .column_values(c.col)
+                        .iter()
+                        .any(|v| v.canonical_text() == canon),
+                    "non-counterfactual value missing from table: {} in {}",
+                    canon,
+                    e.sql_text()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schema_names_are_unique_within_table() {
+        let ds = tiny();
+        for e in &ds.train {
+            let names = e.table.column_names();
+            let mut lower: Vec<String> = names.iter().map(|n| n.to_lowercase()).collect();
+            lower.sort();
+            let before = lower.len();
+            lower.dedup();
+            assert_eq!(lower.len(), before, "duplicate columns in {names:?}");
+        }
+    }
+
+    #[test]
+    fn no_cond_queries_carry_aggregates() {
+        let ds = tiny();
+        for e in &ds.train {
+            if e.query.conds.is_empty() {
+                assert_ne!(e.query.agg, Agg::None, "trivial full-column projection");
+            }
+        }
+    }
+}

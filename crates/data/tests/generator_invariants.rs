@@ -1,0 +1,106 @@
+//! Property tests over the corpus generators: every seed must yield
+//! structurally valid, annotatable, executable examples.
+
+use proptest::prelude::*;
+
+use nlidb_data::overnight::{generate as gen_overnight, OvernightConfig};
+use nlidb_data::paraphrase::{generate as gen_paraphrase, ParaCategory};
+use nlidb_data::wikisql::{generate, WikiSqlConfig};
+use nlidb_data::NoiseConfig;
+use nlidb_storage::execute;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn wikisql_examples_are_well_formed(seed in 0u64..10_000) {
+        let mut cfg = WikiSqlConfig::tiny(seed);
+        cfg.train_tables = 2;
+        cfg.dev_tables = 1;
+        cfg.test_tables = 1;
+        cfg.questions_per_table = 4;
+        let ds = generate(&cfg);
+        prop_assert!(ds.splits_share_no_tables());
+        for e in ds.train.iter().chain(&ds.dev).chain(&ds.test) {
+            // Questions end with a question mark and are non-empty.
+            prop_assert!(!e.question.is_empty());
+            prop_assert_eq!(e.question.last().unwrap().as_str(), "?");
+            // Columns valid and execution defined.
+            prop_assert!(e.query.select_col < e.table.num_cols());
+            prop_assert!(execute(&e.table, &e.query).is_ok(), "{}", e.sql_text());
+            // Spans in bounds and non-empty.
+            for s in &e.slots {
+                for span in [s.col_span, s.val_span].into_iter().flatten() {
+                    prop_assert!(span.0 < span.1);
+                    prop_assert!(span.1 <= e.question.len());
+                }
+            }
+            // Every condition has a gold slot with its value.
+            for (ci, c) in e.query.conds.iter().enumerate() {
+                let slot = e.cond_slot(ci).expect("cond slot");
+                let v = slot.value.as_ref().expect("cond value");
+                prop_assert_eq!(
+                    nlidb_sqlir::Literal::parse(v).canonical_text(),
+                    c.value.canonical_text()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_noise_rates_never_break_realization(
+        seed in 0u64..2_000,
+        synonym in 0.0f32..1.0,
+        paraphrase in 0.0f32..1.0,
+        implicit in 0.0f32..1.0,
+        morph in 0.0f32..1.0,
+        inverted in 0.0f32..1.0,
+    ) {
+        let mut cfg = WikiSqlConfig::tiny(seed);
+        cfg.train_tables = 1;
+        cfg.dev_tables = 1;
+        cfg.test_tables = 1;
+        cfg.questions_per_table = 3;
+        cfg.noise = NoiseConfig {
+            synonym_rate: synonym,
+            paraphrase_rate: paraphrase,
+            implicit_rate: implicit,
+            morph_rate: morph,
+            inverted_rate: inverted,
+        };
+        let ds = generate(&cfg);
+        for e in &ds.train {
+            prop_assert!(!e.question.is_empty());
+            for s in &e.slots {
+                if let (Some(v), Some((a, b))) = (&s.value, s.val_span) {
+                    let toks = nlidb_text::tokenize(v);
+                    prop_assert_eq!(&e.question[a..b], toks.as_slice());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overnight_seeds_are_valid(seed in 0u64..2_000) {
+        let data = gen_overnight(&OvernightConfig::tiny(seed));
+        prop_assert_eq!(data.domains.len(), 5);
+        for (_, ds) in &data.domains {
+            for e in ds.train.iter().chain(&ds.test) {
+                prop_assert!(execute(&e.table, &e.query).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn paraphrase_bench_seeds_are_valid(seed in 0u64..2_000) {
+        let bench = gen_paraphrase(seed, 6);
+        prop_assert_eq!(bench.records.len(), 36);
+        for cat in ParaCategory::ALL {
+            prop_assert!(bench.records.iter().any(|(c, _)| *c == cat));
+        }
+        for (_, e) in &bench.records {
+            let rs = execute(&e.table, &e.query).expect("executes");
+            prop_assert!(!rs.values.is_empty(), "{}", e.sql_text());
+        }
+    }
+}

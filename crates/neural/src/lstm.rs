@@ -1,0 +1,334 @@
+//! LSTM cells and (bi-directional, stacked) sequence models (§IV-B(ii)).
+//!
+//! The paper stacks multi-layer LSTMs on top of the word embedder, with an
+//! affine transformation `L^l(x) = W_0^l x + b_0^l` before each layer to
+//! keep dimensions consistent; [`Lstm`] reproduces that structure.
+
+use nlidb_tensor::{Graph, NodeId, ParamId, ParamStore, Tensor};
+use rand::rngs::StdRng;
+
+use crate::linear::Linear;
+
+/// A single LSTM cell with separate gate weight matrices.
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    // Gate order: input, forget, output, candidate.
+    wx: [ParamId; 4],
+    wh: [ParamId; 4],
+    b: [ParamId; 4],
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Creates a cell mapping `[1, in_dim]` inputs to `[1, hidden]` states.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let gate = |store: &mut ParamStore, name: &str, rng: &mut StdRng| {
+            (
+                store.add(format!("{prefix}.{name}.wx"), Tensor::xavier(in_dim, hidden, rng)),
+                store.add(format!("{prefix}.{name}.wh"), Tensor::xavier(hidden, hidden, rng)),
+                store.add(format!("{prefix}.{name}.b"), Tensor::zeros(1, hidden)),
+            )
+        };
+        let (ix, ih, ib) = gate(store, "i", rng);
+        let (fx, fh, fb) = gate(store, "f", rng);
+        let (ox, oh, ob) = gate(store, "o", rng);
+        let (gx, gh, gb) = gate(store, "g", rng);
+        // Forget-gate bias starts at 1.0: standard trick for gradient flow.
+        for v in store.get_mut(fb).data_mut() {
+            *v = 1.0;
+        }
+        LstmCell {
+            wx: [ix, fx, ox, gx],
+            wh: [ih, fh, oh, gh],
+            b: [ib, fb, ob, gb],
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// One step: `(h, C) = LSTM(x, h_prev, C_prev)`.
+    pub fn step(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: NodeId,
+        h_prev: NodeId,
+        c_prev: NodeId,
+    ) -> (NodeId, NodeId) {
+        let gate = |g: &mut Graph, idx: usize| {
+            let wx = g.param(store, self.wx[idx]);
+            let wh = g.param(store, self.wh[idx]);
+            let b = g.param(store, self.b[idx]);
+            let xw = g.matmul(x, wx);
+            let hw = g.matmul(h_prev, wh);
+            let s = g.add(xw, hw);
+            g.add(s, b)
+        };
+        let i_lin = gate(g, 0);
+        let f_lin = gate(g, 1);
+        let o_lin = gate(g, 2);
+        let c_lin = gate(g, 3);
+        let i = g.sigmoid(i_lin);
+        let f = g.sigmoid(f_lin);
+        let o = g.sigmoid(o_lin);
+        let cand = g.tanh(c_lin);
+        let keep = g.mul(f, c_prev);
+        let write = g.mul(i, cand);
+        let c = g.add(keep, write);
+        let c_act = g.tanh(c);
+        let h = g.mul(o, c_act);
+        (h, c)
+    }
+
+    /// Zero initial `(h, C)` state.
+    pub fn zero_state(&self, g: &mut Graph) -> (NodeId, NodeId) {
+        let h = g.leaf(Tensor::zeros(1, self.hidden));
+        let c = g.leaf(Tensor::zeros(1, self.hidden));
+        (h, c)
+    }
+}
+
+/// Runs a cell over a `[n, d]` sequence node, returning all hidden states
+/// stacked as `[n, hidden]`. `reverse` runs right-to-left (states are
+/// returned in *input* order either way).
+pub fn run_lstm(
+    g: &mut Graph,
+    store: &ParamStore,
+    cell: &LstmCell,
+    xs: NodeId,
+    reverse: bool,
+) -> NodeId {
+    let n = g.value(xs).rows();
+    assert!(n > 0, "empty sequence");
+    let (mut h, mut c) = cell.zero_state(g);
+    let mut states: Vec<NodeId> = Vec::with_capacity(n);
+    let order: Vec<usize> = if reverse { (0..n).rev().collect() } else { (0..n).collect() };
+    for t in order {
+        let x = g.row(xs, t);
+        let (nh, nc) = cell.step(g, store, x, h, c);
+        h = nh;
+        c = nc;
+        states.push(h);
+    }
+    if reverse {
+        states.reverse();
+    }
+    let mut out = states[0];
+    for &s in &states[1..] {
+        out = g.vcat(out, s);
+    }
+    out
+}
+
+/// A stacked, optionally bi-directional LSTM with a per-layer affine
+/// input transform, as in §IV-B(ii).
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    affines: Vec<Linear>,
+    forward_cells: Vec<LstmCell>,
+    backward_cells: Vec<LstmCell>,
+    hidden: usize,
+    bidirectional: bool,
+}
+
+impl Lstm {
+    /// Builds the model. Each layer: affine to `hidden`, then LSTM cell(s).
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        hidden: usize,
+        layers: usize,
+        bidirectional: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(layers >= 1, "lstm needs at least one layer");
+        let mut affines = Vec::with_capacity(layers);
+        let mut forward_cells = Vec::with_capacity(layers);
+        let mut backward_cells = Vec::new();
+        let layer_out = if bidirectional { 2 * hidden } else { hidden };
+        for l in 0..layers {
+            let d_in = if l == 0 { in_dim } else { layer_out };
+            affines.push(Linear::new(store, &format!("{prefix}.aff{l}"), d_in, hidden, rng));
+            forward_cells.push(LstmCell::new(
+                store,
+                &format!("{prefix}.fwd{l}"),
+                hidden,
+                hidden,
+                rng,
+            ));
+            if bidirectional {
+                backward_cells.push(LstmCell::new(
+                    store,
+                    &format!("{prefix}.bwd{l}"),
+                    hidden,
+                    hidden,
+                    rng,
+                ));
+            }
+        }
+        Lstm { affines, forward_cells, backward_cells, hidden, bidirectional }
+    }
+
+    /// Width of each output state row.
+    pub fn out_dim(&self) -> usize {
+        if self.bidirectional {
+            2 * self.hidden
+        } else {
+            self.hidden
+        }
+    }
+
+    /// Runs the full stack over `[n, in_dim]`, returning `[n, out_dim]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, xs: NodeId) -> NodeId {
+        let mut h = xs;
+        for (l, affine) in self.affines.iter().enumerate() {
+            let projected = affine.forward(g, store, h);
+            let fwd = run_lstm(g, store, &self.forward_cells[l], projected, false);
+            h = if self.bidirectional {
+                let bwd = run_lstm(g, store, &self.backward_cells[l], projected, true);
+                g.hcat(fwd, bwd)
+            } else {
+                fwd
+            };
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_tensor::optim::Adam;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn cell_step_shapes() {
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "c", 4, 6, &mut rng());
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(1, 4));
+        let (h0, c0) = cell.zero_state(&mut g);
+        let (h, c) = cell.step(&mut g, &store, x, h0, c0);
+        assert_eq!(g.value(h).shape(), (1, 6));
+        assert_eq!(g.value(c).shape(), (1, 6));
+    }
+
+    #[test]
+    fn run_lstm_preserves_input_order_when_reversed() {
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "c", 2, 3, &mut rng());
+        let mut g = Graph::new();
+        let xs = g.leaf(Tensor::from_vec(4, 2, vec![1.0; 8]));
+        let fwd = run_lstm(&mut g, &store, &cell, xs, false);
+        let bwd = run_lstm(&mut g, &store, &cell, xs, true);
+        assert_eq!(g.value(fwd).shape(), (4, 3));
+        assert_eq!(g.value(bwd).shape(), (4, 3));
+        // For constant input, forward states grow over time; the reversed
+        // run's *first returned row* is its last-processed state.
+        assert_eq!(g.value(fwd).row(0), g.value(bwd).row(3));
+    }
+
+    #[test]
+    fn stacked_bilstm_shapes() {
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, "l", 5, 4, 2, true, &mut rng());
+        assert_eq!(lstm.out_dim(), 8);
+        let mut g = Graph::new();
+        let xs = g.leaf(Tensor::zeros(6, 5));
+        let out = lstm.forward(&mut g, &store, xs);
+        assert_eq!(g.value(out).shape(), (6, 8));
+    }
+
+    #[test]
+    fn unidirectional_lstm_is_causal() {
+        // Changing a later input must not change earlier outputs.
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, "l", 2, 3, 1, false, &mut rng());
+        let run = |xs: Tensor, store: &ParamStore| {
+            let mut g = Graph::new();
+            let x = g.leaf(xs);
+            let out = lstm.forward(&mut g, store, x);
+            g.value(out).clone()
+        };
+        let a = run(Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]), &store);
+        let b = run(Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 9.0, -9.0]), &store);
+        assert_eq!(a.row(0), b.row(0));
+        assert_eq!(a.row(1), b.row(1));
+        assert_ne!(a.row(2), b.row(2));
+    }
+
+    #[test]
+    fn bidirectional_lstm_is_not_causal() {
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, "l", 2, 3, 1, true, &mut rng());
+        let run = |xs: Tensor, store: &ParamStore| {
+            let mut g = Graph::new();
+            let x = g.leaf(xs);
+            let out = lstm.forward(&mut g, store, x);
+            g.value(out).clone()
+        };
+        let a = run(Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]), &store);
+        let b = run(Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 9.0, -9.0]), &store);
+        assert_ne!(a.row(0), b.row(0), "backward pass should see later inputs");
+    }
+
+    #[test]
+    fn lstm_learns_sequence_sum_sign() {
+        // Binary task: is the sum of a +-1 sequence positive? Tests that
+        // gradients flow through the recurrent steps.
+        let mut r = rng();
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, "l", 1, 6, 1, false, &mut r);
+        let head = Linear::new(&mut store, "head", 6, 1, &mut r);
+        let mut opt = Adam::new(0.02);
+        use rand::Rng;
+        let mut data = Vec::new();
+        for _ in 0..40 {
+            let seq: Vec<f32> =
+                (0..5).map(|_| if r.gen_bool(0.5) { 1.0 } else { -1.0 }).collect();
+            let label = if seq.iter().sum::<f32>() > 0.0 { 1.0 } else { 0.0 };
+            data.push((seq, label));
+        }
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..60 {
+            let mut total = 0.0;
+            for (seq, label) in &data {
+                let mut g = Graph::new();
+                let xs = g.leaf(Tensor::from_vec(seq.len(), 1, seq.clone()));
+                let states = lstm.forward(&mut g, &store, xs);
+                let last = g.row(states, seq.len() - 1);
+                let logit = head.forward(&mut g, &store, last);
+                let loss = g.bce_with_logits(logit, Tensor::row_vector(&[*label]));
+                total += g.value(loss).scalar();
+                g.backward(loss);
+                let mut grads = g.param_grads();
+                nlidb_tensor::optim::clip_global_norm(&mut grads, 5.0);
+                opt.step(&mut store, &grads);
+            }
+            last_loss = total / data.len() as f32;
+        }
+        assert!(last_loss < 0.3, "sequence task did not converge: {last_loss}");
+    }
+}

@@ -1,0 +1,433 @@
+//! Annotated SQL `s^a` with `c_i`/`v_i`/`g_i` placeholders (§I, §V-A) and
+//! the deterministic recovery step `s^a -> s` (§I step 3, Table III).
+//!
+//! Mention slots are numbered in order of appearance in the question; a
+//! slot may carry a column (explicit column mention), a value (paired value
+//! mention), or both. The SQL side references slots as `c_i`/`v_i` and may
+//! also reference table headers directly as `g_k` (table-header encoding,
+//! §V-A-2), which lets the seq2seq produce multi-token column names that
+//! never appear in the question.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::ast::{Agg, CmpOp, Literal, Query};
+
+/// A token of annotated SQL (also used as seq2seq output vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnnTok {
+    /// `SELECT`
+    Select,
+    /// `WHERE`
+    Where,
+    /// `AND`
+    And,
+    /// Aggregate keyword.
+    Agg(Agg),
+    /// Comparison operator.
+    Op(CmpOp),
+    /// Column placeholder for mention slot `i` (0-based internally).
+    C(usize),
+    /// Value placeholder for mention slot `i`.
+    V(usize),
+    /// Table-header placeholder for schema column `k`.
+    G(usize),
+    /// End of sequence.
+    Eos,
+}
+
+impl fmt::Display for AnnTok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnTok::Select => write!(f, "select"),
+            AnnTok::Where => write!(f, "where"),
+            AnnTok::And => write!(f, "and"),
+            AnnTok::Agg(a) => write!(f, "{}", a.keyword().to_lowercase()),
+            AnnTok::Op(o) => write!(f, "{}", o.symbol()),
+            AnnTok::C(i) => write!(f, "c{}", i + 1),
+            AnnTok::V(i) => write!(f, "v{}", i + 1),
+            AnnTok::G(i) => write!(f, "g{}", i + 1),
+            AnnTok::Eos => write!(f, "</s>"),
+        }
+    }
+}
+
+impl AnnTok {
+    /// Parses the display form back to a token.
+    pub fn parse(s: &str) -> Option<AnnTok> {
+        match s {
+            "select" => return Some(AnnTok::Select),
+            "where" => return Some(AnnTok::Where),
+            "and" => return Some(AnnTok::And),
+            "</s>" => return Some(AnnTok::Eos),
+            _ => {}
+        }
+        if let Some(agg) = Agg::from_keyword(s) {
+            return Some(AnnTok::Agg(agg));
+        }
+        if let Some(op) = CmpOp::from_symbol(s) {
+            return Some(AnnTok::Op(op));
+        }
+        let (kind, rest) = s.split_at(1.min(s.len()));
+        if let Ok(n) = rest.parse::<usize>() {
+            if n >= 1 {
+                return match kind {
+                    "c" => Some(AnnTok::C(n - 1)),
+                    "v" => Some(AnnTok::V(n - 1)),
+                    "g" => Some(AnnTok::G(n - 1)),
+                    _ => None,
+                };
+            }
+        }
+        None
+    }
+}
+
+/// A full annotated SQL token sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AnnotatedSql(pub Vec<AnnTok>);
+
+impl fmt::Display for AnnotatedSql {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|t| t.to_string()).collect();
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+/// One mention slot produced by the annotation step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Slot {
+    /// Resolved schema column for this slot, if known. May come from an
+    /// explicit column mention or be inferred from the paired value
+    /// (implicit mentions, §III challenge 3).
+    pub column: Option<usize>,
+    /// The raw value text paired with this slot, if any.
+    pub value: Option<String>,
+}
+
+/// Mapping from placeholders to concrete columns/values, built by the
+/// annotation pipeline and consumed by [`recover`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AnnotationMap {
+    /// Mention slots in order of appearance (`c_{i+1}` / `v_{i+1}`).
+    pub slots: Vec<Slot>,
+    /// Schema column for each header placeholder `g_{k+1}`; identity for
+    /// standard table-header encoding.
+    pub headers: Vec<usize>,
+}
+
+impl AnnotationMap {
+    /// Finds the first slot whose column equals `col`.
+    pub fn slot_for_column(&self, col: usize) -> Option<usize> {
+        self.slots.iter().position(|s| s.column == Some(col))
+    }
+
+    /// Finds the first slot whose value text equals `value` (canonical,
+    /// case-insensitive).
+    pub fn slot_for_value(&self, value: &str) -> Option<usize> {
+        let needle = value.trim().to_lowercase();
+        self.slots.iter().position(|s| {
+            s.value.as_deref().map(|v| v.trim().to_lowercase() == needle).unwrap_or(false)
+        })
+    }
+}
+
+/// Errors raised by [`recover`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// Sequence did not start with `SELECT <sym>`.
+    MalformedSelect,
+    /// A placeholder referenced a slot/header that does not exist.
+    UnknownSlot(String),
+    /// Slot used as a column but has no resolved column.
+    UnresolvedColumn(usize),
+    /// Slot used as a value but carries no value text.
+    MissingValue(usize),
+    /// Condition structure was not `<col> <op> <val>`.
+    MalformedCondition,
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::MalformedSelect => write!(f, "malformed SELECT clause"),
+            RecoverError::UnknownSlot(s) => write!(f, "unknown placeholder {s}"),
+            RecoverError::UnresolvedColumn(i) => write!(f, "slot c{} has no column", i + 1),
+            RecoverError::MissingValue(i) => write!(f, "slot v{} has no value", i + 1),
+            RecoverError::MalformedCondition => write!(f, "malformed WHERE condition"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+fn column_of(tok: AnnTok, map: &AnnotationMap) -> Result<usize, RecoverError> {
+    match tok {
+        AnnTok::C(i) => {
+            let slot =
+                map.slots.get(i).ok_or_else(|| RecoverError::UnknownSlot(tok.to_string()))?;
+            slot.column.ok_or(RecoverError::UnresolvedColumn(i))
+        }
+        AnnTok::G(k) => {
+            map.headers.get(k).copied().ok_or_else(|| RecoverError::UnknownSlot(tok.to_string()))
+        }
+        _ => Err(RecoverError::MalformedCondition),
+    }
+}
+
+/// Deterministically converts annotated SQL back to concrete SQL (§I step 3).
+pub fn recover(sa: &AnnotatedSql, map: &AnnotationMap) -> Result<Query, RecoverError> {
+    let toks: Vec<AnnTok> =
+        sa.0.iter().copied().filter(|t| *t != AnnTok::Eos).collect();
+    let mut it = toks.iter().copied().peekable();
+    if it.next() != Some(AnnTok::Select) {
+        return Err(RecoverError::MalformedSelect);
+    }
+    let mut agg = Agg::None;
+    if let Some(AnnTok::Agg(a)) = it.peek() {
+        agg = *a;
+        it.next();
+    }
+    let select_tok = it.next().ok_or(RecoverError::MalformedSelect)?;
+    let select_col = column_of(select_tok, map).map_err(|e| match e {
+        RecoverError::MalformedCondition => RecoverError::MalformedSelect,
+        other => other,
+    })?;
+    let mut query = Query { agg, select_col, conds: Vec::new() };
+    match it.next() {
+        None => return Ok(query),
+        Some(AnnTok::Where) => {}
+        Some(_) => return Err(RecoverError::MalformedSelect),
+    }
+    loop {
+        let col_tok = it.next().ok_or(RecoverError::MalformedCondition)?;
+        let col = column_of(col_tok, map)?;
+        let op = match it.next() {
+            Some(AnnTok::Op(o)) => o,
+            _ => return Err(RecoverError::MalformedCondition),
+        };
+        let val = match it.next() {
+            Some(AnnTok::V(i)) => {
+                let slot =
+                    map.slots.get(i).ok_or_else(|| RecoverError::UnknownSlot(format!("v{}", i + 1)))?;
+                let text = slot.value.clone().ok_or(RecoverError::MissingValue(i))?;
+                Literal::parse(&text)
+            }
+            _ => return Err(RecoverError::MalformedCondition),
+        };
+        query.conds.push(crate::ast::Cond { col, op, value: val });
+        match it.next() {
+            None => break,
+            Some(AnnTok::And) => continue,
+            Some(_) => return Err(RecoverError::MalformedCondition),
+        }
+    }
+    Ok(query)
+}
+
+/// Builds the gold annotated SQL for a concrete query given an annotation
+/// map (used to produce seq2seq training targets). Columns present in a
+/// slot are emitted as `c_i`; columns only known via the schema fall back
+/// to the table-header placeholder `g_k`.
+pub fn annotate_query(q: &Query, map: &AnnotationMap) -> AnnotatedSql {
+    let col_tok = |col: usize| -> AnnTok {
+        match map.slot_for_column(col) {
+            Some(i) => AnnTok::C(i),
+            None => AnnTok::G(
+                map.headers.iter().position(|&h| h == col).unwrap_or(col),
+            ),
+        }
+    };
+    let mut toks = vec![AnnTok::Select];
+    if q.agg != Agg::None {
+        toks.push(AnnTok::Agg(q.agg));
+    }
+    toks.push(col_tok(q.select_col));
+    if !q.conds.is_empty() {
+        toks.push(AnnTok::Where);
+        for (i, c) in q.conds.iter().enumerate() {
+            if i > 0 {
+                toks.push(AnnTok::And);
+            }
+            toks.push(col_tok(c.col));
+            toks.push(AnnTok::Op(c.op));
+            // Prefer the slot that matches both column and value (two
+            // conditions can share the same literal text), then by value,
+            // then by column.
+            let canon = c.value.canonical_text();
+            let both = map.slots.iter().position(|s| {
+                s.column == Some(c.col)
+                    && s.value
+                        .as_deref()
+                        .map(|v| v.trim().to_lowercase() == canon)
+                        .unwrap_or(false)
+            });
+            let v_slot = both
+                .or_else(|| map.slot_for_value(&canon))
+                .or_else(|| map.slot_for_column(c.col));
+            match v_slot {
+                Some(i) => toks.push(AnnTok::V(i)),
+                // No slot carries this value: emit v for the first slot as a
+                // degenerate fallback (keeps sequences well-formed).
+                None => toks.push(AnnTok::V(0)),
+            }
+        }
+    }
+    AnnotatedSql(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 1 example map: slot 0 = Film_Name (select), slot 1 =
+    /// Director + "Jerzy Antczak", slot 2 = Actor + "Piotr Adamczyk".
+    fn fig1_map() -> AnnotationMap {
+        AnnotationMap {
+            slots: vec![
+                Slot { column: Some(0), value: None },
+                Slot { column: Some(1), value: Some("Jerzy Antczak".into()) },
+                Slot { column: Some(2), value: Some("Piotr Adamczyk".into()) },
+            ],
+            headers: vec![0, 1, 2, 3],
+        }
+    }
+
+    fn fig1_sa() -> AnnotatedSql {
+        AnnotatedSql(vec![
+            AnnTok::Select,
+            AnnTok::C(0),
+            AnnTok::Where,
+            AnnTok::C(1),
+            AnnTok::Op(CmpOp::Eq),
+            AnnTok::V(1),
+            AnnTok::And,
+            AnnTok::C(2),
+            AnnTok::Op(CmpOp::Eq),
+            AnnTok::V(2),
+        ])
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(fig1_sa().to_string(), "select c1 where c2 = v2 and c3 = v3");
+    }
+
+    #[test]
+    fn token_display_parse_roundtrip() {
+        let toks = [
+            AnnTok::Select,
+            AnnTok::Where,
+            AnnTok::And,
+            AnnTok::Agg(Agg::Count),
+            AnnTok::Op(CmpOp::Ge),
+            AnnTok::C(0),
+            AnnTok::V(4),
+            AnnTok::G(7),
+            AnnTok::Eos,
+        ];
+        for t in toks {
+            assert_eq!(AnnTok::parse(&t.to_string()), Some(t), "roundtrip failed for {t}");
+        }
+        assert_eq!(AnnTok::parse("c0"), None, "placeholders are 1-based in display form");
+        assert_eq!(AnnTok::parse("x3"), None);
+        assert_eq!(AnnTok::parse(""), None);
+    }
+
+    #[test]
+    fn recover_fig1() {
+        let q = recover(&fig1_sa(), &fig1_map()).unwrap();
+        assert_eq!(q.agg, Agg::None);
+        assert_eq!(q.select_col, 0);
+        assert_eq!(q.conds.len(), 2);
+        assert_eq!(q.conds[0].col, 1);
+        assert_eq!(q.conds[0].value, Literal::Text("Jerzy Antczak".into()));
+        assert_eq!(q.conds[1].col, 2);
+    }
+
+    #[test]
+    fn recover_with_aggregate_and_header() {
+        // select count g4 where c1 = v1
+        let sa = AnnotatedSql(vec![
+            AnnTok::Select,
+            AnnTok::Agg(Agg::Count),
+            AnnTok::G(3),
+            AnnTok::Where,
+            AnnTok::C(1),
+            AnnTok::Op(CmpOp::Eq),
+            AnnTok::V(1),
+        ]);
+        let q = recover(&sa, &fig1_map()).unwrap();
+        assert_eq!(q.agg, Agg::Count);
+        assert_eq!(q.select_col, 3);
+    }
+
+    #[test]
+    fn recover_no_where() {
+        let sa = AnnotatedSql(vec![AnnTok::Select, AnnTok::C(0), AnnTok::Eos]);
+        let q = recover(&sa, &fig1_map()).unwrap();
+        assert!(q.conds.is_empty());
+    }
+
+    #[test]
+    fn recover_errors() {
+        let map = fig1_map();
+        assert_eq!(
+            recover(&AnnotatedSql(vec![AnnTok::Where]), &map),
+            Err(RecoverError::MalformedSelect)
+        );
+        assert_eq!(
+            recover(&AnnotatedSql(vec![AnnTok::Select, AnnTok::C(9)]), &map),
+            Err(RecoverError::UnknownSlot("c10".into()))
+        );
+        // Slot 0 has no value -> v1 in value position fails.
+        let sa = AnnotatedSql(vec![
+            AnnTok::Select,
+            AnnTok::C(0),
+            AnnTok::Where,
+            AnnTok::C(1),
+            AnnTok::Op(CmpOp::Eq),
+            AnnTok::V(0),
+        ]);
+        assert_eq!(recover(&sa, &map), Err(RecoverError::MissingValue(0)));
+        // Missing operator.
+        let sa = AnnotatedSql(vec![
+            AnnTok::Select,
+            AnnTok::C(0),
+            AnnTok::Where,
+            AnnTok::C(1),
+            AnnTok::V(1),
+        ]);
+        assert_eq!(recover(&sa, &map), Err(RecoverError::MalformedCondition));
+    }
+
+    #[test]
+    fn annotate_query_roundtrips_through_recover() {
+        let q = Query::select(0)
+            .and_where(1, CmpOp::Eq, Literal::Text("Jerzy Antczak".into()))
+            .and_where(2, CmpOp::Eq, Literal::Text("Piotr Adamczyk".into()));
+        let map = fig1_map();
+        let sa = annotate_query(&q, &map);
+        assert_eq!(sa, fig1_sa());
+        let back = recover(&sa, &map).unwrap();
+        assert!(crate::canonical::query_match(&q, &back));
+    }
+
+    #[test]
+    fn annotate_query_uses_header_for_unmentioned_column() {
+        // Select column 3 is not in any slot -> g4.
+        let q = Query::select(3).and_where(1, CmpOp::Eq, Literal::Text("Jerzy Antczak".into()));
+        let sa = annotate_query(&q, &fig1_map());
+        assert_eq!(sa.0[1], AnnTok::G(3));
+        let back = recover(&sa, &fig1_map()).unwrap();
+        assert_eq!(back.select_col, 3);
+    }
+
+    #[test]
+    fn slot_lookup_is_case_insensitive() {
+        let map = fig1_map();
+        assert_eq!(map.slot_for_value("jerzy antczak"), Some(1));
+        assert_eq!(map.slot_for_value("  PIOTR ADAMCZYK "), Some(2));
+        assert_eq!(map.slot_for_value("nobody"), None);
+    }
+}

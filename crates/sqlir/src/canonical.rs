@@ -1,0 +1,116 @@
+//! Canonical query representations and the three accuracy predicates.
+//!
+//! The paper evaluates with (1) logical-form accuracy — token-exact match,
+//! (2) query-match accuracy — match after converting both queries to a
+//! canonical representation (condition order and literal formatting
+//! normalized), and (3) execution accuracy — result-set equality, which
+//! lives in `nlidb-storage` since it needs a table.
+
+use crate::ast::{Cond, Query};
+
+/// A canonicalized view of a query suitable for equality comparison.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CanonicalQuery {
+    agg: &'static str,
+    select_col: usize,
+    conds: Vec<(usize, &'static str, String)>,
+}
+
+/// Converts a query to canonical form: conditions sorted by
+/// `(column, operator, literal)` and literals normalized.
+pub fn canonicalize(q: &Query) -> CanonicalQuery {
+    let mut conds: Vec<(usize, &'static str, String)> = q
+        .conds
+        .iter()
+        .map(|Cond { col, op, value }| (*col, op.symbol(), value.canonical_text()))
+        .collect();
+    conds.sort();
+    CanonicalQuery { agg: q.agg.keyword(), select_col: q.select_col, conds }
+}
+
+/// Logical-form equality: exact token sequence (condition order matters).
+pub fn logical_form_match(a: &Query, b: &Query) -> bool {
+    a.logical_tokens() == b.logical_tokens()
+}
+
+/// Query-match equality: equal canonical representations.
+pub fn query_match(a: &Query, b: &Query) -> bool {
+    canonicalize(a) == canonicalize(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Agg, CmpOp, Literal, Query};
+
+    fn q_ab() -> Query {
+        Query::select(0)
+            .and_where(1, CmpOp::Eq, Literal::Text("Mayo".into()))
+            .and_where(2, CmpOp::Eq, Literal::Text("Carrowteige".into()))
+    }
+
+    fn q_ba() -> Query {
+        Query::select(0)
+            .and_where(2, CmpOp::Eq, Literal::Text("Carrowteige".into()))
+            .and_where(1, CmpOp::Eq, Literal::Text("Mayo".into()))
+    }
+
+    #[test]
+    fn reordered_conditions_query_match_but_not_lf() {
+        assert!(query_match(&q_ab(), &q_ba()));
+        assert!(!logical_form_match(&q_ab(), &q_ba()));
+    }
+
+    #[test]
+    fn identical_queries_match_both_ways() {
+        assert!(query_match(&q_ab(), &q_ab()));
+        assert!(logical_form_match(&q_ab(), &q_ab()));
+    }
+
+    #[test]
+    fn literal_case_and_whitespace_normalized() {
+        let a = Query::select(0).and_where(1, CmpOp::Eq, Literal::Text("  MAYO ".into()));
+        let b = Query::select(0).and_where(1, CmpOp::Eq, Literal::Text("mayo".into()));
+        assert!(query_match(&a, &b));
+    }
+
+    #[test]
+    fn numeric_text_and_number_literals_match() {
+        let a = Query::select(0).and_where(1, CmpOp::Gt, Literal::Number(42.0));
+        let b = Query::select(0).and_where(1, CmpOp::Gt, Literal::Text("42".into()));
+        assert!(query_match(&a, &b));
+    }
+
+    #[test]
+    fn different_agg_does_not_match() {
+        let a = Query::select(0).with_agg(Agg::Count);
+        let b = Query::select(0).with_agg(Agg::Sum);
+        assert!(!query_match(&a, &b));
+        assert!(!query_match(&a, &Query::select(0)));
+    }
+
+    #[test]
+    fn different_select_col_does_not_match() {
+        assert!(!query_match(&Query::select(0), &Query::select(1)));
+    }
+
+    #[test]
+    fn extra_condition_does_not_match() {
+        let a = q_ab();
+        let mut b = q_ab();
+        b.conds.pop();
+        assert!(!query_match(&a, &b));
+    }
+
+    #[test]
+    fn different_operator_does_not_match() {
+        let a = Query::select(0).and_where(1, CmpOp::Gt, Literal::Number(3.0));
+        let b = Query::select(0).and_where(1, CmpOp::Ge, Literal::Number(3.0));
+        assert!(!query_match(&a, &b));
+    }
+
+    #[test]
+    fn canonical_is_deterministic() {
+        assert_eq!(canonicalize(&q_ab()), canonicalize(&q_ba()));
+    }
+}

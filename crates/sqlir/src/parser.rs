@@ -1,0 +1,352 @@
+//! Parser for concrete WikiSQL-class SQL strings.
+//!
+//! Accepts the exact surface form produced by
+//! [`crate::ast::Query::to_sql`] (plus minor whitespace/case variation),
+//! which makes `parse(to_sql(q)) == q` a checked round-trip property.
+//! Column names may span multiple words ("English Name"); the parser
+//! resolves them with longest-match against the schema.
+
+use crate::ast::{Agg, CmpOp, Literal, Query};
+use std::fmt;
+
+/// Parse failure, with a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Lexer token.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Quoted(String),
+    Symbol(String),
+    LParen,
+    RParen,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '"' || c == '\'' {
+            let quote = c;
+            let mut s = String::new();
+            i += 1;
+            while i < chars.len() && chars[i] != quote {
+                s.push(chars[i]);
+                i += 1;
+            }
+            if i >= chars.len() {
+                return Err(err("unterminated string literal"));
+            }
+            i += 1; // closing quote
+            toks.push(Tok::Quoted(s));
+        } else if c == '(' {
+            toks.push(Tok::LParen);
+            i += 1;
+        } else if c == ')' {
+            toks.push(Tok::RParen);
+            i += 1;
+        } else if "=<>!".contains(c) {
+            let mut s = c.to_string();
+            if i + 1 < chars.len() && "=<>".contains(chars[i + 1]) {
+                s.push(chars[i + 1]);
+                i += 1;
+            }
+            i += 1;
+            toks.push(Tok::Symbol(s));
+        } else {
+            let mut s = String::new();
+            while i < chars.len()
+                && !chars[i].is_whitespace()
+                && !"()\"'=<>!".contains(chars[i])
+            {
+                s.push(chars[i]);
+                i += 1;
+            }
+            toks.push(Tok::Word(s));
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    /// Schema columns, pre-tokenized to lowercase word sequences.
+    columns: Vec<Vec<String>>,
+}
+
+impl Parser {
+    fn new(input: &str, columns: &[String]) -> Result<Self, ParseError> {
+        Ok(Parser {
+            toks: lex(input)?,
+            pos: 0,
+            columns: columns
+                .iter()
+                .map(|c| c.split_whitespace().map(str::to_lowercase).collect())
+                .collect(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_word(&mut self, kw: &str) -> bool {
+        match self.peek() {
+            Some(Tok::Word(w)) if w.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Longest-match column parse: consumes the words of the longest
+    /// schema column matching the upcoming tokens. Quoted column names are
+    /// matched whole.
+    fn parse_column(&mut self) -> Result<usize, ParseError> {
+        if let Some(Tok::Quoted(q)) = self.peek() {
+            let needle: Vec<String> =
+                q.split_whitespace().map(str::to_lowercase).collect();
+            if let Some(ci) = self.columns.iter().position(|c| *c == needle) {
+                self.pos += 1;
+                return Ok(ci);
+            }
+            return Err(err(format!("unknown column '{q}'")));
+        }
+        // Collect the run of upcoming words.
+        let mut words: Vec<String> = Vec::new();
+        let mut j = self.pos;
+        while let Some(Tok::Word(w)) = self.toks.get(j) {
+            words.push(w.to_lowercase());
+            j += 1;
+            if words.len() >= 6 {
+                break;
+            }
+        }
+        if words.is_empty() {
+            return Err(err(format!("expected column name, got {:?}", self.peek())));
+        }
+        let mut best: Option<(usize, usize)> = None; // (column, words consumed)
+        for (ci, col) in self.columns.iter().enumerate() {
+            if col.len() <= words.len() && words[..col.len()] == col[..]
+                && best.map(|(_, l)| col.len() > l).unwrap_or(true) {
+                    best = Some((ci, col.len()));
+                }
+        }
+        match best {
+            Some((ci, used)) => {
+                self.pos += used;
+                Ok(ci)
+            }
+            None => Err(err(format!("unknown column starting at '{}'", words[0]))),
+        }
+    }
+
+    fn parse(&mut self) -> Result<Query, ParseError> {
+        if !self.eat_word("select") {
+            return Err(err("expected SELECT"));
+        }
+        // Aggregate? Only when followed by '('.
+        let mut agg = Agg::None;
+        if let Some(Tok::Word(w)) = self.peek() {
+            if let Some(a) = Agg::from_keyword(w) {
+                if self.toks.get(self.pos + 1) == Some(&Tok::LParen) {
+                    agg = a;
+                    self.pos += 2; // keyword + '('
+                }
+            }
+        }
+        let select_col = self.parse_column()?;
+        if agg != Agg::None {
+            match self.next() {
+                Some(Tok::RParen) => {}
+                t => return Err(err(format!("expected ')', got {t:?}"))),
+            }
+        }
+        let mut query = Query { agg, select_col, conds: Vec::new() };
+        if self.peek().is_none() {
+            return Ok(query);
+        }
+        if !self.eat_word("where") {
+            return Err(err(format!("expected WHERE, got {:?}", self.peek())));
+        }
+        loop {
+            let col = self.parse_column()?;
+            let op = match self.next() {
+                Some(Tok::Symbol(s)) => {
+                    CmpOp::from_symbol(&s).ok_or_else(|| err(format!("bad operator '{s}'")))?
+                }
+                t => return Err(err(format!("expected operator, got {t:?}"))),
+            };
+            let value = match self.next() {
+                Some(Tok::Quoted(v)) => Literal::Text(v),
+                Some(Tok::Word(v)) => Literal::parse(&v),
+                t => return Err(err(format!("expected value, got {t:?}"))),
+            };
+            query.conds.push(crate::ast::Cond { col, op, value });
+            if self.peek().is_none() {
+                break;
+            }
+            if !self.eat_word("and") {
+                return Err(err(format!("expected AND, got {:?}", self.peek())));
+            }
+        }
+        Ok(query)
+    }
+}
+
+/// Parses a concrete SQL string against a schema's column names.
+pub fn parse_sql(input: &str, columns: &[String]) -> Result<Query, ParseError> {
+    Parser::new(input, columns)?.parse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols() -> Vec<String> {
+        ["Film_Name", "Director", "Actor", "Score"].iter().map(|s| s.to_string()).collect()
+    }
+
+    fn multiword_cols() -> Vec<String> {
+        ["English Name", "Name", "Irish Speakers", "Population"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn parse_plain_select() {
+        let q = parse_sql("SELECT Film_Name", &cols()).unwrap();
+        assert_eq!(q, Query::select(0));
+    }
+
+    #[test]
+    fn parse_full_query() {
+        let q = parse_sql(
+            "SELECT Film_Name WHERE Director = \"Jerzy Antczak\" AND Actor = \"Piotr Adamczyk\"",
+            &cols(),
+        )
+        .unwrap();
+        assert_eq!(q.conds.len(), 2);
+        assert_eq!(q.conds[0].value, Literal::Text("Jerzy Antczak".into()));
+    }
+
+    #[test]
+    fn parse_aggregate() {
+        let q = parse_sql("SELECT COUNT(Actor) WHERE Score > 3", &cols()).unwrap();
+        assert_eq!(q.agg, Agg::Count);
+        assert_eq!(q.select_col, 2);
+        assert_eq!(q.conds[0].op, CmpOp::Gt);
+        assert_eq!(q.conds[0].value, Literal::Number(3.0));
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        let q = parse_sql("select max(score) where director != 'X'", &cols()).unwrap();
+        assert_eq!(q.agg, Agg::Max);
+        assert_eq!(q.conds[0].op, CmpOp::Ne);
+    }
+
+    #[test]
+    fn multiword_columns_longest_match() {
+        let names = multiword_cols();
+        // "English Name" must win over "Name".
+        let q = parse_sql("SELECT English Name WHERE Population > 100", &names).unwrap();
+        assert_eq!(q.select_col, 0);
+        // Bare "Name" still reachable.
+        let q = parse_sql("SELECT Name", &names).unwrap();
+        assert_eq!(q.select_col, 1);
+        // Aggregate over a multi-word column.
+        let q = parse_sql("SELECT COUNT(Irish Speakers)", &names).unwrap();
+        assert_eq!(q.agg, Agg::Count);
+        assert_eq!(q.select_col, 2);
+    }
+
+    #[test]
+    fn quoted_column_names() {
+        let names = multiword_cols();
+        let q = parse_sql("SELECT \"English Name\" WHERE \"Population\" = 5", &names).unwrap();
+        assert_eq!(q.select_col, 0);
+        assert_eq!(q.conds[0].col, 3);
+    }
+
+    #[test]
+    fn roundtrip_property() {
+        let cases = [
+            Query::select(0),
+            Query::select(3).with_agg(Agg::Avg),
+            Query::select(1)
+                .and_where(2, CmpOp::Eq, Literal::Text("Piotr Adamczyk".into()))
+                .and_where(3, CmpOp::Le, Literal::Number(10.0)),
+        ];
+        for q in cases {
+            let sql = q.to_sql(&cols());
+            let back = parse_sql(&sql, &cols()).unwrap();
+            assert_eq!(back, q, "roundtrip failed for {sql}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_multiword_schema() {
+        let names = multiword_cols();
+        let q = Query::select(0)
+            .with_agg(Agg::Min)
+            .and_where(2, CmpOp::Eq, Literal::Text("64%".into()))
+            .and_where(3, CmpOp::Ge, Literal::Number(356.0));
+        let sql = q.to_sql(&names);
+        let back = parse_sql(&sql, &names).unwrap();
+        assert_eq!(back, q, "{sql}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_sql("", &cols()).is_err());
+        assert!(parse_sql("SELECT Nope", &cols()).is_err());
+        assert!(parse_sql("SELECT Film_Name WHERE", &cols()).is_err());
+        assert!(parse_sql("SELECT Film_Name WHERE Director ~ 'x'", &cols()).is_err());
+        assert!(parse_sql("SELECT Film_Name WHERE Director = \"unterminated", &cols()).is_err());
+        assert!(parse_sql("FROM x", &cols()).is_err());
+        assert!(parse_sql("SELECT COUNT(Actor WHERE Score > 3", &cols()).is_err());
+    }
+
+    #[test]
+    fn ne_alias_parses() {
+        let q = parse_sql("SELECT Score WHERE Actor <> 'x'", &cols()).unwrap();
+        assert_eq!(q.conds[0].op, CmpOp::Ne);
+    }
+
+    #[test]
+    fn column_named_like_aggregate_without_paren() {
+        let names: Vec<String> = vec!["Count".into(), "X".into()];
+        let q = parse_sql("SELECT Count WHERE X = 1", &names).unwrap();
+        assert_eq!(q.agg, Agg::None);
+        assert_eq!(q.select_col, 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests: the SQL parser and canonicalizer never panic on
+//! arbitrary input, and parsing is total over the renderer's image.
+
+use proptest::prelude::*;
+
+use nlidb_sqlir::{parse_sql, query_match, Agg, CmpOp, Literal, Query};
+
+fn columns() -> Vec<String> {
+    vec!["Alpha".into(), "Beta Gamma".into(), "Delta".into(), "Beta".into()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(input in ".{0,80}") {
+        let _ = parse_sql(&input, &columns());
+    }
+
+    #[test]
+    fn parser_never_panics_on_sqlish_input(
+        kw in prop::sample::select(vec!["SELECT", "WHERE", "AND", "COUNT", "="]),
+        col in prop::sample::select(vec!["Alpha", "Beta Gamma", "Nope"]),
+        tail in "[ a-z0-9\"'()=<>!]{0,30}",
+    ) {
+        let _ = parse_sql(&format!("{kw} {col} {tail}"), &columns());
+    }
+
+    #[test]
+    fn all_agg_op_combinations_roundtrip(
+        agg_i in 0usize..6,
+        op_i in 0usize..6,
+        col in 0usize..4,
+        cond_col in 0usize..4,
+        n in -500i64..500,
+    ) {
+        let q = Query::select(col)
+            .with_agg(Agg::ALL[agg_i])
+            .and_where(cond_col, CmpOp::ALL[op_i], Literal::Number(n as f64));
+        let sql = q.to_sql(&columns());
+        let back = parse_sql(&sql, &columns()).expect("rendered SQL parses");
+        prop_assert!(query_match(&back, &q), "{sql}");
+    }
+
+    #[test]
+    fn literal_canonicalization_is_idempotent(raw in "[a-zA-Z0-9 ,.%'-]{0,24}") {
+        let once = Literal::parse(&raw).canonical_text();
+        let twice = Literal::parse(&once).canonical_text();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn quoted_literals_with_special_chars_roundtrip(
+        value in "[a-z0-9][a-z0-9 ,.%-]{0,20}"
+    ) {
+        let q = Query::select(0).and_where(1, CmpOp::Eq, Literal::Text(value));
+        let sql = q.to_sql(&columns());
+        let back = parse_sql(&sql, &columns()).expect("parses");
+        prop_assert!(query_match(&back, &q), "{sql}");
+    }
+}

@@ -1,0 +1,74 @@
+//! A named collection of tables (one-table-per-question corpora still
+//! benefit from a catalog for the interactive examples).
+
+use std::collections::HashMap;
+
+use crate::table::Table;
+
+/// A collection of tables addressable by name.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table under its own name, replacing any previous entry.
+    pub fn register(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    /// Fetches a table by name (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables
+            .get(name)
+            .or_else(|| self.tables.values().find(|t| t.name.eq_ignore_ascii_case(name)))
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Names of all tables (unordered).
+    pub fn names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType, Schema};
+
+    fn t(name: &str) -> Table {
+        Table::new(name, Schema::new(vec![Column::new("X", DataType::Text)]))
+    }
+
+    #[test]
+    fn register_and_get() {
+        let mut c = Catalog::new();
+        c.register(t("films"));
+        assert!(c.get("films").is_some());
+        assert!(c.get("FILMS").is_some());
+        assert!(c.get("missing").is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut c = Catalog::new();
+        c.register(t("a"));
+        c.register(t("a"));
+        assert_eq!(c.len(), 1);
+    }
+}

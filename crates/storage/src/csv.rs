@@ -1,0 +1,260 @@
+//! CSV loading for tables (the downstream-user entry point: point the
+//! NLIDB at your own data).
+//!
+//! Format: first row is the header; a column may carry an explicit type
+//! suffix (`Population:int`, `Price:float`, `Name:text`), otherwise the
+//! type is inferred from the data (all-numeric ⇒ int/float). Quoted
+//! fields with embedded commas and doubled quotes are supported.
+
+use crate::schema::{Column, DataType, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+/// CSV parse failure with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Splits one CSV record into fields (RFC-4180-style quoting).
+fn split_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    field.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if field.is_empty() => in_quotes = true,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut field)),
+            c => field.push(c),
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+fn parse_header(cell: &str) -> (String, Option<DataType>) {
+    let trimmed = cell.trim();
+    if let Some((name, ty)) = trimmed.rsplit_once(':') {
+        let dtype = match ty.trim().to_ascii_lowercase().as_str() {
+            "int" | "integer" => Some(DataType::Int),
+            "float" | "real" | "number" => Some(DataType::Float),
+            "text" | "string" | "str" => Some(DataType::Text),
+            _ => None,
+        };
+        if let Some(dtype) = dtype {
+            return (name.trim().to_string(), Some(dtype));
+        }
+    }
+    (trimmed.to_string(), None)
+}
+
+fn infer_type(cells: &[&str]) -> DataType {
+    let mut any = false;
+    let mut all_int = true;
+    let mut all_num = true;
+    for c in cells {
+        let c = c.trim();
+        if c.is_empty() {
+            continue;
+        }
+        any = true;
+        if c.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if c.parse::<f64>().is_err() {
+            all_num = false;
+        }
+    }
+    match (any, all_int, all_num) {
+        (false, _, _) => DataType::Text,
+        (_, true, _) => DataType::Int,
+        (_, _, true) => DataType::Float,
+        _ => DataType::Text,
+    }
+}
+
+/// Parses CSV text into a table.
+pub fn table_from_csv(name: &str, csv: &str) -> Result<Table, CsvError> {
+    let mut lines = csv.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines
+        .next()
+        .ok_or(CsvError { line: 1, message: "empty input".into() })?;
+    let headers: Vec<(String, Option<DataType>)> =
+        split_record(header).iter().map(|h| parse_header(h)).collect();
+    if headers.iter().any(|(n, _)| n.is_empty()) {
+        return Err(CsvError { line: 1, message: "empty column name".into() });
+    }
+    let records: Vec<(usize, Vec<String>)> =
+        lines.map(|(i, l)| (i + 1, split_record(l))).collect();
+    for (line, r) in &records {
+        if r.len() != headers.len() {
+            return Err(CsvError {
+                line: *line,
+                message: format!("expected {} fields, found {}", headers.len(), r.len()),
+            });
+        }
+    }
+    // Infer missing types column by column.
+    let columns: Vec<Column> = headers
+        .iter()
+        .enumerate()
+        .map(|(c, (name, dtype))| {
+            let dtype = dtype.unwrap_or_else(|| {
+                let cells: Vec<&str> = records.iter().map(|(_, r)| r[c].as_str()).collect();
+                infer_type(&cells)
+            });
+            Column::new(name.clone(), dtype)
+        })
+        .collect();
+    let schema = Schema::new(columns);
+    let mut table = Table::new(name, schema);
+    for (line, r) in &records {
+        let mut row = Vec::with_capacity(r.len());
+        for (c, cell) in r.iter().enumerate() {
+            let cell = cell.trim();
+            let dtype = table.schema().column(c).dtype;
+            let v = if cell.is_empty() {
+                Value::Null
+            } else {
+                match dtype {
+                    DataType::Int => cell.parse::<i64>().map(Value::Int).map_err(|_| CsvError {
+                        line: *line,
+                        message: format!("'{cell}' is not an integer (column {c})"),
+                    })?,
+                    DataType::Float => {
+                        cell.parse::<f64>().map(Value::Float).map_err(|_| CsvError {
+                            line: *line,
+                            message: format!("'{cell}' is not a number (column {c})"),
+                        })?
+                    }
+                    DataType::Text => Value::Text(cell.to_string()),
+                }
+            };
+            row.push(v);
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// Renders a table as aligned text (for the CLI and examples).
+pub fn render_table(table: &Table, max_rows: usize) -> String {
+    let names = table.column_names();
+    let mut widths: Vec<usize> = names.iter().map(String::len).collect();
+    let shown = table.num_rows().min(max_rows);
+    for r in 0..shown {
+        for (c, w) in widths.iter_mut().enumerate() {
+            *w = (*w).max(table.cell(r, c).to_string().len());
+        }
+    }
+    let mut out = String::new();
+    for (n, w) in names.iter().zip(&widths) {
+        out.push_str(&format!("{n:<w$}  "));
+    }
+    out.push('\n');
+    for w in &widths {
+        out.push_str(&"-".repeat(*w));
+        out.push_str("  ");
+    }
+    out.push('\n');
+    for r in 0..shown {
+        for (c, w) in widths.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", table.cell(r, c).to_string()));
+        }
+        out.push('\n');
+    }
+    if table.num_rows() > shown {
+        out.push_str(&format!("... ({} more rows)\n", table.num_rows() - shown));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+County,English Name,Population:int,Irish Speakers
+Mayo,Carrowteige,356,64%
+Galway,\"Aran Islands\",1225,79%
+";
+
+    #[test]
+    fn loads_with_explicit_and_inferred_types() {
+        let t = table_from_csv("counties", SAMPLE).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.num_cols(), 4);
+        assert_eq!(t.schema().column(2).dtype, DataType::Int);
+        assert_eq!(t.schema().column(0).dtype, DataType::Text);
+        assert_eq!(t.cell(0, 2), &Value::Int(356));
+        assert_eq!(t.cell(1, 1), &Value::Text("Aran Islands".into()));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let csv = "Title,Year\n\"Chopin: Desire, for Love\",2002\n\"He said \"\"hi\"\"\",1999\n";
+        let t = table_from_csv("films", csv).unwrap();
+        assert_eq!(t.cell(0, 0), &Value::Text("Chopin: Desire, for Love".into()));
+        assert_eq!(t.cell(1, 0), &Value::Text("He said \"hi\"".into()));
+        assert_eq!(t.schema().column(1).dtype, DataType::Int);
+    }
+
+    #[test]
+    fn numeric_inference_prefers_int_then_float() {
+        let t = table_from_csv("t", "A,B,C\n1,1.5,x\n2,2,y\n").unwrap();
+        assert_eq!(t.schema().column(0).dtype, DataType::Int);
+        assert_eq!(t.schema().column(1).dtype, DataType::Float);
+        assert_eq!(t.schema().column(2).dtype, DataType::Text);
+    }
+
+    #[test]
+    fn empty_cells_become_null() {
+        let t = table_from_csv("t", "A,B:int\nx,\n,2\n").unwrap();
+        assert_eq!(t.cell(0, 1), &Value::Null);
+        assert_eq!(t.cell(1, 0), &Value::Null);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = table_from_csv("t", "A,B\n1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = table_from_csv("t", "A,B:int\nx,notanint\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(table_from_csv("t", "").is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let t = table_from_csv("t", "A\n\nx\n\ny\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn render_is_aligned_and_truncates() {
+        let t = table_from_csv("counties", SAMPLE).unwrap();
+        let s = render_table(&t, 1);
+        assert!(s.contains("County"));
+        assert!(s.contains("1 more rows"));
+        assert!(s.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,286 @@
+//! Query execution, used for the paper's execution accuracy (`Acc_ex`).
+
+use std::cmp::Ordering;
+
+use nlidb_sqlir::{Agg, CmpOp, Query};
+
+use crate::table::Table;
+use crate::value::Value;
+
+/// The result of executing a query: a bag of values (single projected
+/// column, or a single aggregate value).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Result values in row order.
+    pub values: Vec<Value>,
+}
+
+impl ResultSet {
+    /// Order-insensitive multiset equality on canonical text — the paper
+    /// compares "whether the results agree", and WikiSQL answers are
+    /// unordered.
+    pub fn same_as(&self, other: &ResultSet) -> bool {
+        if self.values.len() != other.values.len() {
+            return false;
+        }
+        let canon = |rs: &ResultSet| {
+            let mut v: Vec<String> = rs.values.iter().map(Value::canonical_text).collect();
+            v.sort();
+            v
+        };
+        canon(self) == canon(other)
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Execution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A referenced column index is outside the schema.
+    BadColumn(usize),
+    /// Numeric aggregate over a non-numeric column.
+    NonNumericAggregate {
+        /// Offending column index.
+        column: usize,
+        /// Aggregate keyword.
+        agg: &'static str,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::BadColumn(c) => write!(f, "column index {c} out of range"),
+            ExecError::NonNumericAggregate { column, agg } => {
+                write!(f, "{agg} over non-numeric column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+fn matches(cell: &Value, op: CmpOp, lit: &nlidb_sqlir::Literal) -> bool {
+    match cell.compare(lit) {
+        None => false,
+        Some(ord) => match op {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Ge => ord != Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+        },
+    }
+}
+
+/// Executes a query against a table.
+pub fn execute(table: &Table, query: &Query) -> Result<ResultSet, ExecError> {
+    let ncols = table.num_cols();
+    if query.select_col >= ncols {
+        return Err(ExecError::BadColumn(query.select_col));
+    }
+    for c in &query.conds {
+        if c.col >= ncols {
+            return Err(ExecError::BadColumn(c.col));
+        }
+    }
+    let mut selected: Vec<&Value> = Vec::new();
+    'rows: for r in 0..table.num_rows() {
+        for c in &query.conds {
+            if !matches(table.cell(r, c.col), c.op, &c.value) {
+                continue 'rows;
+            }
+        }
+        selected.push(table.cell(r, query.select_col));
+    }
+    let values = match query.agg {
+        Agg::None => selected.into_iter().cloned().collect(),
+        Agg::Count => vec![Value::Int(selected.len() as i64)],
+        agg => {
+            let nums: Vec<f64> = selected.iter().filter_map(|v| v.as_number()).collect();
+            if nums.len() < selected.len() {
+                return Err(ExecError::NonNumericAggregate {
+                    column: query.select_col,
+                    agg: agg.keyword(),
+                });
+            }
+            if nums.is_empty() {
+                vec![Value::Null]
+            } else {
+                let v = match agg {
+                    Agg::Min => nums.iter().cloned().fold(f64::INFINITY, f64::min),
+                    Agg::Max => nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                    Agg::Sum => nums.iter().sum(),
+                    Agg::Avg => nums.iter().sum::<f64>() / nums.len() as f64,
+                    Agg::None | Agg::Count => unreachable!("handled above"),
+                };
+                vec![Value::Float(v)]
+            }
+        }
+    };
+    Ok(ResultSet { values })
+}
+
+/// Execution-accuracy predicate: both queries execute and agree, treating
+/// any execution error as disagreement unless both fail identically.
+pub fn execution_match(table: &Table, predicted: &Query, gold: &Query) -> bool {
+    match (execute(table, predicted), execute(table, gold)) {
+        (Ok(a), Ok(b)) => a.same_as(&b),
+        (Err(_), Err(_)) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType, Schema};
+    use nlidb_sqlir::Literal;
+
+    fn county_table() -> Table {
+        // Figure 1(b) of the paper.
+        let schema = Schema::new(vec![
+            Column::new("County", DataType::Text),
+            Column::new("English Name", DataType::Text),
+            Column::new("Irish Name", DataType::Text),
+            Column::new("Population", DataType::Int),
+            Column::new("Irish Speakers", DataType::Text),
+        ]);
+        let mut t = Table::new("counties", schema);
+        t.push_row(vec![
+            Value::Text("Mayo".into()),
+            Value::Text("Carrowteige".into()),
+            Value::Text("Ceathru Thaidhg".into()),
+            Value::Int(356),
+            Value::Text("64%".into()),
+        ]);
+        t.push_row(vec![
+            Value::Text("Galway".into()),
+            Value::Text("Aran Islands".into()),
+            Value::Text("Oileain Arann".into()),
+            Value::Int(1225),
+            Value::Text("79%".into()),
+        ]);
+        t
+    }
+
+    #[test]
+    fn fig1d_query_executes() {
+        // SELECT Population WHERE County = "Mayo" AND English_Name = "Carrowteige"
+        let q = Query::select(3)
+            .and_where(0, CmpOp::Eq, Literal::Text("Mayo".into()))
+            .and_where(1, CmpOp::Eq, Literal::Text("Carrowteige".into()));
+        let rs = execute(&county_table(), &q).unwrap();
+        assert_eq!(rs.values, vec![Value::Int(356)]);
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let q = Query::select(3).and_where(0, CmpOp::Eq, Literal::Text("Kerry".into()));
+        let rs = execute(&county_table(), &q).unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn count_aggregate() {
+        let q = Query::select(0).with_agg(Agg::Count);
+        let rs = execute(&county_table(), &q).unwrap();
+        assert_eq!(rs.values, vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn numeric_aggregates() {
+        let t = county_table();
+        for (agg, expected) in [
+            (Agg::Min, 356.0),
+            (Agg::Max, 1225.0),
+            (Agg::Sum, 1581.0),
+            (Agg::Avg, 790.5),
+        ] {
+            let q = Query::select(3).with_agg(agg);
+            let rs = execute(&t, &q).unwrap();
+            assert_eq!(rs.values, vec![Value::Float(expected)], "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn aggregate_over_empty_selection_is_null() {
+        let q = Query::select(3)
+            .with_agg(Agg::Max)
+            .and_where(0, CmpOp::Eq, Literal::Text("Kerry".into()));
+        let rs = execute(&county_table(), &q).unwrap();
+        assert_eq!(rs.values, vec![Value::Null]);
+    }
+
+    #[test]
+    fn count_works_on_text_columns() {
+        let q = Query::select(0).with_agg(Agg::Count);
+        assert!(execute(&county_table(), &q).is_ok());
+    }
+
+    #[test]
+    fn sum_over_text_column_errors() {
+        let q = Query::select(0).with_agg(Agg::Sum);
+        assert_eq!(
+            execute(&county_table(), &q),
+            Err(ExecError::NonNumericAggregate { column: 0, agg: "SUM" })
+        );
+    }
+
+    #[test]
+    fn bad_column_errors() {
+        let q = Query::select(99);
+        assert_eq!(execute(&county_table(), &q), Err(ExecError::BadColumn(99)));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let t = county_table();
+        let cases = [
+            (CmpOp::Gt, 400.0, 1),
+            (CmpOp::Lt, 400.0, 1),
+            (CmpOp::Ge, 356.0, 2),
+            (CmpOp::Le, 356.0, 1),
+            (CmpOp::Ne, 356.0, 1),
+            (CmpOp::Eq, 356.0, 1),
+        ];
+        for (op, val, count) in cases {
+            let q = Query::select(0).and_where(3, op, Literal::Number(val));
+            let rs = execute(&t, &q).unwrap();
+            assert_eq!(rs.values.len(), count, "{op:?} {val}");
+        }
+    }
+
+    #[test]
+    fn result_set_equality_is_order_insensitive() {
+        let a = ResultSet { values: vec![Value::Int(1), Value::Int(2)] };
+        let b = ResultSet { values: vec![Value::Int(2), Value::Int(1)] };
+        let c = ResultSet { values: vec![Value::Int(2)] };
+        assert!(a.same_as(&b));
+        assert!(!a.same_as(&c));
+    }
+
+    #[test]
+    fn result_set_equality_crosses_value_types() {
+        let a = ResultSet { values: vec![Value::Int(356)] };
+        let b = ResultSet { values: vec![Value::Float(356.0)] };
+        assert!(a.same_as(&b));
+    }
+
+    #[test]
+    fn execution_match_predicate() {
+        let t = county_table();
+        // Different queries, same result: condition on a unique value vs
+        // equivalent condition by another unique key of the same row.
+        let q1 = Query::select(3).and_where(0, CmpOp::Eq, Literal::Text("Mayo".into()));
+        let q2 = Query::select(3).and_where(1, CmpOp::Eq, Literal::Text("Carrowteige".into()));
+        assert!(execution_match(&t, &q1, &q2));
+        let q3 = Query::select(3).and_where(0, CmpOp::Eq, Literal::Text("Galway".into()));
+        assert!(!execution_match(&t, &q1, &q3));
+    }
+}

@@ -1,0 +1,118 @@
+//! Table schemas (§II "database schema" metadata).
+
+use serde::{Deserialize, Serialize};
+
+/// Column data types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Free text.
+    Text,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+}
+
+impl DataType {
+    /// Whether the type supports numeric aggregates (`SUM`/`AVG`/...).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    /// Human-readable name (may contain spaces, as in WikiSQL headers).
+    pub name: String,
+    /// Data type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column { name: name.into(), dtype }
+    }
+}
+
+/// An ordered set of columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Column by index.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Case-insensitive name lookup.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let needle = name.trim().to_lowercase();
+        self.columns.iter().position(|c| c.name.trim().to_lowercase() == needle)
+    }
+
+    /// All column names (owned, for interop with `nlidb-sqlir`).
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("Film Name", DataType::Text),
+            Column::new("Director", DataType::Text),
+            Column::new("Score", DataType::Float),
+            Column::new("Year", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.index_of("film name"), Some(0));
+        assert_eq!(s.index_of("SCORE"), Some(2));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn numeric_predicate() {
+        assert!(!DataType::Text.is_numeric());
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        let s = schema();
+        assert_eq!(s.column_names()[1], "Director");
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Column-major in-memory tables.
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::{DataType, Schema};
+use crate::value::Value;
+
+/// An in-memory relational table (column-major storage).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    schema: Schema,
+    columns: Vec<Vec<Value>>,
+    rows: usize,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let ncols = schema.len();
+        Table { name: name.into(), schema, columns: vec![Vec::new(); ncols], rows: 0 }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the schema, or a value's
+    /// type conflicts with the column type (Null is always allowed; text
+    /// that parses numerically is accepted into numeric columns).
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.schema.len(), "row width mismatch");
+        for (i, v) in row.iter().enumerate() {
+            let dt = self.schema.column(i).dtype;
+            let ok = match (dt, v) {
+                (_, Value::Null) => true,
+                (DataType::Text, Value::Text(_)) => true,
+                (DataType::Int, Value::Int(_)) => true,
+                (DataType::Float, Value::Float(_) | Value::Int(_)) => true,
+                (DataType::Int | DataType::Float, Value::Text(t)) => {
+                    t.trim().parse::<f64>().is_ok()
+                }
+                _ => false,
+            };
+            assert!(ok, "value {v:?} incompatible with column {} ({dt:?})", self.schema.column(i).name);
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Cell accessor.
+    pub fn cell(&self, row: usize, col: usize) -> &Value {
+        &self.columns[col][row]
+    }
+
+    /// All values of one column.
+    pub fn column_values(&self, col: usize) -> &[Value] {
+        &self.columns[col]
+    }
+
+    /// Iterates rows as vectors of references.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<&Value>> + '_ {
+        (0..self.rows).map(move |r| self.columns.iter().map(|c| &c[r]).collect())
+    }
+
+    /// Column names (for `nlidb-sqlir` interop).
+    pub fn column_names(&self) -> Vec<String> {
+        self.schema.column_names()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn film_table() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("Film Name", DataType::Text),
+            Column::new("Director", DataType::Text),
+            Column::new("Year", DataType::Int),
+        ]);
+        let mut t = Table::new("films", schema);
+        t.push_row(vec![
+            Value::Text("Chopin: Desire for Love".into()),
+            Value::Text("Jerzy Antczak".into()),
+            Value::Int(2002),
+        ]);
+        t.push_row(vec![
+            Value::Text("27 Stolen Kisses".into()),
+            Value::Text("Nana Djordjadze".into()),
+            Value::Int(2000),
+        ]);
+        t
+    }
+
+    #[test]
+    fn shapes_and_access() {
+        let t = film_table();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.num_cols(), 3);
+        assert_eq!(t.cell(1, 1), &Value::Text("Nana Djordjadze".into()));
+        assert_eq!(t.column_values(2), &[Value::Int(2002), Value::Int(2000)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = film_table();
+        t.push_row(vec![Value::Null]);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn type_mismatch_panics() {
+        let mut t = film_table();
+        t.push_row(vec![Value::Text("x".into()), Value::Text("y".into()), Value::Text("zz".into())]);
+    }
+
+    #[test]
+    fn numeric_text_accepted_into_int_column() {
+        let mut t = film_table();
+        t.push_row(vec![Value::Text("A".into()), Value::Text("B".into()), Value::Text("1999".into())]);
+        assert_eq!(t.num_rows(), 3);
+    }
+
+    #[test]
+    fn iter_rows_matches_cells() {
+        let t = film_table();
+        let rows: Vec<Vec<&Value>> = t.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][2], &Value::Int(2002));
+    }
+
+    #[test]
+    fn null_is_always_accepted() {
+        let mut t = film_table();
+        t.push_row(vec![Value::Null, Value::Null, Value::Null]);
+        assert_eq!(t.num_rows(), 3);
+    }
+}

@@ -1,0 +1,108 @@
+//! Cell values and literal comparison semantics.
+
+use nlidb_sqlir::Literal;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single table cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Text cell.
+    Text(String),
+    /// Integer cell.
+    Int(i64),
+    /// Float cell.
+    Float(f64),
+    /// Missing value.
+    Null,
+}
+
+impl Value {
+    /// Numeric view, if the value is numeric or numeric-looking text.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Text(t) => t.trim().parse().ok(),
+            Value::Null => None,
+        }
+    }
+
+    /// Canonical text form for equality comparison — delegates to the SQL
+    /// literal canonicalization so cell text and literals normalize
+    /// identically (punctuation re-tokenized, lowercased).
+    pub fn canonical_text(&self) -> String {
+        match self {
+            Value::Text(t) => Literal::Text(t.clone()).canonical_text(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{}", *f as i64)
+                } else {
+                    format!("{f}")
+                }
+            }
+            Value::Null => String::new(),
+        }
+    }
+
+    /// Compares this cell against a SQL literal with the given operator
+    /// semantics: numeric when both sides are numeric, else canonical-text
+    /// (ordering on text is lexicographic). `Null` matches nothing.
+    pub fn compare(&self, lit: &Literal) -> Option<std::cmp::Ordering> {
+        if matches!(self, Value::Null) {
+            return None;
+        }
+        if let (Some(a), Some(b)) = (self.as_number(), lit.as_number()) {
+            return a.partial_cmp(&b);
+        }
+        Some(self.canonical_text().cmp(&lit.canonical_text()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Text(t) => write!(f, "{t}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn numeric_comparison_crosses_types() {
+        let v = Value::Int(10);
+        assert_eq!(v.compare(&Literal::Number(3.0)), Some(Ordering::Greater));
+        assert_eq!(v.compare(&Literal::Text("10".into())), Some(Ordering::Equal));
+        let v = Value::Text("2.5".into());
+        assert_eq!(v.compare(&Literal::Number(2.5)), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn text_comparison_is_case_insensitive() {
+        let v = Value::Text("Mayo".into());
+        assert_eq!(v.compare(&Literal::Text("mayo".into())), Some(Ordering::Equal));
+        assert_eq!(v.compare(&Literal::Text(" MAYO ".into())), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn null_matches_nothing() {
+        assert_eq!(Value::Null.compare(&Literal::Text("".into())), None);
+        assert_eq!(Value::Null.compare(&Literal::Number(0.0)), None);
+    }
+
+    #[test]
+    fn canonical_text_formats() {
+        assert_eq!(Value::Float(42.0).canonical_text(), "42");
+        assert_eq!(Value::Float(2.5).canonical_text(), "2.5");
+        assert_eq!(Value::Int(-3).canonical_text(), "-3");
+        assert_eq!(Value::Text(" X ".into()).canonical_text(), "x");
+    }
+}

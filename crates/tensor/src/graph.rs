@@ -1,0 +1,892 @@
+//! Define-by-run reverse-mode autograd on a flat tape.
+//!
+//! A [`Graph`] is an arena of nodes created in topological order; every op
+//! method immediately computes its forward value and records enough
+//! information to run the backward pass. Calling [`Graph::backward`] on a
+//! scalar loss walks the tape in reverse, accumulating gradients into every
+//! node that (transitively) depends on a [`Graph::param`] or
+//! [`Graph::input`] node.
+//!
+//! `input` nodes exist specifically for the paper's adversarial text method
+//! (§IV-C): the Fast Gradient Method needs `dL/dE(w)` for each *input*
+//! embedding row, so word/char embeddings of the question are fed in as
+//! gradient-tracked inputs and their gradients read back after `backward`.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Raw tape index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The operation that produced a node, with the data needed for backward.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant leaf; gradients are not tracked.
+    Leaf,
+    /// Gradient-tracked leaf (model input for adversarial analysis).
+    Input,
+    /// Gradient-tracked leaf bound to a stored parameter (see `param_bindings`).
+    Param,
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    Scale(NodeId, f32),
+    /// `[n, d] + [1, d]` row broadcast.
+    AddRow(NodeId, NodeId),
+    /// `[n, d] * [1, d]` row broadcast.
+    MulRow(NodeId, NodeId),
+    Matmul(NodeId, NodeId),
+    Transpose(NodeId),
+    Sigmoid(NodeId),
+    Tanh(NodeId),
+    Relu(NodeId),
+    SoftmaxRows(NodeId),
+    LogSoftmaxRows(NodeId),
+    HCat(NodeId, NodeId),
+    VCat(NodeId, NodeId),
+    /// Rows `[a, b)` of the source.
+    RowSlice(NodeId, usize, usize),
+    /// Row gather (embedding lookup); duplicates accumulate.
+    GatherRows(NodeId, Vec<usize>),
+    /// `[1, d] -> [n, d]`.
+    RepeatRows(NodeId, usize),
+    SumAll(NodeId),
+    MeanRows(NodeId),
+    SumRows(NodeId),
+    /// Sliding-window flatten: `[n, d] -> [n-k+1, k*d]`.
+    Unfold(NodeId, usize),
+    /// Elementwise `exp`.
+    Exp(NodeId),
+    /// Elementwise natural log.
+    Ln(NodeId),
+    /// Adds a constant scalar to every element (constant not needed for backward).
+    AddScalar(NodeId),
+    /// Mean negative log-likelihood over rows of log-probabilities.
+    PickNll(NodeId, Vec<usize>),
+    /// Mean binary cross-entropy with logits against fixed targets.
+    BceWithLogits(NodeId, Tensor),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// A single forward/backward tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor>>,
+    param_bindings: Vec<(NodeId, ParamId)>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { value, op, requires_grad });
+        id
+    }
+
+    fn rg(&self, id: NodeId) -> bool {
+        self.nodes[id.0].requires_grad
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// Gradient of the last `backward` loss w.r.t. a node, if tracked.
+    pub fn grad(&self, id: NodeId) -> Option<&Tensor> {
+        self.grads.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// Constant leaf (no gradient).
+    pub fn leaf(&mut self, value: Tensor) -> NodeId {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// Gradient-tracked input leaf (see module docs: FGM input gradients).
+    pub fn input(&mut self, value: Tensor) -> NodeId {
+        self.push(value, Op::Input, true)
+    }
+
+    /// Binds a stored parameter into this graph.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        let node = self.push(store.get(id).clone(), Op::Param, true);
+        self.param_bindings.push((node, id));
+        node
+    }
+
+    /// Elementwise addition.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Add(a, b), rg)
+    }
+
+    /// Elementwise subtraction `a - b`.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Sub(a, b), rg)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Mul(a, b), rg)
+    }
+
+    /// Multiplication by a constant scalar.
+    pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
+        let v = self.value(a).map(|x| x * s);
+        let rg = self.rg(a);
+        self.push(v, Op::Scale(a, s), rg)
+    }
+
+    /// Adds a `[1, d]` row vector to every row of a `[n, d]` matrix.
+    pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let (m, r) = (self.value(a), self.value(row));
+        assert_eq!(r.rows(), 1, "add_row rhs must be [1, d]");
+        assert_eq!(m.cols(), r.cols(), "add_row width mismatch");
+        let mut v = m.clone();
+        for i in 0..v.rows() {
+            for (o, &b) in v.row_mut(i).iter_mut().zip(r.row(0)) {
+                *o += b;
+            }
+        }
+        let rg = self.rg(a) || self.rg(row);
+        self.push(v, Op::AddRow(a, row), rg)
+    }
+
+    /// Multiplies every row of a `[n, d]` matrix by a `[1, d]` row vector.
+    pub fn mul_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let (m, r) = (self.value(a), self.value(row));
+        assert_eq!(r.rows(), 1, "mul_row rhs must be [1, d]");
+        assert_eq!(m.cols(), r.cols(), "mul_row width mismatch");
+        let mut v = m.clone();
+        for i in 0..v.rows() {
+            for (o, &b) in v.row_mut(i).iter_mut().zip(r.row(0)) {
+                *o *= b;
+            }
+        }
+        let rg = self.rg(a) || self.rg(row);
+        self.push(v, Op::MulRow(a, row), rg)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Matmul(a, b), rg)
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).transpose();
+        let rg = self.rg(a);
+        self.push(v, Op::Transpose(a), rg)
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let rg = self.rg(a);
+        self.push(v, Op::Sigmoid(a), rg)
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f32::tanh);
+        let rg = self.rg(a);
+        self.push(v, Op::Tanh(a), rg)
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        let rg = self.rg(a);
+        self.push(v, Op::Relu(a), rg)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f32::exp);
+        let rg = self.rg(a);
+        self.push(v, Op::Exp(a), rg)
+    }
+
+    /// Elementwise natural log (inputs must be positive).
+    pub fn ln(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f32::ln);
+        let rg = self.rg(a);
+        self.push(v, Op::Ln(a), rg)
+    }
+
+    /// Adds a constant scalar to every element.
+    pub fn add_scalar(&mut self, a: NodeId, s: f32) -> NodeId {
+        let v = self.value(a).map(|x| x + s);
+        let rg = self.rg(a);
+        self.push(v, Op::AddScalar(a), rg)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let v = softmax_rows_value(self.value(a));
+        let rg = self.rg(a);
+        self.push(v, Op::SoftmaxRows(a), rg)
+    }
+
+    /// Row-wise log-softmax (numerically stable).
+    pub fn log_softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let x = self.value(a);
+        let mut v = x.clone();
+        for r in 0..v.rows() {
+            let row = v.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|&e| (e - max).exp()).sum::<f32>().ln() + max;
+            for e in row.iter_mut() {
+                *e -= lse;
+            }
+        }
+        let rg = self.rg(a);
+        self.push(v, Op::LogSoftmaxRows(a), rg)
+    }
+
+    /// Horizontal concatenation.
+    pub fn hcat(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).hcat(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::HCat(a, b), rg)
+    }
+
+    /// Vertical concatenation.
+    pub fn vcat(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).vcat(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::VCat(a, b), rg)
+    }
+
+    /// Rows `[from, to)` of the source node.
+    pub fn row_slice(&mut self, a: NodeId, from: usize, to: usize) -> NodeId {
+        let src = self.value(a);
+        assert!(from <= to && to <= src.rows(), "row_slice out of range");
+        let cols = src.cols();
+        let mut data = Vec::with_capacity((to - from) * cols);
+        for r in from..to {
+            data.extend_from_slice(src.row(r));
+        }
+        let v = Tensor::from_vec(to - from, cols, data);
+        let rg = self.rg(a);
+        self.push(v, Op::RowSlice(a, from, to), rg)
+    }
+
+    /// Single row `r` as a `[1, d]` node.
+    pub fn row(&mut self, a: NodeId, r: usize) -> NodeId {
+        self.row_slice(a, r, r + 1)
+    }
+
+    /// Gathers rows by index (embedding lookup); indices may repeat.
+    pub fn gather_rows(&mut self, a: NodeId, indices: Vec<usize>) -> NodeId {
+        let src = self.value(a);
+        let cols = src.cols();
+        let mut data = Vec::with_capacity(indices.len() * cols);
+        for &i in &indices {
+            assert!(i < src.rows(), "gather index {i} out of {} rows", src.rows());
+            data.extend_from_slice(src.row(i));
+        }
+        let v = Tensor::from_vec(indices.len(), cols, data);
+        let rg = self.rg(a);
+        self.push(v, Op::GatherRows(a, indices), rg)
+    }
+
+    /// Repeats a `[1, d]` row `n` times into `[n, d]`.
+    pub fn repeat_rows(&mut self, a: NodeId, n: usize) -> NodeId {
+        let src = self.value(a);
+        assert_eq!(src.rows(), 1, "repeat_rows source must be [1, d]");
+        let mut data = Vec::with_capacity(n * src.cols());
+        for _ in 0..n {
+            data.extend_from_slice(src.row(0));
+        }
+        let v = Tensor::from_vec(n, src.cols(), data);
+        let rg = self.rg(a);
+        self.push(v, Op::RepeatRows(a, n), rg)
+    }
+
+    /// Sum of all elements as `[1, 1]`.
+    pub fn sum_all(&mut self, a: NodeId) -> NodeId {
+        let v = Tensor::from_vec(1, 1, vec![self.value(a).sum()]);
+        let rg = self.rg(a);
+        self.push(v, Op::SumAll(a), rg)
+    }
+
+    /// Column-wise mean over rows: `[n, d] -> [1, d]`.
+    pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
+        let src = self.value(a);
+        let n = src.rows().max(1) as f32;
+        let mut out = vec![0.0; src.cols()];
+        for r in 0..src.rows() {
+            for (o, &x) in out.iter_mut().zip(src.row(r)) {
+                *o += x;
+            }
+        }
+        for o in &mut out {
+            *o /= n;
+        }
+        let cols = src.cols();
+        let rg = self.rg(a);
+        self.push(Tensor::from_vec(1, cols, out), Op::MeanRows(a), rg)
+    }
+
+    /// Column-wise sum over rows: `[n, d] -> [1, d]`.
+    pub fn sum_rows(&mut self, a: NodeId) -> NodeId {
+        let src = self.value(a);
+        let mut out = vec![0.0; src.cols()];
+        for r in 0..src.rows() {
+            for (o, &x) in out.iter_mut().zip(src.row(r)) {
+                *o += x;
+            }
+        }
+        let cols = src.cols();
+        let rg = self.rg(a);
+        self.push(Tensor::from_vec(1, cols, out), Op::SumRows(a), rg)
+    }
+
+    /// Sliding-window flatten used by the char-CNN: `[n, d] -> [n-k+1, k*d]`.
+    ///
+    /// # Panics
+    /// Panics if `n < k`; callers pad with zero rows first (§IV-B pads so
+    /// that at least one slice is available).
+    pub fn unfold(&mut self, a: NodeId, k: usize) -> NodeId {
+        let src = self.value(a);
+        assert!(k >= 1 && src.rows() >= k, "unfold needs at least k={k} rows, got {}", src.rows());
+        let out_rows = src.rows() - k + 1;
+        let cols = src.cols();
+        let mut data = Vec::with_capacity(out_rows * k * cols);
+        for r in 0..out_rows {
+            for w in 0..k {
+                data.extend_from_slice(src.row(r + w));
+            }
+        }
+        let v = Tensor::from_vec(out_rows, k * cols, data);
+        let rg = self.rg(a);
+        self.push(v, Op::Unfold(a, k), rg)
+    }
+
+    /// Mean negative log-likelihood: input must be row-wise log-probabilities
+    /// `[n, V]`; `targets[i]` selects the gold class of row `i`.
+    pub fn pick_nll(&mut self, logp: NodeId, targets: Vec<usize>) -> NodeId {
+        let src = self.value(logp);
+        assert_eq!(src.rows(), targets.len(), "pick_nll target count mismatch");
+        let mut loss = 0.0;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < src.cols(), "pick_nll target {t} out of {} classes", src.cols());
+            loss -= src.get(r, t);
+        }
+        loss /= targets.len().max(1) as f32;
+        let rg = self.rg(logp);
+        self.push(Tensor::from_vec(1, 1, vec![loss]), Op::PickNll(logp, targets), rg)
+    }
+
+    /// Mean binary cross-entropy with logits against fixed 0/1 targets
+    /// (numerically stable formulation).
+    pub fn bce_with_logits(&mut self, logits: NodeId, targets: Tensor) -> NodeId {
+        let x = self.value(logits);
+        assert_eq!(x.shape(), targets.shape(), "bce shape mismatch");
+        let n = x.len().max(1) as f32;
+        let mut loss = 0.0;
+        for (&xi, &ti) in x.data().iter().zip(targets.data()) {
+            loss += xi.max(0.0) - xi * ti + (1.0 + (-xi.abs()).exp()).ln();
+        }
+        loss /= n;
+        let rg = self.rg(logits);
+        self.push(Tensor::from_vec(1, 1, vec![loss]), Op::BceWithLogits(logits, targets), rg)
+    }
+
+    /// Runs reverse-mode differentiation from a scalar `[1, 1]` loss node.
+    ///
+    /// After this call, [`Graph::grad`] returns gradients for every
+    /// gradient-tracked node and [`Graph::param_grads`] collects them per
+    /// parameter.
+    pub fn backward(&mut self, loss: NodeId) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward requires a scalar loss");
+        self.grads = (0..self.nodes.len()).map(|_| None).collect();
+        self.grads[loss.0] = Some(Tensor::from_vec(1, 1, vec![1.0]));
+        for i in (0..=loss.0).rev() {
+            if self.grads[i].is_none() || !self.nodes[i].requires_grad {
+                continue;
+            }
+            let g = self.grads[i].take().expect("checked above");
+            self.backprop_node(i, &g);
+            self.grads[i] = Some(g);
+        }
+    }
+
+    fn accum(&mut self, id: NodeId, delta: &Tensor) {
+        if !self.nodes[id.0].requires_grad {
+            return;
+        }
+        match &mut self.grads[id.0] {
+            Some(g) => g.add_scaled(delta, 1.0),
+            slot @ None => *slot = Some(delta.clone()),
+        }
+    }
+
+    fn backprop_node(&mut self, i: usize, g: &Tensor) {
+        // Clone the op descriptor so we can call &mut self accumulation.
+        let op = self.nodes[i].op.clone();
+        match op {
+            Op::Leaf | Op::Input | Op::Param => {}
+            Op::Add(a, b) => {
+                self.accum(a, g);
+                self.accum(b, g);
+            }
+            Op::Sub(a, b) => {
+                self.accum(a, g);
+                let neg = g.map(|x| -x);
+                self.accum(b, &neg);
+            }
+            Op::Mul(a, b) => {
+                let da = g.zip(self.value(b), |gi, bi| gi * bi);
+                let db = g.zip(self.value(a), |gi, ai| gi * ai);
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
+            Op::Scale(a, s) => {
+                let da = g.map(|x| x * s);
+                self.accum(a, &da);
+            }
+            Op::AddRow(a, row) => {
+                self.accum(a, g);
+                let mut dr = Tensor::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for (o, &x) in dr.row_mut(0).iter_mut().zip(g.row(r)) {
+                        *o += x;
+                    }
+                }
+                self.accum(row, &dr);
+            }
+            Op::MulRow(a, row) => {
+                let rv = self.value(row).clone();
+                let av = self.value(a).clone();
+                let mut da = g.clone();
+                for r in 0..da.rows() {
+                    for (o, &m) in da.row_mut(r).iter_mut().zip(rv.row(0)) {
+                        *o *= m;
+                    }
+                }
+                self.accum(a, &da);
+                let mut dr = Tensor::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for c in 0..g.cols() {
+                        dr.row_mut(0)[c] += g.get(r, c) * av.get(r, c);
+                    }
+                }
+                self.accum(row, &dr);
+            }
+            Op::Matmul(a, b) => {
+                let da = g.matmul(&self.value(b).transpose());
+                let db = self.value(a).transpose().matmul(g);
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
+            Op::Transpose(a) => {
+                let da = g.transpose();
+                self.accum(a, &da);
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[i].value;
+                let da = g.zip(y, |gi, yi| gi * yi * (1.0 - yi));
+                self.accum(a, &da);
+            }
+            Op::Tanh(a) => {
+                let y = &self.nodes[i].value;
+                let da = g.zip(y, |gi, yi| gi * (1.0 - yi * yi));
+                self.accum(a, &da);
+            }
+            Op::Relu(a) => {
+                let y = &self.nodes[i].value;
+                let da = g.zip(y, |gi, yi| if yi > 0.0 { gi } else { 0.0 });
+                self.accum(a, &da);
+            }
+            Op::Exp(a) => {
+                let y = &self.nodes[i].value;
+                let da = g.zip(y, |gi, yi| gi * yi);
+                self.accum(a, &da);
+            }
+            Op::Ln(a) => {
+                let x = self.value(a);
+                let da = g.zip(x, |gi, xi| gi / xi);
+                self.accum(a, &da);
+            }
+            Op::AddScalar(a) => {
+                self.accum(a, g);
+            }
+            Op::SoftmaxRows(a) => {
+                let y = self.nodes[i].value.clone();
+                let mut da = Tensor::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let dot: f32 =
+                        g.row(r).iter().zip(y.row(r)).map(|(&gi, &yi)| gi * yi).sum();
+                    for c in 0..y.cols() {
+                        da.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                    }
+                }
+                self.accum(a, &da);
+            }
+            Op::LogSoftmaxRows(a) => {
+                let logp = self.nodes[i].value.clone();
+                let mut da = Tensor::zeros(logp.rows(), logp.cols());
+                for r in 0..logp.rows() {
+                    let gsum: f32 = g.row(r).iter().sum();
+                    for c in 0..logp.cols() {
+                        da.set(r, c, g.get(r, c) - logp.get(r, c).exp() * gsum);
+                    }
+                }
+                self.accum(a, &da);
+            }
+            Op::HCat(a, b) => {
+                let ac = self.value(a).cols();
+                let rows = g.rows();
+                let mut da = Tensor::zeros(rows, ac);
+                let mut db = Tensor::zeros(rows, g.cols() - ac);
+                for r in 0..rows {
+                    da.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
+                    db.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
+                }
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
+            Op::VCat(a, b) => {
+                let ar = self.value(a).rows();
+                let cols = g.cols();
+                let mut da = Tensor::zeros(ar, cols);
+                let mut db = Tensor::zeros(g.rows() - ar, cols);
+                for r in 0..ar {
+                    da.row_mut(r).copy_from_slice(g.row(r));
+                }
+                for r in ar..g.rows() {
+                    db.row_mut(r - ar).copy_from_slice(g.row(r));
+                }
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
+            Op::RowSlice(a, from, _to) => {
+                let src = self.value(a);
+                let mut da = Tensor::zeros(src.rows(), src.cols());
+                for r in 0..g.rows() {
+                    da.row_mut(from + r).copy_from_slice(g.row(r));
+                }
+                self.accum(a, &da);
+            }
+            Op::GatherRows(a, indices) => {
+                let src = self.value(a);
+                let mut da = Tensor::zeros(src.rows(), src.cols());
+                for (r, &idx) in indices.iter().enumerate() {
+                    for (o, &x) in da.row_mut(idx).iter_mut().zip(g.row(r)) {
+                        *o += x;
+                    }
+                }
+                self.accum(a, &da);
+            }
+            Op::RepeatRows(a, _n) => {
+                let mut da = Tensor::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for (o, &x) in da.row_mut(0).iter_mut().zip(g.row(r)) {
+                        *o += x;
+                    }
+                }
+                self.accum(a, &da);
+            }
+            Op::SumAll(a) => {
+                let src = self.value(a);
+                let da = Tensor::full(src.rows(), src.cols(), g.scalar());
+                self.accum(a, &da);
+            }
+            Op::MeanRows(a) => {
+                let src = self.value(a);
+                let n = src.rows().max(1) as f32;
+                let mut da = Tensor::zeros(src.rows(), src.cols());
+                for r in 0..src.rows() {
+                    for (o, &x) in da.row_mut(r).iter_mut().zip(g.row(0)) {
+                        *o = x / n;
+                    }
+                }
+                self.accum(a, &da);
+            }
+            Op::SumRows(a) => {
+                let src = self.value(a);
+                let mut da = Tensor::zeros(src.rows(), src.cols());
+                for r in 0..src.rows() {
+                    da.row_mut(r).copy_from_slice(g.row(0));
+                }
+                self.accum(a, &da);
+            }
+            Op::Unfold(a, k) => {
+                let src = self.value(a);
+                let d = src.cols();
+                let mut da = Tensor::zeros(src.rows(), d);
+                for r in 0..g.rows() {
+                    for w in 0..k {
+                        for c in 0..d {
+                            let v = g.get(r, w * d + c);
+                            da.set(r + w, c, da.get(r + w, c) + v);
+                        }
+                    }
+                }
+                self.accum(a, &da);
+            }
+            Op::PickNll(a, targets) => {
+                let src = self.value(a);
+                let n = targets.len().max(1) as f32;
+                let scale = g.scalar() / n;
+                let mut da = Tensor::zeros(src.rows(), src.cols());
+                for (r, &t) in targets.iter().enumerate() {
+                    da.set(r, t, -scale);
+                }
+                self.accum(a, &da);
+            }
+            Op::BceWithLogits(a, targets) => {
+                let x = self.value(a);
+                let n = x.len().max(1) as f32;
+                let scale = g.scalar() / n;
+                let da = x.zip(&targets, |xi, ti| {
+                    let s = 1.0 / (1.0 + (-xi).exp());
+                    scale * (s - ti)
+                });
+                self.accum(a, &da);
+            }
+        }
+    }
+
+    /// Collects accumulated gradients per bound parameter, merging multiple
+    /// bindings of the same parameter.
+    pub fn param_grads(&self) -> Vec<(ParamId, Tensor)> {
+        let mut merged: Vec<(ParamId, Tensor)> = Vec::with_capacity(self.param_bindings.len());
+        for &(node, pid) in &self.param_bindings {
+            let Some(g) = self.grad(node) else { continue };
+            match merged.iter_mut().find(|(id, _)| *id == pid) {
+                Some((_, acc)) => acc.add_scaled(g, 1.0),
+                None => merged.push((pid, g.clone())),
+            }
+        }
+        merged
+    }
+}
+
+/// Row-wise softmax of a plain tensor (shared with inference-only paths).
+pub fn softmax_rows_value(x: &Tensor) -> Tensor {
+    let mut v = x.clone();
+    for r in 0..v.rows() {
+        let row = v.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for e in row.iter_mut() {
+            *e = (*e - max).exp();
+            sum += *e;
+        }
+        for e in row.iter_mut() {
+            *e /= sum;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_compose() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::row_vector(&[1.0, 2.0]));
+        let b = g.leaf(Tensor::row_vector(&[3.0, 4.0]));
+        let s = g.add(a, b);
+        assert_eq!(g.value(s).data(), &[4.0, 6.0]);
+        let m = g.mul(a, b);
+        assert_eq!(g.value(m).data(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn backward_through_add_mul() {
+        // loss = sum(a * b) => dL/da = b, dL/db = a
+        let mut g = Graph::new();
+        let a = g.input(Tensor::row_vector(&[1.0, 2.0]));
+        let b = g.input(Tensor::row_vector(&[3.0, 4.0]));
+        let m = g.mul(a, b);
+        let loss = g.sum_all(m);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[3.0, 4.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_matmul_matches_manual() {
+        // loss = sum(A @ B); dA = ones @ B^T, dB = A^T @ ones
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = g.input(Tensor::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let c = g.matmul(a, b);
+        let loss = g.sum_all(c);
+        g.backward(loss);
+        // dA[i][k] = sum_j B[k][j]
+        assert_eq!(g.grad(a).unwrap().data(), &[11.0, 15.0, 11.0, 15.0]);
+        // dB[k][j] = sum_i A[i][k]
+        assert_eq!(g.grad(b).unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn leaf_has_no_grad() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::row_vector(&[1.0]));
+        let b = g.input(Tensor::row_vector(&[2.0]));
+        let m = g.mul(a, b);
+        let loss = g.sum_all(m);
+        g.backward(loss);
+        assert!(g.grad(a).is_none());
+        assert!(g.grad(b).is_some());
+    }
+
+    #[test]
+    fn gather_rows_accumulates_duplicates() {
+        let mut g = Graph::new();
+        let e = g.input(Tensor::from_vec(3, 2, vec![1.0; 6]));
+        let picked = g.gather_rows(e, vec![0, 2, 0]);
+        assert_eq!(g.value(picked).rows(), 3);
+        let loss = g.sum_all(picked);
+        g.backward(loss);
+        let grad = g.grad(e).unwrap();
+        assert_eq!(grad.row(0), &[2.0, 2.0]); // picked twice
+        assert_eq!(grad.row(1), &[0.0, 0.0]);
+        assert_eq!(grad.row(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        let s = g.softmax_rows(a);
+        for r in 0..2 {
+            let sum: f32 = g.value(s).row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let mut g = Graph::new();
+        let x = Tensor::from_vec(1, 3, vec![0.3, -0.5, 2.0]);
+        let a = g.leaf(x.clone());
+        let s = g.softmax_rows(a);
+        let b = g.leaf(x);
+        let l = g.log_softmax_rows(b);
+        for c in 0..3 {
+            let diff = g.value(s).get(0, c).ln() - g.value(l).get(0, c);
+            assert!(diff.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bce_matches_closed_form() {
+        // logits = 0 => sigmoid = 0.5 => loss = ln 2 regardless of target
+        let mut g = Graph::new();
+        let a = g.input(Tensor::row_vector(&[0.0, 0.0]));
+        let loss = g.bce_with_logits(a, Tensor::row_vector(&[1.0, 0.0]));
+        assert!((g.value(loss).scalar() - std::f32::consts::LN_2).abs() < 1e-6);
+        g.backward(loss);
+        let grad = g.grad(a).unwrap();
+        // d/dx = (sigmoid(x) - t)/n = (0.5 - t)/2
+        assert!((grad.data()[0] - (-0.25)).abs() < 1e-6);
+        assert!((grad.data()[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pick_nll_selects_targets() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(2, 2, vec![1.0, 3.0, 2.0, 0.5]));
+        let lp = g.log_softmax_rows(a);
+        let loss = g.pick_nll(lp, vec![1, 0]);
+        // manual: -(logp[0][1] + logp[1][0]) / 2
+        let expected = -(g.value(lp).get(0, 1) + g.value(lp).get(1, 0)) / 2.0;
+        assert!((g.value(loss).scalar() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unfold_shapes_and_backward() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(4, 2, vec![1.0; 8]));
+        let u = g.unfold(a, 3);
+        assert_eq!(g.value(u).shape(), (2, 6));
+        let loss = g.sum_all(u);
+        g.backward(loss);
+        let grad = g.grad(a).unwrap();
+        // middle rows appear in both windows
+        assert_eq!(grad.row(0), &[1.0, 1.0]);
+        assert_eq!(grad.row(1), &[2.0, 2.0]);
+        assert_eq!(grad.row(2), &[2.0, 2.0]);
+        assert_eq!(grad.row(3), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn param_grads_merge_multiple_bindings() {
+        let mut store = ParamStore::new();
+        let pid = store.add("w", Tensor::row_vector(&[2.0]));
+        let mut g = Graph::new();
+        let p1 = g.param(&store, pid);
+        let p2 = g.param(&store, pid);
+        let s = g.mul(p1, p2); // w * w
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        let grads = g.param_grads();
+        assert_eq!(grads.len(), 1);
+        // d(w^2)/dw = 2w = 4
+        assert_eq!(grads[0].1.data(), &[4.0]);
+    }
+
+    #[test]
+    fn repeat_rows_backward_sums() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::row_vector(&[1.0, 2.0]));
+        let r = g.repeat_rows(a, 3);
+        assert_eq!(g.value(r).shape(), (3, 2));
+        let loss = g.sum_all(r);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn row_slice_grad_is_zero_padded() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(3, 1, vec![1.0, 2.0, 3.0]));
+        let s = g.row_slice(a, 1, 2);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[0.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,52 @@
+//! # nlidb-tensor
+//!
+//! A deliberately small, auditable reverse-mode autograd library that powers
+//! the neural components of the NLIDB reproduction (ICDE 2020, Wang et al.).
+//!
+//! Why build this instead of binding an existing framework: the paper's core
+//! technique — the adversarial text method of §IV-C — reads *input-side*
+//! gradients `dL/dE(w)` off a trained classifier. That requires a training
+//! stack with first-class access to gradients of arbitrary interior nodes,
+//! which mature Rust DL bindings do not expose cleanly; a ~1k-line tape
+//! autograd covers everything the paper needs (LSTM/GRU cells, attention,
+//! char-CNN, copy-mechanism decoding) while staying fully deterministic and
+//! dependency-free.
+//!
+//! ## Layout
+//! - [`tensor`]: dense row-major `f32` matrices.
+//! - [`graph`]: the define-by-run tape ([`Graph`], [`NodeId`]) with forward
+//!   ops and reverse-mode [`Graph::backward`].
+//! - [`params`]: persistent named parameters ([`ParamStore`]).
+//! - [`optim`]: SGD/Adam and global-norm gradient clipping.
+//! - [`gradcheck`]: finite-difference verification utilities.
+//!
+//! ## Example
+//! ```
+//! use nlidb_tensor::{Graph, ParamStore, Tensor, optim::Adam};
+//!
+//! let mut store = ParamStore::new();
+//! let w = store.add("w", Tensor::row_vector(&[3.0]));
+//! let mut opt = Adam::new(0.1);
+//! for _ in 0..200 {
+//!     let mut g = Graph::new();
+//!     let wn = g.param(&store, w);
+//!     let sq = g.mul(wn, wn);
+//!     let loss = g.sum_all(sq);
+//!     g.backward(loss);
+//!     let grads = g.param_grads();
+//!     opt.step(&mut store, &grads);
+//! }
+//! assert!(store.get(w).data()[0].abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod graph;
+pub mod optim;
+pub mod params;
+pub mod tensor;
+
+pub use graph::{softmax_rows_value, Graph, NodeId};
+pub use params::{ParamId, ParamStore};
+pub use tensor::Tensor;

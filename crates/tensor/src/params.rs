@@ -1,0 +1,170 @@
+//! Named parameter storage shared by all models.
+//!
+//! Parameters live outside the per-example [`crate::graph::Graph`]: a graph
+//! is rebuilt for every forward pass (define-by-run), while the
+//! [`ParamStore`] persists across passes and is updated by an optimizer in
+//! [`crate::optim`]. Binding a parameter into a graph with
+//! [`crate::graph::Graph::param`] records the (node, param) association so
+//! gradients can be routed back after `backward`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// Opaque handle to a parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Raw index (stable for the lifetime of the store).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A collection of named, trainable tensors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+    #[serde(skip)]
+    index: HashMap<String, ParamId>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter under a unique name.
+    ///
+    /// # Panics
+    /// Panics if the name is already registered.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(!self.index.contains_key(&name), "duplicate parameter name: {name}");
+        let id = ParamId(self.values.len());
+        self.index.insert(name.clone(), id);
+        self.names.push(name);
+        self.values.push(value);
+        id
+    }
+
+    /// Looks up a parameter id by name.
+    pub fn id_of(&self, name: &str) -> Option<ParamId> {
+        self.index.get(name).copied()
+    }
+
+    /// Parameter value.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable parameter value (used by optimizers).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Parameter name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar parameters across all tensors.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.names
+            .iter()
+            .zip(&self.values)
+            .enumerate()
+            .map(|(i, (n, v))| (ParamId(i), n.as_str(), v))
+    }
+
+    /// Serializes the store to JSON (checkpointing).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("param store serialization cannot fail")
+    }
+
+    /// Restores a store from JSON produced by [`ParamStore::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let mut store: ParamStore = serde_json::from_str(json)?;
+        store.rebuild_index();
+        Ok(store)
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), ParamId(i)))
+            .collect();
+    }
+
+    /// True if every parameter value is finite (training-sanity check).
+    pub fn all_finite(&self) -> bool {
+        self.values.iter().all(Tensor::all_finite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::zeros(2, 3));
+        assert_eq!(store.id_of("w"), Some(id));
+        assert_eq!(store.get(id).shape(), (2, 3));
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_scalars(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_name_panics() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::zeros(1, 1));
+        store.add("w", Tensor::zeros(1, 1));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_values_and_names() {
+        let mut store = ParamStore::new();
+        store.add("a", Tensor::row_vector(&[1.5, -2.0]));
+        store.add("b", Tensor::zeros(2, 2));
+        let json = store.to_json();
+        let restored = ParamStore::from_json(&json).unwrap();
+        assert_eq!(restored.len(), 2);
+        let a = restored.id_of("a").unwrap();
+        assert_eq!(restored.get(a).data(), &[1.5, -2.0]);
+    }
+
+    #[test]
+    fn iter_yields_in_insertion_order() {
+        let mut store = ParamStore::new();
+        store.add("x", Tensor::zeros(1, 1));
+        store.add("y", Tensor::zeros(1, 2));
+        let names: Vec<&str> = store.iter().map(|(_, n, _)| n).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

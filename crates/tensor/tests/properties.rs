@@ -1,0 +1,122 @@
+//! Property-based tests for the autograd engine: algebraic identities of
+//! tensor ops and gradient-correctness over random graphs.
+
+use proptest::prelude::*;
+
+use nlidb_tensor::gradcheck::check_input_gradient;
+use nlidb_tensor::{Graph, Tensor};
+
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_identity_left_and_right(a in arb_tensor(3, 3)) {
+        let mut id = Tensor::zeros(3, 3);
+        for i in 0..3 {
+            id.set(i, i, 1.0);
+        }
+        prop_assert_eq!(&a.matmul(&id), &a);
+        prop_assert_eq!(&id.matmul(&a), &a);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_tensor(2, 3),
+        b in arb_tensor(3, 2),
+        c in arb_tensor(3, 2),
+    ) {
+        // a(b + c) == ab + ac (within f32 tolerance)
+        let bc = b.zip(&c, |x, y| x + y);
+        let left = a.matmul(&bc);
+        let right = {
+            let ab = a.matmul(&b);
+            let ac = a.matmul(&c);
+            ab.zip(&ac, |x, y| x + y)
+        };
+        for (l, r) in left.data().iter().zip(right.data()) {
+            prop_assert!((l - r).abs() < 1e-4, "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_norm(a in arb_tensor(3, 4)) {
+        prop_assert!((a.norm() - a.transpose().norm()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in arb_tensor(3, 5)) {
+        let mut g = Graph::new();
+        let x = g.leaf(a);
+        let s = g.softmax_rows(x);
+        let v = g.value(s);
+        for r in 0..v.rows() {
+            let sum: f32 = v.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(v.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn add_commutes_and_scale_distributes(a in arb_tensor(2, 4), b in arb_tensor(2, 4), s in -3.0f32..3.0) {
+        let mut g = Graph::new();
+        let an = g.leaf(a.clone());
+        let bn = g.leaf(b.clone());
+        let ab = g.add(an, bn);
+        let ba = g.add(bn, an);
+        prop_assert_eq!(g.value(ab), g.value(ba));
+        let sab = g.scale(ab, s);
+        let sa = g.scale(an, s);
+        let sb = g.scale(bn, s);
+        let sab2 = g.add(sa, sb);
+        for (x, y) in g.value(sab).data().iter().zip(g.value(sab2).data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_on_random_graphs(
+        x in arb_tensor(2, 3),
+        w in arb_tensor(3, 3),
+    ) {
+        // loss = sum(tanh(x @ w) * sigmoid(x))-ish composite
+        let report = check_input_gradient(&x, 1e-2, |g, xn| {
+            let wn = g.leaf(w.clone());
+            let y = g.matmul(xn, wn);
+            let t = g.tanh(y);
+            let s = g.sigmoid(xn);
+            let m = g.mul(t, s);
+            g.sum_all(m)
+        });
+        prop_assert!(report.passes(0.05), "{report:?}");
+    }
+
+    #[test]
+    fn backward_is_deterministic(x in arb_tensor(2, 2)) {
+        let run = || {
+            let mut g = Graph::new();
+            let xn = g.input(x.clone());
+            let t = g.tanh(xn);
+            let loss = g.sum_all(t);
+            g.backward(loss);
+            g.grad(xn).unwrap().clone()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn exp_ln_inverse_on_positive(x in prop::collection::vec(0.1f32..5.0, 6)) {
+        let t = Tensor::from_vec(2, 3, x);
+        let mut g = Graph::new();
+        let xn = g.leaf(t.clone());
+        let l = g.ln(xn);
+        let e = g.exp(l);
+        for (a, b) in g.value(e).data().iter().zip(t.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Rule-based pseudo-dependency parsing for mention resolution (§IV-E).
+//!
+//! The paper resolves ambiguous value/column pairings by preferring pairs
+//! that are structurally close in the question's dependency tree. A full
+//! statistical parser is out of scope (and unnecessary): the load-bearing
+//! property is *locality* — words in the same phrase are close in the tree,
+//! words in different clauses are farther apart. [`DepTree::parse`] builds a
+//! deterministic tree with that property using governor heuristics: verbs
+//! and prepositions head the tokens that follow them, and governors chain
+//! to the sentence root.
+
+use crate::stopwords::is_stop_word;
+
+/// Heuristic verb list covering the corpora's question templates.
+const VERBS: &[&str] = &[
+    "is", "are", "was", "were", "be", "did", "does", "do", "has", "have", "had", "won", "win",
+    "play", "played", "plays", "live", "lives", "lived", "star", "starred", "directed",
+    "scheduled", "elected", "released", "founded", "built", "nominated", "scored", "golfs",
+    "made", "hold", "held", "show", "list", "give", "find", "get", "cost", "costs", "serve",
+    "serves", "located", "born",
+];
+
+const PREPOSITIONS: &[&str] =
+    &["of", "in", "on", "at", "by", "for", "with", "from", "to", "as", "during", "per"];
+
+fn is_verb(token: &str) -> bool {
+    VERBS.contains(&token)
+}
+
+fn is_preposition(token: &str) -> bool {
+    PREPOSITIONS.contains(&token)
+}
+
+/// A parsed dependency tree over token indices.
+#[derive(Debug, Clone)]
+pub struct DepTree {
+    parent: Vec<Option<usize>>,
+    root: usize,
+}
+
+impl DepTree {
+    /// Parses tokens into a tree (always succeeds; single root).
+    pub fn parse(tokens: &[String]) -> DepTree {
+        let n = tokens.len();
+        if n == 0 {
+            return DepTree { parent: Vec::new(), root: 0 };
+        }
+        // Root: the first verb, else the first content word, else token 0.
+        let root = tokens
+            .iter()
+            .position(|t| is_verb(t))
+            .or_else(|| tokens.iter().position(|t| !is_stop_word(t)))
+            .unwrap_or(0);
+
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        // Governors (verbs and prepositions) chain to the previous governor;
+        // the first governor after the root attaches to the root.
+        let mut last_governor = root;
+        for i in 0..n {
+            if i == root {
+                continue;
+            }
+            let t = tokens[i].as_str();
+            if is_verb(t) || is_preposition(t) {
+                parent[i] = Some(last_governor);
+                last_governor = i;
+            } else {
+                // Content and function words attach to the most recent
+                // governor (phrase locality); words before any governor
+                // attach to the root.
+                parent[i] = Some(last_governor);
+            }
+        }
+        // Tokens *before* the root re-attach to the root so the tree is
+        // connected with a single root.
+        for (i, p) in parent.iter_mut().enumerate() {
+            if i != root && p.is_none() {
+                *p = Some(root);
+            }
+        }
+        // Fix up: tokens before the root currently point at `root`
+        // (last_governor started as root), which is already correct.
+        DepTree { parent, root }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The root token index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Parent of a token (None for the root).
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    fn path_to_root(&self, mut i: usize) -> Vec<usize> {
+        let mut path = vec![i];
+        let mut guard = 0;
+        while let Some(p) = self.parent[i] {
+            path.push(p);
+            i = p;
+            guard += 1;
+            assert!(guard <= self.parent.len(), "cycle in dependency tree");
+        }
+        path
+    }
+
+    /// Tree distance (number of edges on the path) between two tokens.
+    pub fn dist(&self, a: usize, b: usize) -> usize {
+        if a == b {
+            return 0;
+        }
+        let pa = self.path_to_root(a);
+        let pb = self.path_to_root(b);
+        // Find the lowest common ancestor by comparing suffixes.
+        let mut ia = pa.len();
+        let mut ib = pb.len();
+        while ia > 0 && ib > 0 && pa[ia - 1] == pb[ib - 1] {
+            ia -= 1;
+            ib -= 1;
+        }
+        ia + ib
+    }
+
+    /// Minimum tree distance between two token *spans* `[a0, a1)`, `[b0, b1)`.
+    pub fn span_dist(&self, a: (usize, usize), b: (usize, usize)) -> usize {
+        let mut best = usize::MAX;
+        for i in a.0..a.1 {
+            for j in b.0..b.1 {
+                best = best.min(self.dist(i, j));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    fn parse(q: &str) -> (Vec<String>, DepTree) {
+        let toks = tokenize(q);
+        let tree = DepTree::parse(&toks);
+        (toks, tree)
+    }
+
+    #[test]
+    fn empty_input() {
+        let tree = DepTree::parse(&[]);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn single_token_is_root() {
+        let toks = tokenize("population");
+        let tree = DepTree::parse(&toks);
+        assert_eq!(tree.root(), 0);
+        assert_eq!(tree.dist(0, 0), 0);
+    }
+
+    #[test]
+    fn tree_is_connected_and_acyclic() {
+        let (toks, tree) =
+            parse("Which film directed by Jerzy Antczak did Piotr Adamczyk star in?");
+        for i in 0..toks.len() {
+            // path_to_root terminates (asserted inside) and reaches root.
+            let d = tree.dist(i, tree.root());
+            assert!(d < toks.len());
+        }
+    }
+
+    #[test]
+    fn root_is_a_verb_when_present() {
+        let (toks, tree) = parse("Which film directed by Jerzy Antczak?");
+        assert_eq!(toks[tree.root()], "directed");
+    }
+
+    #[test]
+    fn adjacent_phrase_words_are_close() {
+        // "Jerzy Antczak" follows "directed by": the value should be closer
+        // to its governing column phrase than to distant tokens.
+        let (toks, tree) =
+            parse("Which film directed by Jerzy Antczak did Piotr Adamczyk star in?");
+        let by = toks.iter().position(|t| t == "by").unwrap();
+        let jerzy = toks.iter().position(|t| t == "jerzy").unwrap();
+        let star = toks.iter().position(|t| t == "star").unwrap();
+        assert!(
+            tree.dist(by, jerzy) < tree.dist(by, star),
+            "phrase locality violated: d(by,jerzy)={} d(by,star)={}",
+            tree.dist(by, jerzy),
+            tree.dist(by, star)
+        );
+    }
+
+    #[test]
+    fn resolution_prefers_nearby_column() {
+        // The §IV-E scenario: the value right after its column mention
+        // should be nearer that column than a different clause's column.
+        let (toks, tree) =
+            parse("Which film directed by Jerzy Antczak did Piotr Adamczyk star in?");
+        let directed = toks.iter().position(|t| t == "directed").unwrap();
+        let jerzy = toks.iter().position(|t| t == "jerzy").unwrap();
+        let piotr = toks.iter().position(|t| t == "piotr").unwrap();
+        assert!(
+            tree.dist(directed, jerzy) <= tree.dist(directed, piotr),
+            "d(directed,jerzy)={} should be <= d(directed,piotr)={}",
+            tree.dist(directed, jerzy),
+            tree.dist(directed, piotr)
+        );
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let (toks, tree) = parse("How many people live in Mayo who have the English name?");
+        for i in 0..toks.len() {
+            for j in 0..toks.len() {
+                assert_eq!(tree.dist(i, j), tree.dist(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn span_dist_is_min_over_pairs() {
+        let (_, tree) = parse("Where was the game played on 20 May?");
+        let d = tree.span_dist((0, 2), (5, 7));
+        let mut manual = usize::MAX;
+        for i in 0..2 {
+            for j in 5..7 {
+                manual = manual.min(tree.dist(i, j));
+            }
+        }
+        assert_eq!(d, manual);
+    }
+
+    #[test]
+    fn no_verb_question_still_parses() {
+        let (toks, tree) = parse("population of Mayo?");
+        assert_eq!(toks[tree.root()], "population");
+        assert!(tree.dist(0, toks.len() - 1) > 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! String distances used for context-free mention matching (§III).
+//!
+//! The paper first tries exact/edit/semantic-distance matching before
+//! falling back to the neural classifier; this module supplies the string
+//! side (the semantic side lives in [`crate::embedding`]).
+
+/// Levenshtein edit distance between two strings (character level).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Edit distance normalized by the longer string's length, in `[0, 1]`.
+pub fn normalized_edit_distance(a: &str, b: &str) -> f32 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 0.0;
+    }
+    edit_distance(a, b) as f32 / max as f32
+}
+
+/// Similarity counterpart: `1 - normalized_edit_distance`.
+pub fn edit_similarity(a: &str, b: &str) -> f32 {
+    1.0 - normalized_edit_distance(a, b)
+}
+
+/// Jaccard similarity over word token sets.
+pub fn token_jaccard(a: &[String], b: &[String]) -> f32 {
+    use std::collections::HashSet;
+    let sa: HashSet<&str> = a.iter().map(String::as_str).collect();
+    let sb: HashSet<&str> = b.iter().map(String::as_str).collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f32 / union as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_have_zero_distance() {
+        assert_eq!(edit_distance("actor", "actor"), 0);
+    }
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("actor", "actress"), 4);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", ""), 3);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        for (a, b) in [("director", "directed"), ("win", "winning"), ("", "x")] {
+            assert_eq!(edit_distance(a, b), edit_distance(b, a));
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let (a, b, c) = ("player", "golfer", "athlete");
+        assert!(edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c));
+    }
+
+    #[test]
+    fn normalized_is_bounded() {
+        assert_eq!(normalized_edit_distance("", ""), 0.0);
+        assert_eq!(normalized_edit_distance("ab", "cd"), 1.0);
+        let d = normalized_edit_distance("director", "directed");
+        assert!(d > 0.0 && d < 0.5);
+    }
+
+    #[test]
+    fn similarity_detects_morphological_variants() {
+        // The paper's challenge 1: "best actress of year 2011" vs
+        // "best actor 2011" — high character overlap despite inflection.
+        assert!(edit_similarity("actress", "actor") > 0.4);
+        assert!(edit_similarity("winning", "win") > 0.4);
+        assert!(edit_similarity("population", "venue") < 0.4);
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a: Vec<String> = ["best", "actor"].iter().map(|s| s.to_string()).collect();
+        let b: Vec<String> = ["best", "actress"].iter().map(|s| s.to_string()).collect();
+        assert!((token_jaccard(&a, &a) - 1.0).abs() < 1e-6);
+        assert!((token_jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(token_jaccard(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn unicode_safe() {
+        assert_eq!(edit_distance("café", "cafe"), 1);
+        assert!(normalized_edit_distance("naïve", "naive") < 0.3);
+    }
+}

@@ -1,0 +1,269 @@
+//! Synthetic "pre-trained" word embeddings.
+//!
+//! The paper initializes its models from GloVe vectors and relies on one
+//! property throughout: *semantically related words are close in embedding
+//! space* (semantic distance for mention matching, column statistics `s_c`
+//! for value detection, seq2seq input initialization). We cannot ship
+//! GloVe, so [`EmbeddingSpace`] constructs vectors that have that property
+//! **by design**: every concept cluster from the [`crate::lexicon::Lexicon`]
+//! gets a deterministic base vector, and each surface form in the cluster
+//! is the base plus small word-specific noise. Unclustered words get their
+//! own base vector (far from everything), and numeric tokens share a
+//! number concept with magnitude-dependent perturbation so years cluster
+//! near years. Everything is a pure function of `(seed, word)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::lexicon::Lexicon;
+
+/// Deterministic synthetic pre-trained embedding space.
+#[derive(Debug, Clone)]
+pub struct EmbeddingSpace {
+    dim: usize,
+    seed: u64,
+    lexicon: Lexicon,
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl EmbeddingSpace {
+    /// Creates the space. `dim` is the vector width (the paper uses 300;
+    /// the reproduction defaults to something much smaller).
+    pub fn new(dim: usize, seed: u64, lexicon: Lexicon) -> Self {
+        assert!(dim >= 4, "embedding dim too small to carry structure");
+        EmbeddingSpace { dim, seed, lexicon }
+    }
+
+    /// With the built-in lexicon.
+    pub fn with_builtin_lexicon(dim: usize, seed: u64) -> Self {
+        Self::new(dim, seed, Lexicon::builtin())
+    }
+
+    /// Vector width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The seed the space was constructed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The lexicon backing the concept clusters.
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    fn base_vector(&self, key: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ key.wrapping_mul(0x9e3779b97f4a7c15));
+        let mut v: Vec<f32> = (0..self.dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+        for x in &mut v {
+            *x /= norm;
+        }
+        v
+    }
+
+    /// Numeric-token detection: integers, decimals, 4-digit years, ranges.
+    fn parse_numeric(word: &str) -> Option<f32> {
+        let core = word.split('-').next().unwrap_or(word);
+        core.parse::<f32>().ok()
+    }
+
+    /// The embedding vector for a word (unit-ish norm, deterministic).
+    pub fn vector(&self, word: &str) -> Vec<f32> {
+        let word = word.to_lowercase();
+        if let Some(mag) = Self::parse_numeric(&word) {
+            // Numbers share a concept; magnitude perturbs a fixed direction
+            // so nearby magnitudes are nearby vectors.
+            let mut v = self.base_vector(fnv1a("<number-concept>"));
+            let dir = self.base_vector(fnv1a("<number-direction>"));
+            let scale = (mag.abs().max(1.0)).ln() / 20.0;
+            for (a, b) in v.iter_mut().zip(&dir) {
+                *a += scale * b;
+            }
+            return v;
+        }
+        match self.lexicon.group_of(&word) {
+            Some(group) => {
+                let mut v = self.base_vector(fnv1a(&format!("<group-{group}>")));
+                let noise = self.base_vector(fnv1a(&word) ^ 0xabcd);
+                for (a, b) in v.iter_mut().zip(&noise) {
+                    *a += 0.18 * b;
+                }
+                v
+            }
+            None => self.base_vector(fnv1a(&word)),
+        }
+    }
+
+    /// Mean vector of a token span (the paper's `s_{q[i,j]}` and cell
+    /// statistics both average word embeddings).
+    pub fn phrase_vector(&self, tokens: &[String]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        if tokens.is_empty() {
+            return acc;
+        }
+        for t in tokens {
+            for (a, b) in acc.iter_mut().zip(self.vector(t)) {
+                *a += b;
+            }
+        }
+        let n = tokens.len() as f32;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
+
+    /// Cosine similarity between two vectors.
+    pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        dot / (na * nb)
+    }
+
+    /// Cosine similarity between two words.
+    pub fn word_similarity(&self, a: &str, b: &str) -> f32 {
+        Self::cosine(&self.vector(a), &self.vector(b))
+    }
+
+    /// Euclidean (semantic) distance between two words — the footnote-1
+    /// "semantic distance" of the paper.
+    pub fn word_distance(&self, a: &str, b: &str) -> f32 {
+        self.vector(a)
+            .iter()
+            .zip(self.vector(b))
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Builds a full table (row per vocab id) for model initialization.
+    /// Special tokens (ids below `first_word_id`) get zero rows.
+    pub fn table_for(&self, words: &[String], first_word_id: usize) -> Vec<Vec<f32>> {
+        words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                if i < first_word_id {
+                    vec![0.0; self.dim]
+                } else {
+                    self.vector(w)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> EmbeddingSpace {
+        EmbeddingSpace::with_builtin_lexicon(24, 99)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = space().vector("film");
+        let b = space().vector("film");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_changes_vectors() {
+        let a = EmbeddingSpace::with_builtin_lexicon(24, 1).vector("film");
+        let b = EmbeddingSpace::with_builtin_lexicon(24, 2).vector("film");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn synonyms_are_closer_than_unrelated_words() {
+        let s = space();
+        assert!(s.word_similarity("actor", "actress") > 0.8);
+        assert!(s.word_similarity("population", "people") > 0.8);
+        assert!(s.word_similarity("actor", "population") < 0.5);
+        assert!(s.word_distance("actor", "actress") < s.word_distance("actor", "venue"));
+    }
+
+    #[test]
+    fn cluster_members_are_distinct() {
+        let s = space();
+        // Same concept but not identical vectors (surface-form noise).
+        assert_ne!(s.vector("actor"), s.vector("actress"));
+    }
+
+    #[test]
+    fn numbers_cluster_and_order_by_magnitude() {
+        let s = space();
+        let near = s.word_similarity("2006", "2007");
+        let far = s.word_similarity("2006", "3");
+        assert!(near > far, "nearby years should be more similar: {near} vs {far}");
+        assert!(s.word_similarity("1225", "356") > s.word_similarity("1225", "venue"));
+    }
+
+    #[test]
+    fn year_ranges_parse_as_numeric() {
+        let s = space();
+        assert!(s.word_similarity("2006-07", "2006") > 0.95);
+    }
+
+    #[test]
+    fn oov_words_are_far_from_everything() {
+        let s = space();
+        let sim = s.word_similarity("qzxjv", "film");
+        assert!(sim.abs() < 0.5, "random OOV too similar: {sim}");
+    }
+
+    #[test]
+    fn phrase_vector_is_mean() {
+        let s = space();
+        let t: Vec<String> = ["film", "director"].iter().map(|x| x.to_string()).collect();
+        let p = s.phrase_vector(&t);
+        let f = s.vector("film");
+        let d = s.vector("director");
+        for i in 0..s.dim() {
+            assert!((p[i] - (f[i] + d[i]) / 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_phrase_is_zero() {
+        let s = space();
+        assert!(s.phrase_vector(&[]).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn table_zeroes_specials() {
+        let s = space();
+        let words: Vec<String> =
+            ["<pad>", "<unk>", "film"].iter().map(|x| x.to_string()).collect();
+        let table = s.table_for(&words, 2);
+        assert!(table[0].iter().all(|&x| x == 0.0));
+        assert!(table[1].iter().all(|&x| x == 0.0));
+        assert!(table[2].iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let s = space();
+        for (a, b) in [("a", "b"), ("film", "movie"), ("x", "x")] {
+            let c = s.word_similarity(a, b);
+            assert!((-1.01..=1.01).contains(&c));
+        }
+        assert!((space().word_similarity("film", "film") - 1.0).abs() < 1e-5);
+    }
+}

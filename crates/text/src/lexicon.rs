@@ -1,0 +1,303 @@
+//! Database-specific natural-language metadata (§II).
+//!
+//! The paper collects, per column `c`, phrases `P_c` that *mention* the
+//! column and expressions `D_c` that *describe* it, plus general synonym
+//! knowledge ("actor"/"actress"). The [`Lexicon`] stores all three and a
+//! built-in set of concept clusters shared with the synthetic embedding
+//! space, so that synonyms land close together in embedding distance —
+//! the property GloVe provides in the original paper.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tokenize::tokenize;
+
+/// Synonym clusters plus per-column mention/describe phrase metadata.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Lexicon {
+    groups: Vec<Vec<String>>,
+    #[serde(skip)]
+    word_to_group: HashMap<String, usize>,
+    mention_phrases: HashMap<String, Vec<Vec<String>>>,
+    describe_phrases: HashMap<String, Vec<String>>,
+}
+
+impl Lexicon {
+    /// An empty lexicon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in lexicon: concept clusters covering the domains used by
+    /// the synthetic corpora. Multi-domain on purpose — WikiSQL spans
+    /// thousands of unrelated tables.
+    pub fn builtin() -> Self {
+        let mut lex = Lexicon::new();
+        for group in BUILTIN_GROUPS {
+            lex.add_group(group);
+        }
+        lex
+    }
+
+    /// Registers a synonym group; returns its index. Words already in a
+    /// group keep their first assignment.
+    pub fn add_group(&mut self, words: &[&str]) -> usize {
+        let idx = self.groups.len();
+        let mut stored = Vec::with_capacity(words.len());
+        for w in words {
+            let w = w.to_lowercase();
+            self.word_to_group.entry(w.clone()).or_insert(idx);
+            stored.push(w);
+        }
+        self.groups.push(stored);
+        idx
+    }
+
+    /// Concept-group index of a word, if clustered.
+    pub fn group_of(&self, word: &str) -> Option<usize> {
+        self.word_to_group.get(word).copied()
+    }
+
+    /// Whether two words belong to the same synonym group.
+    pub fn same_group(&self, a: &str, b: &str) -> bool {
+        match (self.group_of(a), self.group_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => a == b,
+        }
+    }
+
+    /// All words in the group of `word` (empty if unclustered).
+    pub fn synonyms(&self, word: &str) -> &[String] {
+        match self.group_of(word) {
+            Some(g) => &self.groups[g],
+            None => &[],
+        }
+    }
+
+    /// Number of synonym groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Adds a phrase to `P_c` for a column key (e.g. "population" ←
+    /// "how many people live in").
+    pub fn add_mention_phrase(&mut self, column_key: &str, phrase: &str) {
+        self.mention_phrases
+            .entry(column_key.to_lowercase())
+            .or_default()
+            .push(tokenize(phrase));
+    }
+
+    /// The mention phrases `P_c` registered for a column key.
+    pub fn mention_phrases(&self, column_key: &str) -> &[Vec<String>] {
+        self.mention_phrases
+            .get(&column_key.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Adds a describing expression to `D_c` (e.g. "price" ← "soar").
+    pub fn add_describe_phrase(&mut self, column_key: &str, expression: &str) {
+        self.describe_phrases
+            .entry(column_key.to_lowercase())
+            .or_default()
+            .push(expression.to_lowercase());
+    }
+
+    /// The describe expressions `D_c` registered for a column key.
+    pub fn describe_phrases(&self, column_key: &str) -> &[String] {
+        self.describe_phrases
+            .get(&column_key.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Rebuilds the word→group index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.word_to_group.clear();
+        for (idx, group) in self.groups.iter().enumerate() {
+            for w in group {
+                self.word_to_group.entry(w.clone()).or_insert(idx);
+            }
+        }
+    }
+}
+
+/// The built-in concept clusters. Each row is one latent concept whose
+/// members should embed nearby (mirroring distributional similarity in
+/// GloVe). Question words are clustered with the column concepts they
+/// commonly evoke in a *separate* entry only when unambiguous.
+pub const BUILTIN_GROUPS: &[&[&str]] = &[
+    // People & roles
+    &["actor", "actress", "star", "performer", "cast"],
+    &["director", "directed", "filmmaker"],
+    &["player", "athlete", "golfer", "sportsman", "competitor"],
+    &["coach", "manager", "trainer"],
+    &["author", "writer", "novelist"],
+    &["president", "leader", "chairman"],
+    &["driver", "racer", "pilot"],
+    &["candidate", "candidates", "nominee"],
+    &["artist", "singer", "musician", "band"],
+    &["scientist", "researcher", "inventor"],
+    &["doctor", "physician", "dentist"],
+    &["patient", "patients"],
+    // Works & artifacts
+    &["film", "movie", "picture"],
+    &["song", "track", "single"],
+    &["album", "record", "lp"],
+    &["book", "novel", "title"],
+    &["game", "match", "fixture"],
+    &["mission", "missions", "launch", "flight"],
+    &["nomination", "nominated", "award", "prize"],
+    &["episode", "show", "series"],
+    // Places
+    &["venue", "place", "location", "where", "stadium", "arena"],
+    &["city", "town", "municipality"],
+    &["county", "district", "region", "province"],
+    &["country", "nation", "state"],
+    &["school", "college", "university"],
+    &["airport", "terminal", "hub"],
+    &["restaurant", "diner", "eatery"],
+    &["house", "housing", "apartment", "residence"],
+    // Quantities & measures
+    &["population", "people", "inhabitants", "residents", "live"],
+    &["price", "cost", "fare", "fee"],
+    &["salary", "wage", "pay", "earnings"],
+    &["score", "points", "goals", "result"],
+    &["rank", "ranking", "position", "standing", "seed"],
+    &["height", "tall", "elevation"],
+    &["weight", "heavy", "mass"],
+    &["length", "long", "distance"],
+    &["area", "size", "extent"],
+    &["capacity", "seats", "attendance", "crowd"],
+    &["age", "old", "born"],
+    &["speed", "pace", "velocity"],
+    &["temperature", "degrees", "heat"],
+    &["rating", "stars", "review"],
+    &["budget", "funding", "grant"],
+    &["revenue", "income", "sales", "gross"],
+    &["percentage", "percent", "share", "proportion"],
+    &["number", "count", "total", "amount"],
+    // Time
+    &["date", "when", "day", "scheduled"],
+    &["year", "season", "annual"],
+    &["time", "duration", "hour"],
+    &["month", "january", "february", "march", "april", "may", "june", "july", "august",
+      "september", "october", "november", "december"],
+    // Events & outcomes
+    &["win", "won", "winner", "winning", "victory", "champion"],
+    &["lose", "lost", "loser", "defeat"],
+    &["play", "played", "plays", "playing"],
+    &["elect", "elected", "election", "vote", "votes"],
+    &["release", "released", "debut", "premiere"],
+    &["found", "founded", "established", "built"],
+    &["competition", "tournament", "championship", "event", "contest"],
+    &["team", "club", "side", "franchise", "squad"],
+    &["league", "division", "conference"],
+    &["party", "affiliation", "faction"],
+    &["nationality", "citizenship", "origin"],
+    &["language", "tongue", "dialect", "irish", "speakers"],
+    &["name", "named", "called", "known"],
+    &["type", "kind", "category", "class", "genre"],
+    &["status", "condition", "state_of"],
+    &["opponent", "rival", "versus"],
+    &["round", "stage", "phase", "heat_round"],
+    &["note", "notes", "comment", "remark"],
+    &["disease", "diagnosis", "illness", "condition_medical"],
+    &["treatment", "therapy", "medication", "drug"],
+    &["recipe", "dish", "meal", "cuisine"],
+    &["ingredient", "ingredients", "component"],
+    &["calendar", "meeting", "appointment", "schedule"],
+    &["basketball", "nba", "hoops"],
+    &["position_sport", "forward", "guard", "center"],
+    // --- Entity-name neighborhoods -------------------------------------
+    // GloVe places proper names of the same kind (cities, given names,
+    // surnames, dishes, ...) near each other; the synthetic space gets the
+    // same property by clustering the generator's entity vocabularies.
+    &["mayo", "galway", "toronto", "kraków", "lisbon", "oslo", "kyoto", "valencia", "tbilisi",
+      "porto", "dublin", "gdansk", "bergen", "osaka", "seville", "batumi", "cork", "lodz",
+      "trondheim", "nagoya", "granada", "kutaisi", "limerick", "poznan", "stavanger"],
+    &["piotr", "jerzy", "levan", "nana", "maria", "james", "sofia", "diego", "aiko", "omar",
+      "ingrid", "pavel", "lucia", "henrik", "amara", "tomasz", "keiko", "bruno", "elif", "marta",
+      "oscar", "freya", "anton", "zara", "mikel", "dana", "ravi", "nora", "felix", "ida"],
+    &["adamczyk", "antczak", "uchaneishvili", "djordjadze", "kowalski", "fernandez", "tanaka",
+      "haddad", "lindqvist", "novak", "moreau", "silva", "petrov", "okafor", "berg", "costa",
+      "yamada", "kaya", "duarte", "holm", "varga", "reyes", "fontaine", "klein", "bianchi",
+      "soto", "larsen", "ivanov", "mendes", "aoki"],
+    &["bigos", "khachapuri", "paella", "ramen", "bacalhau", "pierogi", "lefse", "tiramisu",
+      "dolma", "empanada", "gazpacho", "goulash"],
+    &["asthma", "diabetes", "hypertension", "migraine", "arthritis", "bronchitis", "anemia",
+      "eczema", "insomnia", "vertigo"],
+    &["drama", "comedy", "thriller", "documentary", "animation", "western_genre",
+      "musical_genre", "biography", "noir"],
+    &["ravens", "wolves", "hawks", "lions", "bulls", "eagles", "bears", "sharks", "tigers",
+      "falcons", "foxes"],
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_clusters_synonyms() {
+        let lex = Lexicon::builtin();
+        assert!(lex.same_group("actor", "actress"));
+        assert!(lex.same_group("population", "people"));
+        assert!(lex.same_group("win", "winning"));
+        assert!(!lex.same_group("actor", "director"));
+        assert!(!lex.same_group("film", "population"));
+    }
+
+    #[test]
+    fn unclustered_words_match_only_themselves() {
+        let lex = Lexicon::builtin();
+        assert!(lex.same_group("zorbulon", "zorbulon"));
+        assert!(!lex.same_group("zorbulon", "film"));
+        assert!(lex.synonyms("zorbulon").is_empty());
+    }
+
+    #[test]
+    fn first_group_wins_for_ambiguous_words() {
+        let mut lex = Lexicon::new();
+        let g1 = lex.add_group(&["bank", "shore"]);
+        let _g2 = lex.add_group(&["bank", "lender"]);
+        assert_eq!(lex.group_of("bank"), Some(g1));
+        assert_eq!(lex.group_of("lender"), Some(1));
+    }
+
+    #[test]
+    fn mention_phrases_store_tokenized() {
+        let mut lex = Lexicon::builtin();
+        lex.add_mention_phrase("Population", "how many people live in");
+        let phrases = lex.mention_phrases("population");
+        assert_eq!(phrases.len(), 1);
+        assert_eq!(phrases[0], vec!["how", "many", "people", "live", "in"]);
+        assert!(lex.mention_phrases("price").is_empty());
+    }
+
+    #[test]
+    fn describe_phrases_roundtrip() {
+        let mut lex = Lexicon::new();
+        lex.add_describe_phrase("Price", "soar");
+        lex.add_describe_phrase("Price", "level off");
+        assert_eq!(lex.describe_phrases("price"), &["soar", "level off"]);
+    }
+
+    #[test]
+    fn serde_roundtrip_with_index_rebuild() {
+        let lex = Lexicon::builtin();
+        let json = serde_json::to_string(&lex).unwrap();
+        let mut restored: Lexicon = serde_json::from_str(&json).unwrap();
+        restored.rebuild_index();
+        assert!(restored.same_group("actor", "star"));
+        assert_eq!(restored.num_groups(), lex.num_groups());
+    }
+
+    #[test]
+    fn months_cluster_together() {
+        let lex = Lexicon::builtin();
+        assert!(lex.same_group("november", "march"));
+        assert!(lex.same_group("month", "july"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Stop-word list used by value-span candidate filtering (§IV-D).
+//!
+//! The paper restricts value-mention candidates to spans containing no
+//! stop words ("a value should be a short multi-word entity").
+
+/// English stop words (function words common in questions).
+pub const STOP_WORDS: &[&str] = &[
+    "a", "an", "the", "of", "in", "on", "at", "to", "for", "with", "by", "from", "as", "is",
+    "are", "was", "were", "be", "been", "being", "do", "does", "did", "has", "have", "had",
+    "who", "whom", "whose", "what", "which", "when", "where", "why", "how", "that", "this",
+    "these", "those", "and", "or", "not", "no", "did", "it", "its", "their", "there", "they",
+    "he", "she", "his", "her", "many", "much", "?", ".", ",", "!", ";", ":",
+];
+
+/// Whether a token is a stop word.
+pub fn is_stop_word(token: &str) -> bool {
+    STOP_WORDS.contains(&token)
+}
+
+/// Whether a span of tokens contains any stop word.
+pub fn span_has_stop_word(tokens: &[String]) -> bool {
+    tokens.iter().any(|t| is_stop_word(t.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_function_words_are_stop_words() {
+        for w in ["the", "of", "in", "which", "how", "?"] {
+            assert!(is_stop_word(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stop_words() {
+        for w in ["film", "director", "population", "mayo", "2006-07"] {
+            assert!(!is_stop_word(w), "{w} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn span_filter_matches_paper_constraint() {
+        let ok: Vec<String> = ["jerzy", "antczak"].iter().map(|s| s.to_string()).collect();
+        assert!(!span_has_stop_word(&ok));
+        let bad: Vec<String> = ["jerzy", "the", "antczak"].iter().map(|s| s.to_string()).collect();
+        assert!(span_has_stop_word(&bad));
+    }
+}

@@ -1,0 +1,232 @@
+//! Tokenization and vocabularies (word- and character-level).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Splits text into lowercase word tokens.
+///
+/// Punctuation characters become their own tokens (the paper's questions
+/// end in `?`, which carries structural signal for the models), hyphenated
+/// ranges like `2006-07` stay intact, and all alphanumeric runs are kept
+/// together.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() || ch == '-' || ch == '_' || ch == '\'' {
+            current.extend(ch.to_lowercase());
+        } else {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            if !ch.is_whitespace() {
+                tokens.extend(ch.to_lowercase().map(|c| c.to_string()));
+            }
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Joins tokens back into a display string (inverse-ish of [`tokenize`]).
+pub fn detokenize(tokens: &[String]) -> String {
+    tokens.join(" ")
+}
+
+/// Reserved vocabulary entries present in every [`Vocab`].
+pub mod special {
+    /// Padding token id.
+    pub const PAD: usize = 0;
+    /// Unknown-word token id.
+    pub const UNK: usize = 1;
+    /// Sequence start token id.
+    pub const BOS: usize = 2;
+    /// Sequence end token id.
+    pub const EOS: usize = 3;
+    /// Number of reserved ids.
+    pub const COUNT: usize = 4;
+}
+
+/// A word-level vocabulary with reserved special tokens.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct Vocab {
+    words: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+impl Vocab {
+    /// Creates a vocabulary containing only the special tokens.
+    pub fn new() -> Self {
+        let mut v = Vocab { words: Vec::new(), index: HashMap::new() };
+        for w in ["<pad>", "<unk>", "<s>", "</s>"] {
+            v.push(w.to_string());
+        }
+        v
+    }
+
+    fn push(&mut self, word: String) -> usize {
+        let id = self.words.len();
+        self.index.insert(word.clone(), id);
+        self.words.push(word);
+        id
+    }
+
+    /// Adds a word if absent; returns its id either way.
+    pub fn add(&mut self, word: &str) -> usize {
+        if let Some(&id) = self.index.get(word) {
+            return id;
+        }
+        self.push(word.to_string())
+    }
+
+    /// Id of a word, or `special::UNK` if absent.
+    pub fn id(&self, word: &str) -> usize {
+        self.index.get(word).copied().unwrap_or(special::UNK)
+    }
+
+    /// Whether the word is present.
+    pub fn contains(&self, word: &str) -> bool {
+        self.index.contains_key(word)
+    }
+
+    /// The word for an id (panics if out of range).
+    pub fn word(&self, id: usize) -> &str {
+        &self.words[id]
+    }
+
+    /// Vocabulary size including specials.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether only specials are present.
+    pub fn is_empty(&self) -> bool {
+        self.words.len() <= special::COUNT
+    }
+
+    /// Encodes tokens to ids, mapping unknown words to `<unk>`.
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        tokens.iter().map(|t| self.id(t)).collect()
+    }
+
+    /// Decodes ids to words.
+    pub fn decode(&self, ids: &[usize]) -> Vec<String> {
+        ids.iter().map(|&i| self.words[i].clone()).collect()
+    }
+
+    /// Rebuilds the word→id index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.index = self.words.iter().enumerate().map(|(i, w)| (w.clone(), i)).collect();
+    }
+}
+
+/// Fixed character alphabet for the char-CNN: `a-z`, `0-9`, and a small set
+/// of symbols; everything else maps to a catch-all slot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CharVocab;
+
+impl CharVocab {
+    /// Alphabet size (including the catch-all).
+    pub const SIZE: usize = 40;
+
+    /// Maps a character to its id.
+    pub fn id(ch: char) -> usize {
+        let c = ch.to_ascii_lowercase();
+        match c {
+            'a'..='z' => (c as usize) - ('a' as usize),
+            '0'..='9' => 26 + (c as usize) - ('0' as usize),
+            '-' => 36,
+            '\'' => 37,
+            '_' => 38,
+            _ => 39,
+        }
+    }
+
+    /// Encodes a word to character ids.
+    pub fn encode(word: &str) -> Vec<usize> {
+        word.chars().map(Self::id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_splits_punct() {
+        let toks = tokenize("Which film directed by Jerzy Antczak?");
+        assert_eq!(toks, vec!["which", "film", "directed", "by", "jerzy", "antczak", "?"]);
+    }
+
+    #[test]
+    fn tokenize_keeps_hyphenated_ranges() {
+        let toks = tokenize("toronto team in 2006-07");
+        assert_eq!(toks, vec!["toronto", "team", "in", "2006-07"]);
+    }
+
+    #[test]
+    fn tokenize_handles_empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn tokenize_separates_commas() {
+        let toks = tokenize("November 16, 2006");
+        assert_eq!(toks, vec!["november", "16", ",", "2006"]);
+    }
+
+    #[test]
+    fn vocab_specials_are_stable() {
+        let v = Vocab::new();
+        assert_eq!(v.word(special::PAD), "<pad>");
+        assert_eq!(v.word(special::UNK), "<unk>");
+        assert_eq!(v.word(special::BOS), "<s>");
+        assert_eq!(v.word(special::EOS), "</s>");
+        assert_eq!(v.len(), special::COUNT);
+    }
+
+    #[test]
+    fn vocab_add_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.add("film");
+        let b = v.add("film");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), special::COUNT + 1);
+    }
+
+    #[test]
+    fn vocab_unknown_maps_to_unk() {
+        let v = Vocab::new();
+        assert_eq!(v.id("zzz"), special::UNK);
+    }
+
+    #[test]
+    fn vocab_encode_decode_roundtrip() {
+        let mut v = Vocab::new();
+        for w in ["the", "film", "director"] {
+            v.add(w);
+        }
+        let tokens: Vec<String> = ["the", "director"].iter().map(|s| s.to_string()).collect();
+        let ids = v.encode(&tokens);
+        assert_eq!(v.decode(&ids), tokens);
+    }
+
+    #[test]
+    fn char_vocab_in_range() {
+        for ch in "abcz0189-'_ é?".chars() {
+            assert!(CharVocab::id(ch) < CharVocab::SIZE);
+        }
+        assert_eq!(CharVocab::id('A'), CharVocab::id('a'));
+    }
+
+    #[test]
+    fn char_encode_word() {
+        let ids = CharVocab::encode("ab1");
+        assert_eq!(ids, vec![0, 1, 27]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the text substrate: tokenizer totality, edit
+//! distance metric laws, dependency-tree invariants, and embedding
+//! determinism.
+
+use proptest::prelude::*;
+
+use nlidb_text::{
+    edit_distance, tokenize, CharVocab, DepTree, EmbeddingSpace, Vocab,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tokenizer_never_panics_and_lowercases(input in ".{0,120}") {
+        let toks = tokenize(&input);
+        for t in &toks {
+            prop_assert!(!t.is_empty());
+            let lower = t.to_lowercase();
+            prop_assert_eq!(t.as_str(), lower.as_str());
+            prop_assert!(!t.chars().any(char::is_whitespace));
+        }
+    }
+
+    #[test]
+    fn tokenizer_is_idempotent_on_its_output(input in "[a-zA-Z0-9 ,.?%'-]{0,60}") {
+        let once = tokenize(&input);
+        let again = tokenize(&once.join(" "));
+        prop_assert_eq!(once, again);
+    }
+
+    #[test]
+    fn edit_distance_metric_laws(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        prop_assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
+        // Bounded by the longer string.
+        prop_assert!(edit_distance(&a, &b) <= a.len().max(b.len()));
+    }
+
+    #[test]
+    fn dep_tree_is_well_formed(input in "[a-z]{1,8}( [a-z]{1,8}){0,11}( \\?)?") {
+        let toks = tokenize(&input);
+        let tree = DepTree::parse(&toks);
+        prop_assert_eq!(tree.len(), toks.len());
+        if !toks.is_empty() {
+            prop_assert!(tree.root() < toks.len());
+            prop_assert!(tree.parent(tree.root()).is_none());
+            for i in 0..toks.len() {
+                // Distances are symmetric and zero only on the diagonal.
+                prop_assert_eq!(tree.dist(i, tree.root()), tree.dist(tree.root(), i));
+                prop_assert_eq!(tree.dist(i, i), 0);
+                if i != tree.root() {
+                    prop_assert!(tree.dist(i, tree.root()) >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn embeddings_are_unit_scale_and_deterministic(word in "[a-z0-9-]{1,14}") {
+        let s1 = EmbeddingSpace::with_builtin_lexicon(16, 5);
+        let s2 = EmbeddingSpace::with_builtin_lexicon(16, 5);
+        let v1 = s1.vector(&word);
+        prop_assert_eq!(&v1, &s2.vector(&word));
+        let norm: f32 = v1.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(norm > 0.3 && norm < 3.0, "norm {norm} for {word}");
+        // Self-similarity is exactly 1.
+        prop_assert!((s1.word_similarity(&word, &word) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn char_vocab_total(ch in any::<char>()) {
+        prop_assert!(CharVocab::id(ch) < CharVocab::SIZE);
+    }
+
+    #[test]
+    fn vocab_encode_decode_identity(words in prop::collection::vec("[a-z]{1,8}", 0..12)) {
+        let mut v = Vocab::new();
+        for w in &words {
+            v.add(w);
+        }
+        let tokens: Vec<String> = words.clone();
+        let ids = v.encode(&tokens);
+        prop_assert_eq!(v.decode(&ids), tokens);
+    }
+}

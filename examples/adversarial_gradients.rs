@@ -1,0 +1,59 @@
+//! The adversarial text method up close (§IV-C, Figures 5 & 7): train the
+//! column-mention classifier, then visualize per-token influence
+//! `I(w) = α‖dL/dE_word(w)‖₂ + β‖dL/dE_char(w)‖₂` for a question/column
+//! pair and the span the method selects as the mention term.
+//!
+//! ```bash
+//! cargo run --release --example adversarial_gradients
+//! ```
+
+use nlidb_core::mention::adversarial::{influence, locate_mention};
+use nlidb_core::mention::classifier::{training_pairs, MentionClassifier};
+use nlidb_core::vocab::build_input_vocab;
+use nlidb_core::ModelConfig;
+use nlidb_data::wikisql::{generate, WikiSqlConfig};
+use nlidb_text::{tokenize, EmbeddingSpace};
+
+fn main() {
+    let corpus = generate(&WikiSqlConfig {
+        seed: 33,
+        train_tables: 30,
+        dev_tables: 2,
+        test_tables: 2,
+        questions_per_table: 12,
+        ..WikiSqlConfig::default()
+    });
+    let cfg = ModelConfig::default();
+    let vocab = build_input_vocab(&corpus, &cfg);
+    let space = EmbeddingSpace::with_builtin_lexicon(cfg.word_dim, 77);
+    let mut clf = MentionClassifier::new(&cfg, vocab, &space);
+    println!("training the §IV-B classifier ...");
+    clf.train(&training_pairs(&corpus.train), 3);
+
+    let probes = [
+        ("launch date", "which missions were scheduled to launch on november 16 , 2006 ?"),
+        ("winning driver", "which driver won the race on 20 may ?"),
+        ("population", "how many people live in mayo ?"),
+    ];
+    for (column, question) in probes {
+        let q = tokenize(question);
+        let col = tokenize(column);
+        let p = clf.predict(&q, &col);
+        let inf = influence(&clf, &q, &col);
+        let combined = inf.combined(cfg.alpha, cfg.beta);
+        let span = locate_mention(&clf, &q, &col, &cfg);
+        let max = combined.iter().cloned().fold(0.0f32, f32::max).max(1e-9);
+
+        println!("\ncolumn \"{column}\"  (P[mentioned] = {p:.2})");
+        for (i, tok) in q.iter().enumerate() {
+            let bar = "#".repeat(((combined[i] / max) * 30.0).round() as usize);
+            let mark = match span {
+                Some((a, b)) if i >= a && i < b => "<== mention",
+                _ => "",
+            };
+            println!("  {tok:<12} {:8.4} {bar:<30} {mark}", combined[i]);
+        }
+    }
+    println!("\n(Compare with the paper's Figures 5 and 7: the gradient norm");
+    println!(" peaks on the words a human would identify as the mention.)");
+}

@@ -1,0 +1,173 @@
+//! `nlidb` — interactive natural-language interface to a CSV table.
+//!
+//! ```bash
+//! # Train on the synthetic corpus and drop into a REPL over your table:
+//! cargo run --release --bin nlidb -- --csv my_table.csv --save model_dir
+//! # Later sessions reuse the checkpoint:
+//! cargo run --release --bin nlidb -- --csv my_table.csv --load model_dir
+//! ```
+//!
+//! Commands at the prompt: a natural-language question, `\schema`,
+//! `\table`, or `\quit`.
+
+use std::io::{BufRead, Write};
+
+use nlidb_core::{ModelConfig, Nlidb, NlidbOptions};
+use nlidb_data::wikisql::{generate, WikiSqlConfig};
+use nlidb_storage::{execute, render_table, table_from_csv, Table};
+use nlidb_text::tokenize;
+
+struct Args {
+    csv: Option<String>,
+    load: Option<String>,
+    save: Option<String>,
+    epochs: usize,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut args = Args { csv: None, load: None, save: None, epochs: 4 };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--csv" => {
+                args.csv = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--load" => {
+                args.load = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--save" => {
+                args.save = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--epochs" => {
+                args.epochs = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(4);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: nlidb [--csv FILE] [--load DIR | --save DIR] [--epochs N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn demo_table() -> Table {
+    table_from_csv(
+        "gaeltacht",
+        "County,English Name,Irish Name,Population:int,Irish Speakers\n\
+         Mayo,Carrowteige,Ceathru Thaidhg,356,64%\n\
+         Galway,Aran Islands,Oileain Arann,1225,79%\n",
+    )
+    .expect("built-in demo table is valid")
+}
+
+fn main() {
+    let args = parse_args();
+    let table = match &args.csv {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("table")
+                .to_string();
+            table_from_csv(&name, &text).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            })
+        }
+        None => {
+            eprintln!("(no --csv given; using the built-in demo table)");
+            demo_table()
+        }
+    };
+    eprintln!("table '{}': {} rows x {} columns", table.name, table.num_rows(), table.num_cols());
+
+    let nlidb = match &args.load {
+        Some(dir) => {
+            eprintln!("loading checkpoint from {dir} ...");
+            Nlidb::load(dir).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            })
+        }
+        None => {
+            eprintln!("training on the synthetic multi-domain corpus (~1-2 min) ...");
+            let corpus = generate(&WikiSqlConfig {
+                seed: 42,
+                train_tables: 40,
+                dev_tables: 2,
+                test_tables: 2,
+                questions_per_table: 14,
+                ..WikiSqlConfig::default()
+            });
+            let opts = NlidbOptions {
+                model: ModelConfig { epochs: args.epochs, ..ModelConfig::default() },
+                ..NlidbOptions::default()
+            };
+            let nlidb = Nlidb::train(&corpus, opts);
+            if let Some(dir) = &args.save {
+                match nlidb.save(dir) {
+                    Ok(()) => eprintln!("saved checkpoint to {dir}"),
+                    Err(e) => eprintln!("checkpoint save failed: {e}"),
+                }
+            }
+            nlidb
+        }
+    };
+
+    println!("\nask a question (\\schema, \\table, \\quit):");
+    let stdin = std::io::stdin();
+    loop {
+        print!("nlidb> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            "\\quit" | "\\q" | "exit" => break,
+            "\\schema" => {
+                for (i, c) in table.schema().columns().iter().enumerate() {
+                    println!("  {i}: {} ({:?})", c.name, c.dtype);
+                }
+            }
+            "\\table" => print!("{}", render_table(&table, 20)),
+            question => {
+                let toks = tokenize(question);
+                let ann = nlidb.annotate_question(&toks, &table);
+                println!("  q^a: {}", ann.tokens.join(" "));
+                match nlidb.predict(&toks, &table) {
+                    Some(query) => {
+                        println!("  SQL: {}", query.to_sql(&table.column_names()));
+                        match execute(&table, &query) {
+                            Ok(rs) if rs.values.is_empty() => println!("  (no rows)"),
+                            Ok(rs) => {
+                                for v in rs.values {
+                                    println!("  -> {v}");
+                                }
+                            }
+                            Err(e) => println!("  execution error: {e}"),
+                        }
+                    }
+                    None => println!("  could not translate the question"),
+                }
+            }
+        }
+    }
+}

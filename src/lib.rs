@@ -1,0 +1,19 @@
+//! # nlidb
+//!
+//! Umbrella crate for the NLIDB reproduction (Wang et al., ICDE 2020,
+//! *"A Natural Language Interface for Database: Achieving
+//! Transfer-learnability Using Adversarial Method for Question
+//! Understanding"*). Re-exports the workspace crates and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`).
+//!
+//! Start with [`core`] ([`nlidb_core::Nlidb`]) and the `quickstart`
+//! example.
+
+pub use nlidb_core as core;
+pub use nlidb_data as data;
+pub use nlidb_neural as neural;
+pub use nlidb_sqlir as sqlir;
+pub use nlidb_storage as storage;
+pub use nlidb_tensor as tensor;
+pub use nlidb_text as text;

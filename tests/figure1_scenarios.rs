@@ -1,0 +1,182 @@
+//! Integration tests for the paper's Figure 1 scenarios: the two tables,
+//! their questions, and the central observation that both questions share
+//! one latent semantic structure.
+
+use std::sync::Arc;
+
+use nlidb_core::annotate::{annotate, AnnotateConfig};
+use nlidb_core::mention::DetectedSlot;
+use nlidb_sqlir::{annotate_query, query_match, recover, AnnTok, CmpOp, Literal, Query};
+use nlidb_storage::{execute, Column, DataType, Schema, Table, Value};
+use nlidb_text::tokenize;
+
+fn film_table() -> Arc<Table> {
+    let schema = Schema::new(vec![
+        Column::new("Nomination", DataType::Text),
+        Column::new("Actor", DataType::Text),
+        Column::new("Film Name", DataType::Text),
+        Column::new("Director", DataType::Text),
+    ]);
+    let mut t = Table::new("films", schema);
+    t.push_row(vec![
+        Value::Text("Best Actor in a Leading Role".into()),
+        Value::Text("Piotr Adamczyk".into()),
+        Value::Text("Chopin: Desire for Love".into()),
+        Value::Text("Jerzy Antczak".into()),
+    ]);
+    t.push_row(vec![
+        Value::Text("Best Actor in a Supporting Role".into()),
+        Value::Text("Levan Uchaneishvili".into()),
+        Value::Text("27 Stolen Kisses".into()),
+        Value::Text("Nana Djordjadze".into()),
+    ]);
+    Arc::new(t)
+}
+
+fn county_table() -> Arc<Table> {
+    let schema = Schema::new(vec![
+        Column::new("County", DataType::Text),
+        Column::new("English Name", DataType::Text),
+        Column::new("Irish Name", DataType::Text),
+        Column::new("Population", DataType::Int),
+        Column::new("Irish Speakers", DataType::Text),
+    ]);
+    let mut t = Table::new("counties", schema);
+    t.push_row(vec![
+        Value::Text("Mayo".into()),
+        Value::Text("Carrowteige".into()),
+        Value::Text("Ceathru Thaidhg".into()),
+        Value::Int(356),
+        Value::Text("64%".into()),
+    ]);
+    t.push_row(vec![
+        Value::Text("Galway".into()),
+        Value::Text("Aran Islands".into()),
+        Value::Text("Oileain Arann".into()),
+        Value::Int(1225),
+        Value::Text("79%".into()),
+    ]);
+    Arc::new(t)
+}
+
+/// The annotated SQL of Figure 1(c) and 1(d) — the identical structure
+/// the paper's whole approach rests on.
+fn shared_structure() -> Vec<AnnTok> {
+    vec![
+        AnnTok::Select,
+        AnnTok::C(0),
+        AnnTok::Where,
+        AnnTok::C(1),
+        AnnTok::Op(CmpOp::Eq),
+        AnnTok::V(1),
+        AnnTok::And,
+        AnnTok::C(2),
+        AnnTok::Op(CmpOp::Eq),
+        AnnTok::V(2),
+    ]
+}
+
+#[test]
+fn both_figure1_queries_share_the_same_annotated_sql() {
+    // Film query: SELECT Film_Name WHERE Director = "Jerzy Antczak" AND
+    // Actor = "Piotr Adamczyk".
+    let film_q = Query::select(2)
+        .and_where(3, CmpOp::Eq, Literal::Text("Jerzy Antczak".into()))
+        .and_where(1, CmpOp::Eq, Literal::Text("Piotr Adamczyk".into()));
+    let film_map = nlidb_sqlir::AnnotationMap {
+        slots: vec![
+            nlidb_sqlir::Slot { column: Some(2), value: None },
+            nlidb_sqlir::Slot { column: Some(3), value: Some("Jerzy Antczak".into()) },
+            nlidb_sqlir::Slot { column: Some(1), value: Some("Piotr Adamczyk".into()) },
+        ],
+        headers: vec![0, 1, 2, 3],
+    };
+    // County query: SELECT Population WHERE County = "Mayo" AND
+    // English_Name = "Carrowteige".
+    let county_q = Query::select(3)
+        .and_where(0, CmpOp::Eq, Literal::Text("Mayo".into()))
+        .and_where(1, CmpOp::Eq, Literal::Text("Carrowteige".into()));
+    let county_map = nlidb_sqlir::AnnotationMap {
+        slots: vec![
+            nlidb_sqlir::Slot { column: Some(3), value: None },
+            nlidb_sqlir::Slot { column: Some(0), value: Some("Mayo".into()) },
+            nlidb_sqlir::Slot { column: Some(1), value: Some("Carrowteige".into()) },
+        ],
+        headers: vec![0, 1, 2, 3, 4],
+    };
+    let film_sa = annotate_query(&film_q, &film_map);
+    let county_sa = annotate_query(&county_q, &county_map);
+    assert_eq!(film_sa.0, shared_structure());
+    assert_eq!(
+        film_sa, county_sa,
+        "the paper's central observation: both questions have identical s^a"
+    );
+    // And each recovers to its own concrete query.
+    let film_back = recover(&film_sa, &film_map).unwrap();
+    assert!(query_match(&film_back, &film_q));
+    let county_back = recover(&county_sa, &county_map).unwrap();
+    assert!(query_match(&county_back, &county_q));
+}
+
+#[test]
+fn figure1d_executes_to_356() {
+    let t = county_table();
+    let q = Query::select(3)
+        .and_where(0, CmpOp::Eq, Literal::Text("Mayo".into()))
+        .and_where(1, CmpOp::Eq, Literal::Text("Carrowteige".into()));
+    let rs = execute(&t, &q).unwrap();
+    assert_eq!(rs.values, vec![Value::Int(356)]);
+}
+
+#[test]
+fn figure1c_annotation_inserts_symbols_in_paper_order() {
+    // Hand-build the gold slots of Figure 1(c) and check the annotated
+    // question matches the paper's rendering (modulo bracket notation).
+    let q = tokenize("which film directed by jerzy antczak did piotr adamczyk star in ?");
+    let t = film_table();
+    let slots = vec![
+        DetectedSlot { column: 2, col_span: Some((1, 2)), value: None, val_span: None },
+        DetectedSlot {
+            column: 3,
+            col_span: Some((2, 4)),
+            value: Some("jerzy antczak".into()),
+            val_span: Some((4, 6)),
+        },
+        DetectedSlot {
+            column: 1,
+            col_span: Some((10, 11)),
+            value: Some("piotr adamczyk".into()),
+            val_span: Some((7, 9)),
+        },
+    ];
+    let ann = annotate(&q, &slots, &t.column_names(), &AnnotateConfig::default(), 10);
+    let text = ann.tokens.join(" ");
+    assert!(
+        text.starts_with("which c1 film c2 directed by v2 jerzy antczak did v3 piotr adamczyk"),
+        "unexpected annotation: {text}"
+    );
+    assert!(text.contains("g1 nomination"), "header encoding missing: {text}");
+    assert_eq!(ann.map.slots.len(), 3);
+}
+
+#[test]
+fn counterfactual_question_is_still_representable() {
+    // "When was Joe Biden elected U.S. president?" against a table that
+    // does not contain him (§III challenge 4): a query with the
+    // counterfactual value must build, annotate, recover, and execute to
+    // an empty result rather than fail.
+    let t = film_table();
+    let q = Query::select(2).and_where(1, CmpOp::Eq, Literal::Text("Joe Biden".into()));
+    let map = nlidb_sqlir::AnnotationMap {
+        slots: vec![
+            nlidb_sqlir::Slot { column: Some(2), value: None },
+            nlidb_sqlir::Slot { column: Some(1), value: Some("Joe Biden".into()) },
+        ],
+        headers: vec![0, 1, 2, 3],
+    };
+    let sa = annotate_query(&q, &map);
+    let back = recover(&sa, &map).unwrap();
+    assert!(query_match(&back, &q));
+    let rs = execute(&t, &back).unwrap();
+    assert!(rs.values.is_empty(), "counterfactual value matched rows?");
+}

@@ -1,0 +1,160 @@
+//! Workspace-level property-based tests on the core invariants that span
+//! crates: SQL round trips, canonicalization laws, recovery determinism,
+//! execution well-definedness, and annotation structure.
+
+use proptest::prelude::*;
+
+use nlidb_sqlir::{
+    annotate_query, canonicalize, logical_form_match, parse_sql, query_match, recover, Agg,
+    AnnotationMap, CmpOp, Literal, Query, Slot,
+};
+use nlidb_storage::{execute, Column, DataType, Schema, Table, Value};
+
+fn arb_agg() -> impl Strategy<Value = Agg> {
+    prop_oneof![
+        Just(Agg::None),
+        Just(Agg::Count),
+        Just(Agg::Min),
+        Just(Agg::Max),
+        Just(Agg::Sum),
+        Just(Agg::Avg),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Le),
+        Just(CmpOp::Ne),
+    ]
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        "[a-z][a-z ]{0,12}[a-z]".prop_map(Literal::Text),
+        (-10_000i64..10_000).prop_map(|n| Literal::Number(n as f64)),
+    ]
+}
+
+const NCOLS: usize = 5;
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        arb_agg(),
+        0..NCOLS,
+        prop::collection::vec((0..NCOLS, arb_op(), arb_literal()), 0..4),
+    )
+        .prop_map(|(agg, select_col, conds)| {
+            let mut q = Query { agg, select_col, conds: Vec::new() };
+            for (col, op, value) in conds {
+                q = q.and_where(col, op, value);
+            }
+            q
+        })
+}
+
+fn columns() -> Vec<String> {
+    (0..NCOLS).map(|i| format!("Col_{i}")).collect()
+}
+
+fn numeric_table() -> Table {
+    let schema =
+        Schema::new((0..NCOLS).map(|i| Column::new(format!("Col_{i}"), DataType::Float)).collect());
+    let mut t = Table::new("t", schema);
+    for r in 0..6 {
+        t.push_row((0..NCOLS).map(|c| Value::Float((r * NCOLS + c) as f64)).collect());
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sql_render_parse_roundtrip(q in arb_query()) {
+        let sql = q.to_sql(&columns());
+        let parsed = parse_sql(&sql, &columns()).expect("rendered SQL must parse");
+        // Round trip is canonical-equal (literal text/number types may
+        // normalize, e.g. "42" parses back as a number).
+        prop_assert!(query_match(&parsed, &q), "{} != {}", parsed.to_sql(&columns()), sql);
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent_and_order_insensitive(q in arb_query()) {
+        let c1 = canonicalize(&q);
+        let mut reversed = q.clone();
+        reversed.conds.reverse();
+        prop_assert_eq!(&c1, &canonicalize(&reversed));
+        prop_assert_eq!(&c1, &canonicalize(&q));
+    }
+
+    #[test]
+    fn query_match_is_reflexive_and_implied_by_lf(q in arb_query()) {
+        prop_assert!(query_match(&q, &q));
+        prop_assert!(logical_form_match(&q, &q));
+        // lf-match implies qm-match on any pair (here: the same query).
+    }
+
+    #[test]
+    fn annotate_then_recover_is_identity_up_to_canonical(q in arb_query()) {
+        // Build a map that covers every referenced column/value.
+        let mut slots: Vec<Slot> = vec![Slot { column: Some(q.select_col), value: None }];
+        for c in &q.conds {
+            slots.push(Slot { column: Some(c.col), value: Some(c.value.canonical_text()) });
+        }
+        let map = AnnotationMap { slots, headers: (0..NCOLS).collect() };
+        let sa = annotate_query(&q, &map);
+        let back = recover(&sa, &map).expect("recovery must succeed with a covering map");
+        prop_assert!(query_match(&back, &q), "{:?} -> {} -> {:?}", q, sa, back);
+    }
+
+    #[test]
+    fn execution_is_total_on_numeric_tables(q in arb_query()) {
+        // On an all-numeric table every query executes (COUNT/MIN/... are
+        // all defined) and execution is deterministic.
+        let t = numeric_table();
+        let a = execute(&t, &q);
+        let b = execute(&t, &q);
+        prop_assert!(a.is_ok(), "{:?}", a);
+        prop_assert_eq!(a.unwrap().values, b.unwrap().values);
+    }
+
+    #[test]
+    fn execution_result_size_is_bounded(q in arb_query()) {
+        let t = numeric_table();
+        let rs = execute(&t, &q).unwrap();
+        match q.agg {
+            Agg::None => prop_assert!(rs.values.len() <= t.num_rows()),
+            _ => prop_assert_eq!(rs.values.len(), 1),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_corpora_always_annotate_and_recover(seed in 0u64..500) {
+        use nlidb_core::annotate::{annotate_gold, gold_target, AnnotateConfig};
+        let mut cfg = nlidb_data::wikisql::WikiSqlConfig::tiny(seed);
+        cfg.train_tables = 1;
+        cfg.dev_tables = 1;
+        cfg.test_tables = 1;
+        cfg.questions_per_table = 4;
+        let ds = nlidb_data::wikisql::generate(&cfg);
+        for e in ds.train.iter().chain(&ds.dev).chain(&ds.test) {
+            let ann = annotate_gold(e, &AnnotateConfig::default(), 10);
+            let sa = gold_target(e, &ann.map);
+            let back = recover(&sa, &ann.map).expect("gold annotation must recover");
+            prop_assert!(
+                query_match(&back, &e.query),
+                "seed {} question {:?}",
+                seed,
+                e.question_text()
+            );
+        }
+    }
+}
