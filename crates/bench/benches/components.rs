@@ -1,51 +1,115 @@
-//! Criterion micro-benchmarks for every pipeline component: the latency
-//! numbers behind each experiment table's row (tokenization → annotation →
+//! Micro-benchmarks for every pipeline component: the latency numbers
+//! behind each experiment table's row (tokenization → annotation →
 //! classifier inference → adversarial influence → seq2seq decode → SQL
 //! execution → canonical matching).
+//!
+//! Dependency-free harness (`harness = false`): each benchmark warms up,
+//! then runs timed batches with `std::time::Instant` and reports the
+//! median per-iteration latency. Results print as a table and are written
+//! to `results/bench_components.json` in the same shape as the
+//! experiment records.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use nlidb_core::mention::adversarial::influence;
 use nlidb_core::mention::classifier::{training_pairs, MentionClassifier};
 use nlidb_core::vocab::build_input_vocab;
 use nlidb_core::{ModelConfig, Nlidb, NlidbOptions};
 use nlidb_data::wikisql::{generate, WikiSqlConfig};
+use nlidb_json::json;
 use nlidb_sqlir::{canonicalize, parse_sql, query_match};
 use nlidb_storage::{execute, TableStats};
 use nlidb_text::{tokenize, DepTree, EmbeddingSpace};
 
-fn bench_text(c: &mut Criterion) {
+/// One benchmark's measurement.
+struct Record {
+    name: &'static str,
+    median_ns: f64,
+    iters: u64,
+}
+
+/// Times `f`, returning the median per-iteration nanoseconds over
+/// `BATCHES` batches. Batch size adapts so each batch runs ≥ ~1ms,
+/// keeping timer overhead negligible without a fixed iteration count.
+fn bench<F: FnMut()>(name: &'static str, records: &mut Vec<Record>, mut f: F) {
+    const BATCHES: usize = 15;
+    // Warm-up and batch-size calibration: grow until a batch takes >= 1ms.
+    let mut batch: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        if t.elapsed().as_micros() >= 1000 || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut samples: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = samples[samples.len() / 2];
+    println!("{name:<32} {:>12} {:>10}", format_ns(median_ns), batch * BATCHES as u64);
+    records.push(Record { name, median_ns, iters: batch * BATCHES as u64 });
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+fn bench_text(records: &mut Vec<Record>) {
     let q = "which film directed by jerzy antczak did piotr adamczyk star in ?";
-    c.bench_function("text/tokenize", |b| b.iter(|| tokenize(black_box(q))));
+    bench("text/tokenize", records, || {
+        black_box(tokenize(black_box(q)));
+    });
     let toks = tokenize(q);
-    c.bench_function("text/dep_parse", |b| b.iter(|| DepTree::parse(black_box(&toks))));
+    bench("text/dep_parse", records, || {
+        black_box(DepTree::parse(black_box(&toks)));
+    });
     let space = EmbeddingSpace::with_builtin_lexicon(24, 7);
-    c.bench_function("text/embed_phrase", |b| {
-        b.iter(|| space.phrase_vector(black_box(&toks)))
+    bench("text/embed_phrase", records, || {
+        black_box(space.phrase_vector(black_box(&toks)));
     });
 }
 
-fn bench_sql(c: &mut Criterion) {
+fn bench_sql(records: &mut Vec<Record>) {
     let ds = generate(&WikiSqlConfig::tiny(7));
     let e = &ds.train[0];
     let names = e.table.column_names();
     let sql = e.query.to_sql(&names);
-    c.bench_function("sql/parse", |b| b.iter(|| parse_sql(black_box(&sql), &names)));
-    c.bench_function("sql/canonicalize", |b| b.iter(|| canonicalize(black_box(&e.query))));
-    c.bench_function("sql/query_match", |b| {
-        b.iter(|| query_match(black_box(&e.query), black_box(&e.query)))
+    bench("sql/parse", records, || {
+        black_box(parse_sql(black_box(&sql), &names).ok());
     });
-    c.bench_function("sql/execute", |b| {
-        b.iter(|| execute(black_box(&e.table), black_box(&e.query)))
+    bench("sql/canonicalize", records, || {
+        black_box(canonicalize(black_box(&e.query)));
+    });
+    bench("sql/query_match", records, || {
+        black_box(query_match(black_box(&e.query), black_box(&e.query)));
+    });
+    bench("sql/execute", records, || {
+        black_box(execute(black_box(&e.table), black_box(&e.query)).ok());
     });
     let space = EmbeddingSpace::with_builtin_lexicon(24, 7);
-    c.bench_function("storage/column_stats", |b| {
-        b.iter(|| TableStats::compute(black_box(&e.table), &space))
+    bench("storage/column_stats", records, || {
+        black_box(TableStats::compute(black_box(&e.table), &space));
     });
 }
 
-fn bench_models(c: &mut Criterion) {
+fn bench_models(records: &mut Vec<Record>) {
     let cfg = ModelConfig::tiny();
     let ds = generate(&WikiSqlConfig::tiny(7));
     let vocab = build_input_vocab(&ds, &cfg);
@@ -55,31 +119,40 @@ fn bench_models(c: &mut Criterion) {
     clf.train(&pairs, 1);
     let q = tokenize("which film directed by jerzy antczak did piotr adamczyk star in ?");
     let col = tokenize("director");
-    c.bench_function("mention/classifier_predict", |b| {
-        b.iter(|| clf.predict(black_box(&q), black_box(&col)))
+    bench("mention/classifier_predict", records, || {
+        black_box(clf.predict(black_box(&q), black_box(&col)));
     });
-    c.bench_function("mention/adversarial_influence", |b| {
-        b.iter(|| influence(black_box(&clf), &q, &col))
+    bench("mention/adversarial_influence", records, || {
+        black_box(influence(black_box(&clf), &q, &col));
     });
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline(records: &mut Vec<Record>) {
     let mut gen_cfg = WikiSqlConfig::tiny(7);
     gen_cfg.questions_per_table = 4;
     let ds = generate(&gen_cfg);
     let opts = NlidbOptions { model: ModelConfig::tiny(), ..NlidbOptions::default() };
     let nlidb = Nlidb::train(&ds, opts);
     let e = &ds.dev[0];
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(20);
-    group.bench_function("annotate_question", |b| {
-        b.iter(|| nlidb.annotate_question(black_box(&e.question), &e.table))
+    bench("pipeline/annotate_question", records, || {
+        black_box(nlidb.annotate_question(black_box(&e.question), &e.table));
     });
-    group.bench_function("predict_end_to_end", |b| {
-        b.iter(|| nlidb.predict(black_box(&e.question), &e.table))
+    bench("pipeline/predict_end_to_end", records, || {
+        black_box(nlidb.predict(black_box(&e.question), &e.table));
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_text, bench_sql, bench_models, bench_pipeline);
-criterion_main!(benches);
+fn main() {
+    println!("{:<32} {:>12} {:>10}", "benchmark", "median", "iters");
+    println!("{}", "-".repeat(56));
+    let mut records = Vec::new();
+    bench_text(&mut records);
+    bench_sql(&mut records);
+    bench_models(&mut records);
+    bench_pipeline(&mut records);
+    let rows: Vec<nlidb_json::Json> = records
+        .iter()
+        .map(|r| json!({"name": r.name, "median_ns": r.median_ns, "iters": r.iters}))
+        .collect();
+    nlidb_bench::write_result("bench_components", &json!({"rows": rows}));
+}

@@ -75,7 +75,7 @@ fn main() {
                     "l{:<5} ({:>3}, {:>3}) {:<8} {:>12} {:>8}",
                     norm_p as u32, alpha, beta, ratio, pct(recall), total
                 );
-                results.push(serde_json::json!({
+                results.push(nlidb_json::json!({
                     "norm": norm_p, "alpha": alpha, "beta": beta,
                     "ratio": ratio, "recall": recall, "n": total,
                 }));
@@ -86,6 +86,6 @@ fn main() {
     println!("paper's setting: l2, α=1, β=0 (WikiSQL, §VII-A1)");
     nlidb_bench::write_result(
         "ablation_influence",
-        &serde_json::json!({"scale": format!("{scale:?}"), "seed": seed, "rows": results}),
+        &nlidb_json::json!({"scale": format!("{scale:?}"), "seed": seed, "rows": results}),
     );
 }

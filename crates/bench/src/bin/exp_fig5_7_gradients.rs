@@ -87,9 +87,13 @@ fn main() {
                 format!("{:7.4} {}", inf.char[i], bar(inf.char[i], cmax, 14)),
             );
         }
-        rows.push(serde_json::json!({
+        rows.push(nlidb_json::json!({
             "column": column, "question": question,
-            "i_word": inf.word, "i_char": inf.char, "span": span,
+            "i_word": inf.word, "i_char": inf.char,
+            "span": match span {
+                Some((a, b)) => nlidb_json::json!([a, b]),
+                None => nlidb_json::Json::Null,
+            },
             "combined": combined,
         }));
     }
@@ -97,6 +101,6 @@ fn main() {
     println!(" the same word/char gradient series peaking on the mention term.)");
     nlidb_bench::write_result(
         "fig5_7_gradients",
-        &serde_json::json!({"scale": format!("{scale:?}"), "seed": seed, "probes": rows}),
+        &nlidb_json::json!({"scale": format!("{scale:?}"), "seed": seed, "probes": rows}),
     );
 }

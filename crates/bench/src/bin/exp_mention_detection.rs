@@ -78,7 +78,7 @@ fn main() {
     );
     nlidb_bench::write_result(
         "mention_detection",
-        &serde_json::json!({
+        &nlidb_json::json!({
             "scale": format!("{scale:?}"), "seed": seed,
             "ours_subsystem": ours_subsystem, "ours_pipeline": ours, "typesql": ts,
             "paper_ours": 0.918, "paper_typesql": 0.879,

@@ -5,7 +5,7 @@
 //! mention is implicit or a synonym — "date" found from "when did",
 //! "player" from "golfer", etc. This harness trains the §IV-B classifier,
 //! runs the §IV-C localization on analogous questions, and prints the
-//! detected term [bracketed] inside each question.
+//! detected term \[bracketed\] inside each question.
 
 use nlidb_bench::{print_header, wikisql_corpus, Scale};
 use nlidb_core::mention::adversarial::locate_mention;
@@ -63,9 +63,13 @@ fn main() {
             None => format!("{} (no span)", q.join(" ")),
         };
         println!("{column:<18} | {rendered}   (p_mentioned={p:.2})");
-        rows.push(serde_json::json!({
+        rows.push(nlidb_json::json!({
             "column": column, "question": question,
-            "span": span, "p": p,
+            "span": match span {
+                Some((a, b)) => nlidb_json::json!([a, b]),
+                None => nlidb_json::Json::Null,
+            },
+            "p": p,
         }));
     }
     println!("{}", "-".repeat(78));
@@ -73,6 +77,6 @@ fn main() {
     println!("player<-\"golfer\", competition description<-implicit context");
     nlidb_bench::write_result(
         "table1_cases",
-        &serde_json::json!({"scale": format!("{scale:?}"), "seed": seed, "cases": rows}),
+        &nlidb_json::json!({"scale": format!("{scale:?}"), "seed": seed, "cases": rows}),
     );
 }

@@ -29,7 +29,7 @@ fn eval_split<'a>(
     r
 }
 
-fn row(label: &str, dev: EvalResult, test: EvalResult) -> serde_json::Value {
+fn row(label: &str, dev: EvalResult, test: EvalResult) -> nlidb_json::Json {
     println!(
         "{label:<28} | {} {} {} | {} {} {}",
         pct(dev.acc_lf),
@@ -39,10 +39,10 @@ fn row(label: &str, dev: EvalResult, test: EvalResult) -> serde_json::Value {
         pct(test.acc_qm),
         pct(test.acc_ex)
     );
-    serde_json::json!({
+    nlidb_json::json!({
         "label": label,
-        "dev": {"lf": dev.acc_lf, "qm": dev.acc_qm, "ex": dev.acc_ex},
-        "test": {"lf": test.acc_lf, "qm": test.acc_qm, "ex": test.acc_ex},
+        "dev": nlidb_json::json!({"lf": dev.acc_lf, "qm": dev.acc_qm, "ex": dev.acc_ex}),
+        "test": nlidb_json::json!({"lf": test.acc_lf, "qm": test.acc_qm, "ex": test.acc_ex}),
     })
 }
 
@@ -154,7 +154,7 @@ fn main() {
     println!("(PT-MAML and Coarse2Fine are paper-copied rows; not re-implemented — see EXPERIMENTS.md)");
     nlidb_bench::write_result(
         "table2_main",
-        &serde_json::json!({
+        &nlidb_json::json!({
             "scale": format!("{scale:?}"),
             "seed": seed,
             "rows": rows,

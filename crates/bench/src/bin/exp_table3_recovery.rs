@@ -103,7 +103,7 @@ fn main() {
             pct(test.before),
             pct(test.after)
         );
-        rows.push(serde_json::json!({
+        rows.push(nlidb_json::json!({
             "label": label,
             "dev_before": dev.before, "dev_after": dev.after,
             "test_before": test.before, "test_after": test.after,
@@ -113,6 +113,6 @@ fn main() {
     println!("paper (test): ours 75.0% -> 75.6%; recovery never reduces accuracy");
     nlidb_bench::write_result(
         "table3_recovery",
-        &serde_json::json!({"scale": format!("{scale:?}"), "seed": seed, "rows": rows}),
+        &nlidb_json::json!({"scale": format!("{scale:?}"), "seed": seed, "rows": rows}),
     );
 }

@@ -48,7 +48,7 @@ fn main() {
         println!("{name:<14} {:>10} {:>8}", pct(acc), n);
         total_ok += acc * n as f32;
         total_n += n;
-        rows.push(serde_json::json!({"domain": name, "acc_qm": acc, "n": n}));
+        rows.push(nlidb_json::json!({"domain": name, "acc_qm": acc, "n": n}));
     }
     let overall = total_ok / total_n.max(1) as f32;
     println!("{}", "-".repeat(36));
@@ -70,7 +70,7 @@ fn main() {
     println!("paper's in-domain remark: 81.4%");
     nlidb_bench::write_result(
         "table4a_overnight",
-        &serde_json::json!({
+        &nlidb_json::json!({
             "scale": format!("{scale:?}"), "seed": seed,
             "rows": rows, "overall": overall, "in_domain": in_acc,
         }),

@@ -67,7 +67,7 @@ fn main() {
             paper_val
         );
         measured.insert(cat.name(), acc);
-        rows.push(serde_json::json!({"category": cat.name(), "acc_qm": acc, "paper": paper_val / 100.0}));
+        rows.push(nlidb_json::json!({"category": cat.name(), "acc_qm": acc, "paper": paper_val / 100.0}));
     }
     println!("{}", "-".repeat(50));
     let easy =
@@ -83,6 +83,6 @@ fn main() {
     );
     nlidb_bench::write_result(
         "table4b_paraphrase",
-        &serde_json::json!({"scale": format!("{scale:?}"), "seed": seed, "rows": rows}),
+        &nlidb_json::json!({"scale": format!("{scale:?}"), "seed": seed, "rows": rows}),
     );
 }

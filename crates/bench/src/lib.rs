@@ -128,16 +128,14 @@ pub fn print_header(title: &str) {
 }
 
 /// Writes an experiment's JSON record under `results/`.
-pub fn write_result(name: &str, value: &serde_json::Value) {
+pub fn write_result(name: &str, value: &nlidb_json::Json) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    if let Ok(s) = serde_json::to_string_pretty(value) {
-        let _ = std::fs::write(&path, s);
-        eprintln!("(wrote {})", path.display());
-    }
+    let _ = std::fs::write(&path, value.pretty());
+    eprintln!("(wrote {})", path.display());
 }
 
 /// Formats a percentage.

@@ -13,12 +13,13 @@
 //!   never mentioned in the question as a single `g_k` token.
 
 use nlidb_data::Example;
+use nlidb_json::{FromJson, Json, JsonError, ToJson};
 use nlidb_sqlir::{AnnotatedSql, AnnotationMap, Slot};
 
 use crate::mention::DetectedSlot;
 
 /// §V-A-1 symbol-encoding choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SymbolEncoding {
     /// Insert the symbol before the mention, keeping the mention words
     /// ("column name appending" — the paper's best).
@@ -27,13 +28,53 @@ pub enum SymbolEncoding {
     Substitution,
 }
 
+impl ToJson for SymbolEncoding {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                SymbolEncoding::Appending => "Appending",
+                SymbolEncoding::Substitution => "Substitution",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for SymbolEncoding {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_str() {
+            Some("Appending") => Ok(SymbolEncoding::Appending),
+            Some("Substitution") => Ok(SymbolEncoding::Substitution),
+            _ => Err(JsonError::new("expected SymbolEncoding variant name")),
+        }
+    }
+}
+
 /// Annotation configuration (the Table II ablation axes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AnnotateConfig {
     /// Symbol encoding.
     pub encoding: SymbolEncoding,
     /// Whether to append table headers as `g_k` blocks.
     pub header_encoding: bool,
+}
+
+impl ToJson for AnnotateConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("encoding", self.encoding.to_json()),
+            ("header_encoding", self.header_encoding.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AnnotateConfig {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(AnnotateConfig {
+            encoding: j.req("encoding")?,
+            header_encoding: j.req("header_encoding")?,
+        })
+    }
 }
 
 impl Default for AnnotateConfig {

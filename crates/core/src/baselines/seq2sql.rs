@@ -13,8 +13,7 @@ use nlidb_neural::{BahdanauAttention, BiGru, Embedding, GruCell, Linear};
 use nlidb_tensor::optim::{clip_global_norm, Adam};
 use nlidb_tensor::{Graph, ParamStore, Tensor};
 use nlidb_text::{EmbeddingSpace, Vocab};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nlidb_tensor::Rng;
 
 use crate::config::ModelConfig;
 use nlidb_sqlir::{Agg, CmpOp, Literal, Query};
@@ -168,7 +167,7 @@ const MAX_PTR_STEPS: usize = 36;
 impl Seq2Sql {
     /// Builds an untrained model.
     pub fn new(cfg: &ModelConfig, vocab: Vocab, space: &EmbeddingSpace) -> Self {
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5E05);
+        let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x5E05);
         let mut store = ParamStore::new();
         let table = crate::embed_init::pretrained_table(&vocab, space, cfg.word_dim, cfg.seed);
         let emb = Embedding::from_pretrained(&mut store, "ss.emb", table);
@@ -223,7 +222,7 @@ impl Seq2Sql {
     /// Trains on a split; returns final-epoch mean loss.
     pub fn train(&mut self, examples: &[Example], epochs: usize) -> f32 {
         let mut opt = Adam::new(self.cfg.lr);
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5E06);
+        let mut rng = Rng::seed_from_u64(self.cfg.seed ^ 0x5E06);
         let mut order: Vec<usize> = (0..examples.len()).collect();
         let mut last = f32::INFINITY;
         for _ in 0..epochs {

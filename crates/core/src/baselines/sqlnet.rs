@@ -14,8 +14,7 @@ use nlidb_neural::{Activation, BahdanauAttention, BiGru, Embedding, Linear, Mlp}
 use nlidb_tensor::optim::{clip_global_norm, Adam};
 use nlidb_tensor::{Graph, NodeId, ParamStore, Tensor};
 use nlidb_text::{EmbeddingSpace, Vocab};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nlidb_tensor::Rng;
 
 use crate::config::ModelConfig;
 use nlidb_sqlir::{Agg, CmpOp, Literal, Query};
@@ -62,7 +61,7 @@ impl SqlNet {
         space: &EmbeddingSpace,
         type_fn: Option<TypeFn>,
     ) -> Self {
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x50C1);
+        let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x50C1);
         let mut store = ParamStore::new();
         let table = crate::embed_init::pretrained_table(&vocab, space, cfg.word_dim, cfg.seed);
         let emb = Embedding::from_pretrained(&mut store, "sn.emb", table);
@@ -238,7 +237,7 @@ impl SqlNet {
     /// Trains on a split; returns final-epoch mean loss.
     pub fn train(&mut self, examples: &[Example], epochs: usize) -> f32 {
         let mut opt = Adam::new(self.cfg.lr);
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x50C2);
+        let mut rng = Rng::seed_from_u64(self.cfg.seed ^ 0x50C2);
         let mut order: Vec<usize> = (0..examples.len()).collect();
         let mut last = f32::INFINITY;
         for _ in 0..epochs {

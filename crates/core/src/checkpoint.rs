@@ -17,9 +17,9 @@
 
 use std::path::Path;
 
+use nlidb_json::{FromJson, Json, JsonError, ToJson};
 use nlidb_tensor::ParamStore;
 use nlidb_text::{EmbeddingSpace, Lexicon, Vocab};
-use serde::{Deserialize, Serialize};
 
 use crate::mention::MentionDetector;
 use crate::pipeline::{Nlidb, NlidbOptions, Translator};
@@ -33,7 +33,7 @@ pub enum CheckpointError {
     /// Filesystem failure.
     Io(std::io::Error),
     /// JSON (de)serialization failure.
-    Json(serde_json::Error),
+    Json(JsonError),
     /// Stored weights do not match the reconstructed model's layout.
     LayoutMismatch(String),
 }
@@ -56,18 +56,39 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-impl From<serde_json::Error> for CheckpointError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for CheckpointError {
+    fn from(e: JsonError) -> Self {
         CheckpointError::Json(e)
     }
 }
 
-#[derive(Serialize, Deserialize)]
 struct Manifest {
     options: NlidbOptions,
     space_dim: usize,
     space_seed: u64,
     format_version: u32,
+}
+
+impl ToJson for Manifest {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("options", self.options.to_json()),
+            ("space_dim", self.space_dim.to_json()),
+            ("space_seed", self.space_seed.to_json()),
+            ("format_version", self.format_version.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Manifest {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Manifest {
+            options: j.req("options")?,
+            space_dim: j.req("space_dim")?,
+            space_seed: j.req("space_seed")?,
+            format_version: j.req("format_version")?,
+        })
+    }
 }
 
 /// Replaces `target`'s values with `loaded`'s after verifying that both
@@ -101,8 +122,8 @@ fn replace_params(target: &mut ParamStore, loaded: ParamStore) -> Result<(), Che
     Ok(())
 }
 
-fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> Result<(), CheckpointError> {
-    std::fs::write(dir.join(name), serde_json::to_string(value)?)?;
+fn write_json<T: ToJson>(dir: &Path, name: &str, value: &T) -> Result<(), CheckpointError> {
+    std::fs::write(dir.join(name), value.to_json().to_string())?;
     Ok(())
 }
 
@@ -127,15 +148,15 @@ impl Nlidb {
         write_json(dir, "vocab.json", self.in_vocab())?;
         std::fs::write(
             dir.join("classifier.params.json"),
-            self.detector.classifier.store.to_json(),
+            self.detector.classifier.store.to_json_string(),
         )?;
         std::fs::write(
             dir.join("value.params.json"),
-            self.detector.value_detector.store.to_json(),
+            self.detector.value_detector.store.to_json_string(),
         )?;
         let translator_json = match self.translator() {
-            Translator::Gru(m) => m.store.to_json(),
-            Translator::Transformer(m) => m.store.to_json(),
+            Translator::Gru(m) => m.store.to_json_string(),
+            Translator::Transformer(m) => m.store.to_json_string(),
         };
         std::fs::write(dir.join("translator.params.json"), translator_json)?;
         Ok(())
@@ -144,24 +165,22 @@ impl Nlidb {
     /// Restores a system saved with [`Nlidb::save`].
     pub fn load(dir: impl AsRef<Path>) -> Result<Nlidb, CheckpointError> {
         let dir = dir.as_ref();
-        let manifest: Manifest = serde_json::from_str(&read_string(dir, "manifest.json")?)?;
-        let mut lexicon: Lexicon = serde_json::from_str(&read_string(dir, "lexicon.json")?)?;
-        lexicon.rebuild_index();
-        let mut vocab: Vocab = serde_json::from_str(&read_string(dir, "vocab.json")?)?;
-        vocab.rebuild_index();
+        let manifest = Manifest::from_json(&Json::parse(&read_string(dir, "manifest.json")?)?)?;
+        let lexicon = Lexicon::from_json(&Json::parse(&read_string(dir, "lexicon.json")?)?)?;
+        let vocab = Vocab::from_json(&Json::parse(&read_string(dir, "vocab.json")?)?)?;
         let space = EmbeddingSpace::new(manifest.space_dim, manifest.space_seed, lexicon.clone());
         let opts = manifest.options;
         let cfg = &opts.model;
 
         let mut detector = MentionDetector::untrained(cfg, vocab.clone(), &space, lexicon);
-        let clf_store = ParamStore::from_json(&read_string(dir, "classifier.params.json")?)?;
+        let clf_store = ParamStore::from_json_str(&read_string(dir, "classifier.params.json")?)?;
         replace_params(&mut detector.classifier.store, clf_store)?;
-        let val_store = ParamStore::from_json(&read_string(dir, "value.params.json")?)?;
+        let val_store = ParamStore::from_json_str(&read_string(dir, "value.params.json")?)?;
         replace_params(&mut detector.value_detector.store, val_store)?;
 
         let out_vocab = OutVocab::new(cfg);
         let translator_store =
-            ParamStore::from_json(&read_string(dir, "translator.params.json")?)?;
+            ParamStore::from_json_str(&read_string(dir, "translator.params.json")?)?;
         let translator = if opts.use_transformer {
             let mut m = TransformerSeq2Seq::new(cfg, &vocab, out_vocab.clone(), &space);
             replace_params(&mut m.store, translator_store)?;

@@ -6,10 +6,10 @@
 //! "half hidden size" ablation of Table II is expressed through
 //! [`ModelConfig::half_hidden`].
 
-use serde::{Deserialize, Serialize};
+use nlidb_json::{FromJson, Json, JsonError, ToJson};
 
 /// Hyper-parameters shared by the mention models and the seq2seq model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelConfig {
     /// Word-embedding width (paper: 300 via GloVe).
     pub word_dim: usize,
@@ -74,6 +74,58 @@ impl Default for ModelConfig {
             mention_epochs: 2,
             seed: 1234,
         }
+    }
+}
+
+impl ToJson for ModelConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("word_dim", self.word_dim.to_json()),
+            ("char_dim", self.char_dim.to_json()),
+            ("char_widths", self.char_widths.to_json()),
+            ("char_out", self.char_out.to_json()),
+            ("hidden", self.hidden.to_json()),
+            ("attn_dim", self.attn_dim.to_json()),
+            ("enc_layers", self.enc_layers.to_json()),
+            ("max_slots", self.max_slots.to_json()),
+            ("max_headers", self.max_headers.to_json()),
+            ("max_mention_len", self.max_mention_len.to_json()),
+            ("alpha", self.alpha.to_json()),
+            ("beta", self.beta.to_json()),
+            ("norm_p", self.norm_p.to_json()),
+            ("beam_width", self.beam_width.to_json()),
+            ("clip", self.clip.to_json()),
+            ("lr", self.lr.to_json()),
+            ("epochs", self.epochs.to_json()),
+            ("mention_epochs", self.mention_epochs.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ModelConfig {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(ModelConfig {
+            word_dim: j.req("word_dim")?,
+            char_dim: j.req("char_dim")?,
+            char_widths: j.req("char_widths")?,
+            char_out: j.req("char_out")?,
+            hidden: j.req("hidden")?,
+            attn_dim: j.req("attn_dim")?,
+            enc_layers: j.req("enc_layers")?,
+            max_slots: j.req("max_slots")?,
+            max_headers: j.req("max_headers")?,
+            max_mention_len: j.req("max_mention_len")?,
+            alpha: j.req("alpha")?,
+            beta: j.req("beta")?,
+            norm_p: j.req("norm_p")?,
+            beam_width: j.req("beam_width")?,
+            clip: j.req("clip")?,
+            lr: j.req("lr")?,
+            epochs: j.req("epochs")?,
+            mention_epochs: j.req("mention_epochs")?,
+            seed: j.req("seed")?,
+        })
     }
 }
 

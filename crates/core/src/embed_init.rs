@@ -9,11 +9,10 @@
 use nlidb_sqlir::AnnTok;
 use nlidb_tensor::Tensor;
 use nlidb_text::{special, EmbeddingSpace, Vocab};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nlidb_tensor::Rng;
 
 fn seeded_vec(seed: u64, key: u64, dim: usize) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed ^ key.wrapping_mul(0x9e3779b97f4a7c15));
+    let mut rng = Rng::seed_from_u64(seed ^ key.wrapping_mul(0x9e3779b97f4a7c15));
     (0..dim).map(|_| rng.gen_range(-0.5..0.5)).collect()
 }
 
@@ -29,7 +28,7 @@ fn parse_symbol(word: &str) -> Option<(u64, usize)> {
 
 /// Builds the initial embedding table for a vocabulary.
 pub fn pretrained_table(vocab: &Vocab, space: &EmbeddingSpace, dim: usize, seed: u64) -> Tensor {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7AB1E);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x7AB1E);
     let mut table = Tensor::zeros(vocab.len(), dim);
     let half = dim / 2;
     for id in special::COUNT..vocab.len() {

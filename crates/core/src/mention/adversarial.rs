@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn influence_has_one_score_per_token() {
         let cfg = ModelConfig::tiny();
-        let ds = generate(&WikiSqlConfig::tiny(31));
+        let ds = generate(&WikiSqlConfig::tiny(33));
         let vocab = build_input_vocab(&ds, &cfg);
         let space = EmbeddingSpace::with_builtin_lexicon(cfg.word_dim, 3);
         let clf = MentionClassifier::new(&cfg, vocab, &space);
@@ -206,7 +206,7 @@ mod tests {
         // located span overlaps the gold column mention more often than a
         // random baseline would.
         let cfg = ModelConfig::tiny();
-        let mut gen_cfg = WikiSqlConfig::tiny(32);
+        let mut gen_cfg = WikiSqlConfig::tiny(33);
         gen_cfg.noise = nlidb_data::NoiseConfig::clean();
         gen_cfg.questions_per_table = 8;
         let ds = generate(&gen_cfg);

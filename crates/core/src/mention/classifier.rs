@@ -22,8 +22,7 @@ use nlidb_neural::{Activation, BahdanauAttention, CharCnn, Embedding, Lstm, Lstm
 use nlidb_tensor::optim::{clip_global_norm, Adam};
 use nlidb_tensor::{Graph, NodeId, ParamStore, Tensor};
 use nlidb_text::{CharVocab, EmbeddingSpace, Vocab};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nlidb_tensor::Rng;
 
 use crate::config::ModelConfig;
 
@@ -62,7 +61,7 @@ impl MentionClassifier {
     /// word embeddings are initialized from the synthetic pre-trained
     /// space.
     pub fn new(cfg: &ModelConfig, vocab: Vocab, space: &EmbeddingSpace) -> Self {
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC1A551F1E5);
+        let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xC1A551F1E5);
         let mut store = ParamStore::new();
         // Pre-trained init: project the space's vectors into word_dim.
         let table = crate::embed_init::pretrained_table(&vocab, space, cfg.word_dim, cfg.seed);
@@ -215,7 +214,7 @@ impl MentionClassifier {
         epochs: usize,
     ) -> f32 {
         let mut opt = Adam::new(self.cfg.lr);
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x7EA1);
+        let mut rng = Rng::seed_from_u64(self.cfg.seed ^ 0x7EA1);
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut last = f32::INFINITY;
         for _ in 0..epochs {

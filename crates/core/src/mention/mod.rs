@@ -7,7 +7,7 @@
 //! - [`classifier`] — the §IV-B Column Mention Binary Classifier.
 //! - [`adversarial`] — the §IV-C FGM-based mention localization.
 //! - [`value`] — the §IV-D Value Detection Classifier.
-//! - [`resolve`] — the §IV-E dependency-tree mention resolution.
+//! - [`resolve`](mod@resolve) — the §IV-E dependency-tree mention resolution.
 //! - [`MentionDetector`] — the combined detector used by the pipeline.
 
 pub mod adversarial;

@@ -31,7 +31,7 @@ const PLAUSIBLE_MARGIN: f32 = 0.15;
 /// Resolves value mentions against detected column mentions.
 ///
 /// For each value mention: collect plausible columns (score within
-/// [`PLAUSIBLE_MARGIN`] of its best), prefer ones with an explicit column
+/// `PLAUSIBLE_MARGIN` of its best), prefer ones with an explicit column
 /// mention, and among those choose minimal dependency-tree distance
 /// between the value span and the column's mention span. Each explicit
 /// column mention is consumed by at most one value (greedy in question

@@ -13,8 +13,7 @@ use nlidb_storage::TableStats;
 use nlidb_tensor::optim::{clip_global_norm, Adam};
 use nlidb_tensor::{Graph, ParamStore, Tensor};
 use nlidb_text::{span_has_stop_word, EmbeddingSpace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nlidb_tensor::Rng;
 
 use crate::config::ModelConfig;
 
@@ -53,7 +52,7 @@ impl ValueDetector {
     /// Builds an untrained detector over the given embedding space.
     pub fn new(cfg: &ModelConfig, space: EmbeddingSpace) -> Self {
         let dim = space.dim();
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0DE7EC7);
+        let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x0DE7EC7);
         let mut store = ParamStore::new();
         let mlp = Mlp::new(&mut store, "vd", &[2 * dim, 32, 1], Activation::Relu, &mut rng);
         ValueDetector { store, mlp, space, dim, seed: cfg.seed, lr: cfg.lr, clip: cfg.clip }
@@ -84,7 +83,7 @@ impl ValueDetector {
     /// Trains on `(span tokens, column centroid, is-value?)` triples.
     pub fn train(&mut self, data: &[(Vec<String>, Vec<f32>, bool)], epochs: usize) -> f32 {
         let mut opt = Adam::new(self.lr);
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xF00D);
+        let mut rng = Rng::seed_from_u64(self.seed ^ 0xF00D);
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut last = f32::INFINITY;
         for _ in 0..epochs {
@@ -228,7 +227,7 @@ pub fn training_triples(
     space: &EmbeddingSpace,
     seed: u64,
 ) -> Vec<(Vec<String>, Vec<f32>, bool)> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7121);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x7121);
     let mut out = Vec::new();
     for e in ds {
         let stats = TableStats::compute(&e.table, space);
@@ -254,7 +253,7 @@ pub fn training_triples(
                 break;
             }
             let a = rng.gen_range(0..n);
-            let b = (a + 1 + rng.gen_range(0..2)).min(n);
+            let b = (a + 1 + rng.gen_range(0usize..2)).min(n);
             let overlaps = val_spans.iter().any(|&(va, vb)| a < vb && va < b);
             let span = e.question[a..b].to_vec();
             if overlaps || span_has_stop_word(&span) || span.is_empty() {

@@ -7,6 +7,7 @@
 //! claim under test.
 
 use nlidb_data::{Dataset, Example};
+use nlidb_json::{FromJson, Json, JsonError, ToJson};
 use nlidb_sqlir::{recover, AnnotatedSql, AnnotationMap, Query};
 use nlidb_storage::Table;
 use nlidb_text::{EmbeddingSpace, Lexicon, Vocab};
@@ -27,7 +28,7 @@ pub enum Translator {
 }
 
 /// Pipeline options covering the Table II ablation axes.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NlidbOptions {
     /// Model hyper-parameters.
     pub model: ModelConfig,
@@ -37,6 +38,28 @@ pub struct NlidbOptions {
     pub copy: bool,
     /// Replace the GRU seq2seq with a transformer.
     pub use_transformer: bool,
+}
+
+impl ToJson for NlidbOptions {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("model", self.model.to_json()),
+            ("annotate", self.annotate.to_json()),
+            ("copy", self.copy.to_json()),
+            ("use_transformer", self.use_transformer.to_json()),
+        ])
+    }
+}
+
+impl FromJson for NlidbOptions {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(NlidbOptions {
+            model: j.req("model")?,
+            annotate: j.req("annotate")?,
+            copy: j.req("copy")?,
+            use_transformer: j.req("use_transformer")?,
+        })
+    }
 }
 
 impl Default for NlidbOptions {
@@ -231,9 +254,8 @@ pub fn training_items(
     in_vocab: &Vocab,
     out_vocab: &OutVocab,
 ) -> Vec<Seq2SeqItem> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(opts.model.seed ^ 0xD20F);
+    use nlidb_tensor::Rng;
+    let mut rng = Rng::seed_from_u64(opts.model.seed ^ 0xD20F);
     let mut items = Vec::with_capacity(examples.len());
     for e in examples {
         let mut slots = crate::annotate::gold_slots(e);
@@ -305,7 +327,7 @@ mod tests {
 
     #[test]
     fn end_to_end_train_and_predict_on_unseen_tables() {
-        let mut gen_cfg = WikiSqlConfig::tiny(72);
+        let mut gen_cfg = WikiSqlConfig::tiny(75);
         gen_cfg.train_tables = 8;
         gen_cfg.questions_per_table = 8;
         let ds = generate(&gen_cfg);

@@ -17,8 +17,7 @@ use nlidb_neural::{BahdanauAttention, BiGru, Embedding, GruCell, Linear};
 use nlidb_tensor::optim::{clip_global_norm, Adam};
 use nlidb_tensor::{Graph, NodeId, ParamStore, Tensor};
 use nlidb_text::{EmbeddingSpace, Vocab};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nlidb_tensor::Rng;
 
 use crate::config::ModelConfig;
 use crate::vocab::OutVocab;
@@ -63,7 +62,7 @@ impl Seq2Seq {
         space: &EmbeddingSpace,
         copy_enabled: bool,
     ) -> Self {
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5E25E9);
+        let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x5E25E9);
         let mut store = ParamStore::new();
         let table = crate::embed_init::pretrained_table(in_vocab, space, cfg.word_dim, cfg.seed);
         let emb = Embedding::from_pretrained(&mut store, "s2s.emb", table);
@@ -188,7 +187,7 @@ impl Seq2Seq {
     /// Trains with Adam + global-norm clipping. Returns final-epoch loss.
     pub fn train(&mut self, data: &[Seq2SeqItem], epochs: usize) -> f32 {
         let mut opt = Adam::new(self.cfg.lr);
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x7EAC4);
+        let mut rng = Rng::seed_from_u64(self.cfg.seed ^ 0x7EAC4);
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut last = f32::INFINITY;
         for _ in 0..epochs {
@@ -359,7 +358,7 @@ mod tests {
         n: usize,
         seed: u64,
     ) -> Vec<Seq2SeqItem> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut out = Vec::new();
         for _ in 0..n {
             let c = rng.gen_range(0..3usize);

@@ -14,8 +14,7 @@ use nlidb_neural::{Embedding, Linear};
 use nlidb_tensor::optim::{clip_global_norm, Adam};
 use nlidb_tensor::{Graph, NodeId, ParamStore, Tensor};
 use nlidb_text::{EmbeddingSpace, Vocab};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nlidb_tensor::Rng;
 
 use crate::config::ModelConfig;
 use crate::seq2seq::{Seq2SeqItem, MAX_DECODE_LEN};
@@ -30,7 +29,7 @@ struct AttnBlock {
 }
 
 impl AttnBlock {
-    fn new(store: &mut ParamStore, prefix: &str, d: usize, rng: &mut StdRng) -> Self {
+    fn new(store: &mut ParamStore, prefix: &str, d: usize, rng: &mut Rng) -> Self {
         AttnBlock {
             wq: Linear::new(store, &format!("{prefix}.wq"), d, d, rng),
             wk: Linear::new(store, &format!("{prefix}.wk"), d, d, rng),
@@ -74,7 +73,7 @@ struct Ffn {
 }
 
 impl Ffn {
-    fn new(store: &mut ParamStore, prefix: &str, d: usize, rng: &mut StdRng) -> Self {
+    fn new(store: &mut ParamStore, prefix: &str, d: usize, rng: &mut Rng) -> Self {
         Ffn {
             l1: Linear::new(store, &format!("{prefix}.l1"), d, 2 * d, rng),
             l2: Linear::new(store, &format!("{prefix}.l2"), 2 * d, d, rng),
@@ -144,7 +143,7 @@ impl TransformerSeq2Seq {
         out_vocab: OutVocab,
         space: &EmbeddingSpace,
     ) -> Self {
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7F0842);
+        let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x7F0842);
         let mut store = ParamStore::new();
         let d = cfg.word_dim;
         let table = crate::embed_init::pretrained_table(in_vocab, space, d, cfg.seed);
@@ -222,7 +221,7 @@ impl TransformerSeq2Seq {
     /// Trains with Adam + clipping. Returns final-epoch loss.
     pub fn train(&mut self, data: &[Seq2SeqItem], epochs: usize) -> f32 {
         let mut opt = Adam::new(self.cfg.lr);
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x7F7F);
+        let mut rng = Rng::seed_from_u64(self.cfg.seed ^ 0x7F7F);
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut last = f32::INFINITY;
         for _ in 0..epochs {
@@ -359,7 +358,7 @@ mod tests {
         let (cfg, vocab, ov, space) = setup();
         let mut model = TransformerSeq2Seq::new(&cfg, &vocab, ov.clone(), &space);
         let mut data = Vec::new();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         for _ in 0..40 {
             data.push(toy_item(&vocab, &ov, rng.gen_range(0..3), rng.gen_range(0..3)));
         }

@@ -5,13 +5,13 @@
 //! spans — so the synthetic corpora can be inspected, diffed across
 //! seeds, or consumed by external tooling.
 
+use nlidb_json::{FromJson, Json, JsonError, ToJson};
 use nlidb_sqlir::Query;
-use serde::{Deserialize, Serialize};
 
 use crate::example::{Example, SlotRole};
 
 /// One exported record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExportRecord {
     /// Example id.
     pub id: usize,
@@ -36,7 +36,7 @@ pub struct ExportRecord {
 }
 
 /// One exported gold slot.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExportSlot {
     /// `"select"` or `"cond<i>"`.
     pub role: String,
@@ -48,6 +48,64 @@ pub struct ExportSlot {
     pub value: Option<String>,
     /// Value mention span, if any.
     pub val_span: Option<(usize, usize)>,
+}
+
+impl ToJson for ExportRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("table", self.table.to_json()),
+            ("columns", self.columns.to_json()),
+            ("types", self.types.to_json()),
+            ("rows", self.rows.to_json()),
+            ("question", self.question.to_json()),
+            ("sql", self.sql.to_json()),
+            ("sql_text", self.sql_text.to_json()),
+            ("slots", self.slots.to_json()),
+            ("sketch_compatible", self.sketch_compatible.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExportRecord {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(ExportRecord {
+            id: j.req("id")?,
+            table: j.req("table")?,
+            columns: j.req("columns")?,
+            types: j.req("types")?,
+            rows: j.req("rows")?,
+            question: j.req("question")?,
+            sql: j.req("sql")?,
+            sql_text: j.req("sql_text")?,
+            slots: j.req("slots")?,
+            sketch_compatible: j.req("sketch_compatible")?,
+        })
+    }
+}
+
+impl ToJson for ExportSlot {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("role", self.role.to_json()),
+            ("column", self.column.to_json()),
+            ("col_span", self.col_span.to_json()),
+            ("value", self.value.to_json()),
+            ("val_span", self.val_span.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExportSlot {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(ExportSlot {
+            role: j.req("role")?,
+            column: j.req("column")?,
+            col_span: j.opt("col_span")?,
+            value: j.opt("value")?,
+            val_span: j.opt("val_span")?,
+        })
+    }
 }
 
 fn record(e: &Example) -> ExportRecord {
@@ -92,7 +150,7 @@ fn record(e: &Example) -> ExportRecord {
 pub fn to_jsonl(examples: &[Example]) -> String {
     let mut out = String::new();
     for e in examples {
-        out.push_str(&serde_json::to_string(&record(e)).expect("export serializes"));
+        out.push_str(&record(e).to_json().to_string());
         out.push('\n');
     }
     out
@@ -100,11 +158,11 @@ pub fn to_jsonl(examples: &[Example]) -> String {
 
 /// Parses records back from JSONL (for diffing/inspection round trips;
 /// does not rebuild `Example` — tables are kept as raw rows).
-pub fn from_jsonl(jsonl: &str) -> Result<Vec<ExportRecord>, serde_json::Error> {
+pub fn from_jsonl(jsonl: &str) -> Result<Vec<ExportRecord>, JsonError> {
     jsonl
         .lines()
         .filter(|l| !l.trim().is_empty())
-        .map(serde_json::from_str)
+        .map(|l| ExportRecord::from_json(&Json::parse(l)?))
         .collect()
 }
 

@@ -11,8 +11,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nlidb_tensor::Rng;
 
 use crate::domains::{ColumnArchetype, Domain};
 use crate::example::{Dataset, Example, GoldSlot};
@@ -203,7 +202,7 @@ fn gen_domain_split(
     sub: &SubDomain,
     split: &str,
     cfg: &OvernightConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     next_id: &mut usize,
 ) -> Vec<Example> {
     let mut out = Vec::new();
@@ -262,7 +261,7 @@ pub struct OvernightData {
 
 /// Generates all five sub-domains.
 pub fn generate(cfg: &OvernightConfig) -> OvernightData {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut next_id = 0;
     let mut domains = Vec::new();
     for sub in subdomains() {

@@ -12,8 +12,7 @@ use std::sync::Arc;
 
 use nlidb_sqlir::{CmpOp, Literal, Query};
 use nlidb_storage::{Column, DataType, Schema, Table, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nlidb_tensor::Rng;
 
 use crate::example::{Example, GoldSlot, SlotRole};
 use crate::values::ValueKind;
@@ -121,7 +120,7 @@ const MISSING_TEMPLATES: &[&str] =
 
 /// Builds the fixed patient table.
 pub fn patient_table(seed: u64, rows: usize) -> Arc<Table> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let schema = Schema::new(vec![
         Column::new("Name", DataType::Text),
         Column::new("Age", DataType::Int),
@@ -203,7 +202,7 @@ pub struct ParaphraseBench {
 /// uniformly covering the queried columns and patients.
 pub fn generate(seed: u64, per_category: usize) -> ParaphraseBench {
     let table = patient_table(seed, 12);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5eed);
     let mut records = Vec::new();
     let mut next_id = 0;
     for cat in ParaCategory::ALL {

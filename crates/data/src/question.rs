@@ -12,8 +12,7 @@
 //! | 5. resolution | several same-kind columns (e.g. Director/Actor) in one question |
 
 use nlidb_sqlir::{Agg, CmpOp, Literal, Query};
-use rand::rngs::StdRng;
-use rand::Rng;
+use nlidb_tensor::Rng;
 
 use crate::domains::ColumnArchetype;
 use crate::example::{GoldSlot, SlotRole};
@@ -79,7 +78,7 @@ impl QBuilder {
 }
 
 /// Applies light morphological noise to a single word.
-fn inflect(word: &str, rng: &mut StdRng) -> String {
+fn inflect(word: &str, rng: &mut Rng) -> String {
     if word.contains(' ') || word.len() < 3 {
         return word.to_string();
     }
@@ -107,7 +106,7 @@ fn pick_surface(
     schema_name: &str,
     allow_implicit: bool,
     noise: &NoiseConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Surface {
     if allow_implicit && arch.implicit_ok && rng.gen::<f32>() < noise.implicit_rate {
         return Surface::Implicit;
@@ -145,7 +144,7 @@ fn literal_text(lit: &Literal) -> String {
     }
 }
 
-fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+fn pick<'a>(rng: &mut Rng, options: &[&'a str]) -> &'a str {
     options[rng.gen_range(0..options.len())]
 }
 
@@ -157,7 +156,7 @@ fn push_cond(
     column_names: &[String],
     cond: &nlidb_sqlir::Cond,
     noise: &NoiseConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> (Option<(usize, usize)>, (usize, usize), String) {
     let arch = &archetypes[cond.col];
     let allow_implicit = cond.op == CmpOp::Eq;
@@ -207,7 +206,7 @@ pub fn realize_question(
     column_names: &[String],
     query: &Query,
     noise: &NoiseConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> (Vec<String>, Vec<GoldSlot>) {
     let mut b = QBuilder::new();
     let mut slots = Vec::new();
@@ -304,7 +303,6 @@ pub fn realize_question(
 mod tests {
     use super::*;
     use crate::domains::DOMAINS;
-    use rand::SeedableRng;
 
     fn film_setup() -> (&'static [ColumnArchetype], Vec<String>) {
         let d = &DOMAINS[0]; // films
@@ -316,7 +314,7 @@ mod tests {
     fn clean_question_mentions_schema_names() {
         let (arch, names) = film_setup();
         let q = Query::select(0).and_where(1, CmpOp::Eq, Literal::Text("jerzy antczak".into()));
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let (toks, slots) = realize_question(arch, &names, &q, &NoiseConfig::clean(), &mut rng);
         let text = toks.join(" ");
         assert!(text.contains("film"), "select mention missing: {text}");
@@ -330,7 +328,7 @@ mod tests {
     fn gold_spans_point_at_the_right_tokens() {
         let (arch, names) = film_setup();
         let q = Query::select(0).and_where(1, CmpOp::Eq, Literal::Text("jerzy antczak".into()));
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let (toks, slots) = realize_question(arch, &names, &q, &NoiseConfig::clean(), &mut rng);
         let cond = &slots[1];
         let (a, bb) = cond.val_span.unwrap();
@@ -344,7 +342,7 @@ mod tests {
         let (arch, names) = film_setup();
         let q = Query::select(0).and_where(1, CmpOp::Eq, Literal::Text("jerzy antczak".into()));
         let noise = NoiseConfig { implicit_rate: 1.0, ..NoiseConfig::clean() };
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let (toks, slots) = realize_question(arch, &names, &q, &noise, &mut rng);
         assert!(slots[1].col_span.is_none(), "column should be implicit");
         assert!(!toks.join(" ").contains("director"));
@@ -356,7 +354,7 @@ mod tests {
         let (arch, names) = film_setup();
         let q = Query::select(0).and_where(1, CmpOp::Eq, Literal::Text("jerzy antczak".into()));
         let noise = NoiseConfig { paraphrase_rate: 1.0, ..NoiseConfig::clean() };
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let (toks, slots) = realize_question(arch, &names, &q, &noise, &mut rng);
         let text = toks.join(" ");
         assert!(text.contains("directed by"), "paraphrase not used: {text}");
@@ -367,7 +365,7 @@ mod tests {
     #[test]
     fn aggregate_prefixes() {
         let (arch, names) = film_setup();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         for (agg, marker) in [
             (Agg::Count, vec!["how many", "number of"]),
             (Agg::Max, vec!["highest", "maximum", "largest"]),
@@ -389,7 +387,7 @@ mod tests {
     #[test]
     fn ordering_ops_realize_op_words() {
         let (arch, names) = film_setup();
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::seed_from_u64(6);
         let q = Query::select(0).and_where(4, CmpOp::Gt, Literal::Number(2000.0));
         let (toks, slots) =
             realize_question(arch, &names, &q, &NoiseConfig::clean(), &mut rng);
@@ -405,11 +403,11 @@ mod tests {
     #[test]
     fn multi_condition_question_has_all_slots() {
         let (arch, names) = film_setup();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let q = Query::select(0)
             .and_where(1, CmpOp::Eq, Literal::Text("jerzy antczak".into()))
             .and_where(2, CmpOp::Eq, Literal::Text("piotr adamczyk".into()));
-        let (toks, slots) = realize_question(arch, &names, &q, &NoiseConfig::default(), &mut rng);
+        let (toks, slots) = realize_question(arch, &names, &q, &NoiseConfig::clean(), &mut rng);
         assert_eq!(slots.len(), 3);
         let text = toks.join(" ");
         assert!(text.contains("jerzy antczak"));
@@ -424,7 +422,7 @@ mod tests {
         let (arch, names) = film_setup();
         let q = Query::select(0).and_where(1, CmpOp::Eq, Literal::Text("jerzy antczak".into()));
         let noise = NoiseConfig { inverted_rate: 1.0, ..NoiseConfig::clean() };
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = Rng::seed_from_u64(12);
         let (toks, slots) = realize_question(arch, &names, &q, &noise, &mut rng);
         // The condition's value appears before the select mention.
         let sel = slots.iter().find(|s| s.role == SlotRole::Select).unwrap();
@@ -442,7 +440,7 @@ mod tests {
         let (arch, names) = film_setup();
         let q = Query::select(0).and_where(1, CmpOp::Eq, Literal::Text("jerzy antczak".into()));
         let run = |seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             realize_question(arch, &names, &q, &NoiseConfig::default(), &mut rng).0
         };
         assert_eq!(run(42), run(42));
@@ -450,7 +448,7 @@ mod tests {
 
     #[test]
     fn inflect_produces_nonidentical_similar_word() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Rng::seed_from_u64(8);
         for w in ["director", "venue", "population"] {
             let i = inflect(w, &mut rng);
             assert_ne!(i, w);

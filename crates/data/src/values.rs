@@ -6,8 +6,7 @@
 //! challenge 4: "When was Joe Biden elected U.S. president?").
 
 use nlidb_storage::{DataType, Value};
-use rand::rngs::StdRng;
-use rand::Rng;
+use nlidb_tensor::Rng;
 
 /// The kind of values a column holds, driving both cell generation and
 /// counterfactual sampling.
@@ -132,7 +131,7 @@ const MONTHS: &[&str] = &[
     "october", "november", "december",
 ];
 
-fn pick<'a>(rng: &mut StdRng, list: &'a [&'a str]) -> &'a str {
+fn pick<'a>(rng: &mut Rng, list: &'a [&'a str]) -> &'a str {
     list[rng.gen_range(0..list.len())]
 }
 
@@ -147,7 +146,7 @@ impl ValueKind {
     }
 
     /// Generates one value.
-    pub fn generate(self, rng: &mut StdRng) -> Value {
+    pub fn generate(self, rng: &mut Rng) -> Value {
         match self {
             ValueKind::PersonName => {
                 Value::Text(format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES)))
@@ -189,7 +188,7 @@ impl ValueKind {
 
     /// Generates a value guaranteed (by rejection) to differ from every
     /// value in `existing` — a counterfactual mention.
-    pub fn generate_counterfactual(self, rng: &mut StdRng, existing: &[Value]) -> Value {
+    pub fn generate_counterfactual(self, rng: &mut Rng, existing: &[Value]) -> Value {
         for _ in 0..64 {
             let v = self.generate(rng);
             let canon = v.canonical_text();
@@ -211,10 +210,9 @@ impl ValueKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(17)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(17)
     }
 
     #[test]
@@ -289,11 +287,11 @@ mod tests {
     #[test]
     fn generation_is_seed_deterministic() {
         let a: Vec<Value> = {
-            let mut r = StdRng::seed_from_u64(5);
+            let mut r = Rng::seed_from_u64(5);
             (0..10).map(|_| ValueKind::Title.generate(&mut r)).collect()
         };
         let b: Vec<Value> = {
-            let mut r = StdRng::seed_from_u64(5);
+            let mut r = Rng::seed_from_u64(5);
             (0..10).map(|_| ValueKind::Title.generate(&mut r)).collect()
         };
         assert_eq!(a, b);

@@ -11,8 +11,7 @@ use std::sync::Arc;
 
 use nlidb_sqlir::{Agg, CmpOp, Cond, Literal, Query};
 use nlidb_storage::{Column, Schema, Table, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nlidb_tensor::Rng;
 
 use crate::domains::{ColumnArchetype, Domain, DOMAINS};
 use crate::example::{Dataset, Example};
@@ -80,7 +79,7 @@ pub struct GenTable {
 }
 
 /// Samples one concrete table from a random built-in domain.
-pub fn gen_table(name: &str, rng: &mut StdRng, rows: (usize, usize)) -> GenTable {
+pub fn gen_table(name: &str, rng: &mut Rng, rows: (usize, usize)) -> GenTable {
     let domain = &DOMAINS[rng.gen_range(0..DOMAINS.len())];
     gen_table_from_domain(domain, name, rng, rows)
 }
@@ -89,7 +88,7 @@ pub fn gen_table(name: &str, rng: &mut StdRng, rows: (usize, usize)) -> GenTable
 pub fn gen_table_from_domain(
     domain: &Domain,
     name: &str,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     rows: (usize, usize),
 ) -> GenTable {
     // Entity column plus a random subset of the others, preserving order.
@@ -130,7 +129,7 @@ pub fn gen_table_from_domain(
     GenTable { table: Arc::new(table), archetypes: chosen }
 }
 
-fn pick_agg(rng: &mut StdRng) -> Agg {
+fn pick_agg(rng: &mut Rng) -> Agg {
     let r: f32 = rng.gen();
     if r < 0.68 {
         Agg::None
@@ -154,7 +153,7 @@ fn numeric_cols(gt: &GenTable) -> Vec<usize> {
 }
 
 /// Samples one query against a generated table.
-pub fn gen_query(gt: &GenTable, counterfactual_rate: f32, rng: &mut StdRng) -> Query {
+pub fn gen_query(gt: &GenTable, counterfactual_rate: f32, rng: &mut Rng) -> Query {
     let ncols = gt.table.num_cols();
     let mut agg = pick_agg(rng);
     let numeric = numeric_cols(gt);
@@ -228,7 +227,7 @@ fn gen_split(
     prefix: &str,
     n_tables: usize,
     cfg: &WikiSqlConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     next_id: &mut usize,
 ) -> Vec<Example> {
     let mut examples = Vec::with_capacity(n_tables * cfg.questions_per_table);
@@ -255,7 +254,7 @@ fn gen_split(
 
 /// Generates the full dataset.
 pub fn generate(cfg: &WikiSqlConfig) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut next_id = 0;
     let train = gen_split("train", cfg.train_tables, cfg, &mut rng, &mut next_id);
     let dev = gen_split("dev", cfg.dev_tables, cfg, &mut rng, &mut next_id);

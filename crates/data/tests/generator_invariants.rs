@@ -1,106 +1,120 @@
 //! Property tests over the corpus generators: every seed must yield
 //! structurally valid, annotatable, executable examples.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from the workspace PRNG with fixed seeds, so failures
+//! reproduce from the case index alone.
 
 use nlidb_data::overnight::{generate as gen_overnight, OvernightConfig};
 use nlidb_data::paraphrase::{generate as gen_paraphrase, ParaCategory};
 use nlidb_data::wikisql::{generate, WikiSqlConfig};
 use nlidb_data::NoiseConfig;
 use nlidb_storage::execute;
+use nlidb_tensor::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+const CASES: u64 = 40;
 
-    #[test]
-    fn wikisql_examples_are_well_formed(seed in 0u64..10_000) {
+fn case_rng(test_seed: u64, case: u64) -> Rng {
+    Rng::seed_from_u64(test_seed.wrapping_mul(0x100000001b3) ^ case)
+}
+
+#[test]
+fn wikisql_examples_are_well_formed() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let seed = rng.gen_range(0u64..10_000);
         let mut cfg = WikiSqlConfig::tiny(seed);
         cfg.train_tables = 2;
         cfg.dev_tables = 1;
         cfg.test_tables = 1;
         cfg.questions_per_table = 4;
         let ds = generate(&cfg);
-        prop_assert!(ds.splits_share_no_tables());
+        assert!(ds.splits_share_no_tables(), "case {case}");
         for e in ds.train.iter().chain(&ds.dev).chain(&ds.test) {
             // Questions end with a question mark and are non-empty.
-            prop_assert!(!e.question.is_empty());
-            prop_assert_eq!(e.question.last().unwrap().as_str(), "?");
+            assert!(!e.question.is_empty(), "case {case}");
+            assert_eq!(e.question.last().unwrap().as_str(), "?", "case {case}");
             // Columns valid and execution defined.
-            prop_assert!(e.query.select_col < e.table.num_cols());
-            prop_assert!(execute(&e.table, &e.query).is_ok(), "{}", e.sql_text());
+            assert!(e.query.select_col < e.table.num_cols(), "case {case}");
+            assert!(execute(&e.table, &e.query).is_ok(), "case {case}: {}", e.sql_text());
             // Spans in bounds and non-empty.
             for s in &e.slots {
                 for span in [s.col_span, s.val_span].into_iter().flatten() {
-                    prop_assert!(span.0 < span.1);
-                    prop_assert!(span.1 <= e.question.len());
+                    assert!(span.0 < span.1, "case {case}");
+                    assert!(span.1 <= e.question.len(), "case {case}");
                 }
             }
             // Every condition has a gold slot with its value.
             for (ci, c) in e.query.conds.iter().enumerate() {
                 let slot = e.cond_slot(ci).expect("cond slot");
                 let v = slot.value.as_ref().expect("cond value");
-                prop_assert_eq!(
+                assert_eq!(
                     nlidb_sqlir::Literal::parse(v).canonical_text(),
-                    c.value.canonical_text()
+                    c.value.canonical_text(),
+                    "case {case}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn extreme_noise_rates_never_break_realization(
-        seed in 0u64..2_000,
-        synonym in 0.0f32..1.0,
-        paraphrase in 0.0f32..1.0,
-        implicit in 0.0f32..1.0,
-        morph in 0.0f32..1.0,
-        inverted in 0.0f32..1.0,
-    ) {
+#[test]
+fn extreme_noise_rates_never_break_realization() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let seed = rng.gen_range(0u64..2_000);
         let mut cfg = WikiSqlConfig::tiny(seed);
         cfg.train_tables = 1;
         cfg.dev_tables = 1;
         cfg.test_tables = 1;
         cfg.questions_per_table = 3;
         cfg.noise = NoiseConfig {
-            synonym_rate: synonym,
-            paraphrase_rate: paraphrase,
-            implicit_rate: implicit,
-            morph_rate: morph,
-            inverted_rate: inverted,
+            synonym_rate: rng.gen_range(0.0f32..1.0),
+            paraphrase_rate: rng.gen_range(0.0f32..1.0),
+            implicit_rate: rng.gen_range(0.0f32..1.0),
+            morph_rate: rng.gen_range(0.0f32..1.0),
+            inverted_rate: rng.gen_range(0.0f32..1.0),
         };
         let ds = generate(&cfg);
         for e in &ds.train {
-            prop_assert!(!e.question.is_empty());
+            assert!(!e.question.is_empty(), "case {case}");
             for s in &e.slots {
                 if let (Some(v), Some((a, b))) = (&s.value, s.val_span) {
                     let toks = nlidb_text::tokenize(v);
-                    prop_assert_eq!(&e.question[a..b], toks.as_slice());
+                    assert_eq!(&e.question[a..b], toks.as_slice(), "case {case}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn overnight_seeds_are_valid(seed in 0u64..2_000) {
+#[test]
+fn overnight_seeds_are_valid() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let seed = rng.gen_range(0u64..2_000);
         let data = gen_overnight(&OvernightConfig::tiny(seed));
-        prop_assert_eq!(data.domains.len(), 5);
+        assert_eq!(data.domains.len(), 5, "case {case}");
         for (_, ds) in &data.domains {
             for e in ds.train.iter().chain(&ds.test) {
-                prop_assert!(execute(&e.table, &e.query).is_ok());
+                assert!(execute(&e.table, &e.query).is_ok(), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn paraphrase_bench_seeds_are_valid(seed in 0u64..2_000) {
+#[test]
+fn paraphrase_bench_seeds_are_valid() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let seed = rng.gen_range(0u64..2_000);
         let bench = gen_paraphrase(seed, 6);
-        prop_assert_eq!(bench.records.len(), 36);
+        assert_eq!(bench.records.len(), 36, "case {case}");
         for cat in ParaCategory::ALL {
-            prop_assert!(bench.records.iter().any(|(c, _)| *c == cat));
+            assert!(bench.records.iter().any(|(c, _)| *c == cat), "case {case}");
         }
         for (_, e) in &bench.records {
             let rs = execute(&e.table, &e.query).expect("executes");
-            prop_assert!(!rs.values.is_empty(), "{}", e.sql_text());
+            assert!(!rs.values.is_empty(), "case {case}: {}", e.sql_text());
         }
     }
 }

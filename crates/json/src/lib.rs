@@ -1,0 +1,97 @@
+//! # nlidb-json
+//!
+//! A minimal, dependency-free JSON library used across the workspace for
+//! checkpoints (`nlidb_tensor`'s `ParamStore`), dataset export
+//! (`nlidb_data::export`), and experiment result files (`nlidb-bench`).
+//! It exists so the whole reproduction builds hermetically — no `serde`,
+//! no registry crates — while keeping serialized output *deterministic*:
+//! object keys preserve insertion order, map-backed structures sort their
+//! keys, and floats are rendered with Rust's shortest round-trip
+//! formatting. A fixed seed therefore produces byte-identical JSON on
+//! every platform.
+//!
+//! The pieces:
+//!
+//! - [`Json`] — the value enum (null / bool / int / float / string /
+//!   array / object).
+//! - [`Json::parse`] — a recursive-descent parser with position-carrying
+//!   errors.
+//! - [`Json::to_string`][std::string::ToString] (compact) and
+//!   [`Json::pretty`] (2-space indent) — deterministic serializers.
+//! - [`ToJson`] / [`FromJson`] — explicit conversion traits replacing
+//!   `serde` derives; implemented here for primitives and containers,
+//!   and by each crate for its own types.
+//! - [`json!`] — a literal macro covering the object/array shapes the
+//!   experiment binaries emit.
+
+mod de;
+mod ser;
+mod traits;
+mod value;
+
+pub use traits::{FromJson, ToJson};
+pub use value::{Json, JsonError};
+
+/// Builds a [`Json`] value from a literal.
+///
+/// Supports `null`, object literals with string keys, array literals, and
+/// arbitrary expressions convertible via `Into<Json>`. Nested literal
+/// objects/arrays are written as nested `json!` calls:
+///
+/// ```
+/// use nlidb_json::{json, Json};
+/// let v = json!({
+///     "seed": 42u64,
+///     "acc": 0.5f32,
+///     "dev": json!({"lf": 1.0f64}),
+///     "tags": json!(["a", "b"]),
+/// });
+/// assert_eq!(v.get("seed").and_then(Json::as_i64), Some(42));
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Json::Null };
+    ({ $($k:literal : $v:expr),* $(,)? }) => {
+        $crate::Json::Obj(vec![ $( (($k).to_string(), $crate::Json::from($v)) ),* ])
+    };
+    ([ $($v:expr),* $(,)? ]) => {
+        $crate::Json::Arr(vec![ $( $crate::Json::from($v) ),* ])
+    };
+    ($e:expr) => { $crate::Json::from($e) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_objects_in_order() {
+        let v = json!({"b": 1, "a": 2});
+        assert_eq!(v.to_string(), r#"{"b":1,"a":2}"#);
+    }
+
+    #[test]
+    fn macro_nests_and_mixes_types() {
+        let rows = vec![json!({"x": 1}), json!({"x": 2})];
+        let v = json!({
+            "scale": format!("{:?}", 3),
+            "seed": 7u64,
+            "rows": rows,
+            "ok": true,
+            "none": json!(null),
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"scale":"3","seed":7,"rows":[{"x":1},{"x":2}],"ok":true,"none":null}"#
+        );
+    }
+
+    #[test]
+    fn parse_roundtrip_compact_and_pretty() {
+        let src = r#"{"a":[1,2.5,"x",null,true],"b":{"c":-3}}"#;
+        let v = Json::parse(src).unwrap();
+        assert_eq!(v.to_string(), src);
+        let p = v.pretty();
+        assert_eq!(Json::parse(&p).unwrap(), v);
+    }
+}

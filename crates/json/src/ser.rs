@@ -1,0 +1,154 @@
+//! Deterministic serialization: compact ([`std::fmt::Display`]) and
+//! pretty ([`Json::pretty`], 2-space indent).
+//!
+//! Floats use Rust's shortest round-trip formatting (deterministic across
+//! platforms); integral floats gain a trailing `.0` so the int/float
+//! distinction survives a round trip through text. Non-finite floats have
+//! no JSON representation and serialize as `null`.
+
+use std::fmt;
+
+use crate::value::Json;
+
+fn write_escaped(out: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    out.write_char('"')?;
+    for ch in s.chars() {
+        match ch {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            '\u{08}' => out.write_str("\\b")?,
+            '\u{0c}' => out.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+fn write_float(out: &mut impl fmt::Write, f: f64) -> fmt::Result {
+    if !f.is_finite() {
+        return out.write_str("null");
+    }
+    let s = format!("{f}");
+    out.write_str(&s)?;
+    if !s.contains(['.', 'e', 'E']) {
+        out.write_str(".0")?;
+    }
+    Ok(())
+}
+
+fn write_compact(out: &mut impl fmt::Write, v: &Json) -> fmt::Result {
+    match v {
+        Json::Null => out.write_str("null"),
+        Json::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => write!(out, "{i}"),
+        Json::Float(f) => write_float(out, *f),
+        Json::Str(s) => write_escaped(out, s),
+        Json::Arr(items) => {
+            out.write_char('[')?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.write_char(',')?;
+                }
+                write_compact(out, item)?;
+            }
+            out.write_char(']')
+        }
+        Json::Obj(pairs) => {
+            out.write_char('{')?;
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.write_char(',')?;
+                }
+                write_escaped(out, k)?;
+                out.write_char(':')?;
+                write_compact(out, item)?;
+            }
+            out.write_char('}')
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Json, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    match v {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&inner);
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Json::Obj(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&inner);
+                let _ = write_escaped(out, k);
+                out.push_str(": ");
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => {
+            let _ = write_compact(out, other);
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_compact(f, self)
+    }
+}
+
+impl Json {
+    /// Serializes with 2-space indentation (experiment result files).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        write_pretty(&mut out, self, 0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let v = Json::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(v.to_string(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn floats_keep_the_point() {
+        assert_eq!(Json::Float(1.0).to_string(), "1.0");
+        assert_eq!(Json::Float(2.5).to_string(), "2.5");
+        assert_eq!(Json::Float(1e20).to_string(), "100000000000000000000.0");
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Int(1).to_string(), "1");
+    }
+
+    #[test]
+    fn pretty_indents_nested_structures() {
+        let v = Json::obj([("a", Json::Arr(vec![Json::Int(1), Json::Int(2)]))]);
+        assert_eq!(v.pretty(), "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).pretty(), "{}");
+    }
+}

@@ -1,0 +1,244 @@
+//! The [`Json`] value enum, accessors, and `From` conversions.
+
+use std::fmt;
+
+/// A JSON value.
+///
+/// Objects are ordered lists of `(key, value)` pairs: serialization
+/// preserves insertion order, which is what makes experiment output
+/// byte-reproducible run to run. Integers and floats are kept distinct so
+/// ids and counts round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (fits in `i64`).
+    Int(i64),
+    /// A float. Non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered `(key, value)` pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error raised by parsing ([`Json::parse`]) or decoding ([`crate::FromJson`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    /// Creates an error with a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError { msg: msg.into() }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Builds an object from an array of `(key, value)` pairs.
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Member lookup on an object (first match; `None` on other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `true` iff the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer view ([`Json::Int`] only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (integers widen to `f64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object view (the raw pair list).
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// A short name for the variant (used in decode errors).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) => "int",
+            Json::Float(_) => "float",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+
+impl From<i32> for Json {
+    fn from(i: i32) -> Json {
+        Json::Int(i as i64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(i: u32) -> Json {
+        Json::Int(i as i64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(i: u64) -> Json {
+        // Values beyond i64 cannot occur in this workspace (seeds and
+        // counts); saturate rather than panic.
+        Json::Int(i64::try_from(i).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(i: usize) -> Json {
+        Json::Int(i64::try_from(i).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::Float(f)
+    }
+}
+
+impl From<f32> for Json {
+    fn from(f: f32) -> Json {
+        // Route through the shortest f32 decimal form so 0.1f32 serializes
+        // as "0.1" rather than its full f64 expansion; parsing the shortest
+        // form back to f64 and narrowing recovers the exact f32.
+        if f.is_finite() {
+            Json::Float(format!("{f}").parse::<f64>().unwrap_or(f as f64))
+        } else {
+            Json::Float(f as f64)
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<&String> for Json {
+    fn from(s: &String) -> Json {
+        Json::Str(s.clone())
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Json::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Json::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Json::Float(2.5).as_i64(), None);
+        assert_eq!(Json::Str("x".into()).as_str(), Some("x"));
+        assert!(Json::Null.is_null());
+    }
+
+    #[test]
+    fn get_finds_first_key() {
+        let v = Json::obj([("a", Json::Int(1)), ("b", Json::Int(2))]);
+        assert_eq!(v.get("b"), Some(&Json::Int(2)));
+        assert_eq!(v.get("c"), None);
+    }
+
+    #[test]
+    fn f32_conversion_uses_shortest_form() {
+        assert_eq!(Json::from(0.1f32).to_string(), "0.1");
+        let back = Json::from(0.1f32).as_f64().unwrap() as f32;
+        assert_eq!(back, 0.1f32);
+    }
+}

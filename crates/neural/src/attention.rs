@@ -6,7 +6,7 @@
 //! `exp(e_ij)` mass directly to source-token logits.
 
 use nlidb_tensor::{Graph, NodeId, ParamId, ParamStore, Tensor};
-use rand::rngs::StdRng;
+use nlidb_tensor::Rng;
 
 /// Additive attention with learned projections.
 #[derive(Debug, Clone)]
@@ -38,7 +38,7 @@ impl BahdanauAttention {
         mem_dim: usize,
         query_dim: usize,
         attn_dim: usize,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Self {
         BahdanauAttention {
             w_mem: store.add(format!("{prefix}.w_mem"), Tensor::xavier(mem_dim, attn_dim, rng)),
@@ -91,10 +91,9 @@ impl BahdanauAttention {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(5)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(5)
     }
 
     #[test]
@@ -160,7 +159,6 @@ mod tests {
         let mut store = ParamStore::new();
         let attn = BahdanauAttention::new(&mut store, "a", 2, 2, 6, &mut r);
         let mut opt = nlidb_tensor::optim::Adam::new(0.05);
-        use rand::Rng;
         for _ in 0..300 {
             let target_row = r.gen_range(0..3usize);
             let mut mem = Tensor::zeros(3, 2);

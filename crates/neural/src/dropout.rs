@@ -5,14 +5,13 @@
 //! inference; at inference time simply skip the call.
 
 use nlidb_tensor::{Graph, NodeId, Tensor};
-use rand::rngs::StdRng;
-use rand::Rng;
+use nlidb_tensor::Rng;
 
 /// Applies inverted dropout with keep probability `1 - p` to a node.
 ///
 /// # Panics
 /// Panics unless `0.0 <= p < 1.0`.
-pub fn dropout(g: &mut Graph, x: NodeId, p: f32, rng: &mut StdRng) -> NodeId {
+pub fn dropout(g: &mut Graph, x: NodeId, p: f32, rng: &mut Rng) -> NodeId {
     assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
     if p == 0.0 {
         return x;
@@ -30,13 +29,12 @@ pub fn dropout(g: &mut Graph, x: NodeId, p: f32, rng: &mut StdRng) -> NodeId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn zero_p_is_identity() {
         let mut g = Graph::new();
         let x = g.leaf(Tensor::row_vector(&[1.0, 2.0]));
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let y = dropout(&mut g, x, 0.0, &mut rng);
         assert_eq!(x, y);
     }
@@ -46,7 +44,7 @@ mod tests {
         let mut g = Graph::new();
         let n = 8192;
         let x = g.leaf(Tensor::full(1, n, 1.0));
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let y = dropout(&mut g, x, 0.5, &mut rng);
         let mean = g.value(y).sum() / n as f32;
         assert!((mean - 1.0).abs() < 0.08, "dropout mean drifted: {mean}");
@@ -56,7 +54,7 @@ mod tests {
     fn survivors_are_scaled() {
         let mut g = Graph::new();
         let x = g.leaf(Tensor::full(1, 100, 1.0));
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let y = dropout(&mut g, x, 0.25, &mut rng);
         for &v in g.value(y).data() {
             assert!(v == 0.0 || (v - 1.0 / 0.75).abs() < 1e-6);
@@ -67,7 +65,7 @@ mod tests {
     fn gradient_flows_only_through_kept_units() {
         let mut g = Graph::new();
         let x = g.input(Tensor::full(1, 64, 1.0));
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let y = dropout(&mut g, x, 0.5, &mut rng);
         let loss = g.sum_all(y);
         g.backward(loss);

@@ -1,7 +1,7 @@
 //! Embedding tables and the character-level CNN word embedder of §IV-B(i).
 
 use nlidb_tensor::{Graph, NodeId, ParamId, ParamStore, Tensor};
-use rand::rngs::StdRng;
+use nlidb_tensor::Rng;
 
 /// A trainable embedding table; row `i` is the vector for id `i`.
 #[derive(Debug, Clone)]
@@ -18,7 +18,7 @@ impl Embedding {
         prefix: &str,
         vocab: usize,
         dim: usize,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Self {
         let table = store.add(format!("{prefix}.table"), Tensor::xavier(vocab, dim, rng));
         Embedding { table, vocab, dim }
@@ -93,7 +93,7 @@ impl CharCnn {
         char_dim: usize,
         widths: &[usize],
         out_per_width: usize,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Self {
         assert!(!widths.is_empty(), "char cnn needs at least one width");
         let char_table =
@@ -174,10 +174,9 @@ impl CharCnn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(7)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(7)
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! encoder stack.
 
 use nlidb_tensor::{Graph, NodeId, ParamId, ParamStore, Tensor};
-use rand::rngs::StdRng;
+use nlidb_tensor::Rng;
 
 use crate::linear::Linear;
 
@@ -28,9 +28,9 @@ impl GruCell {
         prefix: &str,
         in_dim: usize,
         hidden: usize,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Self {
-        let gate = |store: &mut ParamStore, name: &str, rng: &mut StdRng| {
+        let gate = |store: &mut ParamStore, name: &str, rng: &mut Rng| {
             (
                 store.add(format!("{prefix}.{name}.wx"), Tensor::xavier(in_dim, hidden, rng)),
                 store.add(format!("{prefix}.{name}.wh"), Tensor::xavier(hidden, hidden, rng)),
@@ -133,7 +133,7 @@ impl BiGru {
         in_dim: usize,
         hidden: usize,
         layers: usize,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Self {
         assert!(layers >= 1, "bigru needs at least one layer");
         let mut affines = Vec::with_capacity(layers);
@@ -192,10 +192,9 @@ impl BiGru {
 mod tests {
     use super::*;
     use nlidb_tensor::optim::Adam;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(11)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(11)
     }
 
     #[test]
@@ -277,7 +276,6 @@ mod tests {
         let cell = GruCell::new(&mut store, "g", 1, 5, &mut r);
         let head = Linear::new(&mut store, "h", 5, 1, &mut r);
         let mut opt = Adam::new(0.05);
-        use rand::Rng;
         let mut last_loss = f32::INFINITY;
         for _ in 0..150 {
             let seq: Vec<f32> = (0..4).map(|_| if r.gen_bool(0.5) { 1.0 } else { 0.0 }).collect();

@@ -1,7 +1,7 @@
 //! Affine layers and multi-layer perceptrons.
 
 use nlidb_tensor::{Graph, NodeId, ParamId, ParamStore, Tensor};
-use rand::rngs::StdRng;
+use nlidb_tensor::Rng;
 
 /// A learned affine transform `y = x W + b` applied row-wise.
 #[derive(Debug, Clone)]
@@ -19,7 +19,7 @@ impl Linear {
         prefix: &str,
         in_dim: usize,
         out_dim: usize,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Self {
         let w = store.add(format!("{prefix}.w"), Tensor::xavier(in_dim, out_dim, rng));
         let b = store.add(format!("{prefix}.b"), Tensor::zeros(1, out_dim));
@@ -100,7 +100,7 @@ impl Mlp {
         prefix: &str,
         dims: &[usize],
         hidden_activation: Activation,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Self {
         assert!(dims.len() >= 2, "mlp needs at least input and output dims");
         let layers = dims
@@ -133,10 +133,9 @@ impl Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(42)
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! keep dimensions consistent; [`Lstm`] reproduces that structure.
 
 use nlidb_tensor::{Graph, NodeId, ParamId, ParamStore, Tensor};
-use rand::rngs::StdRng;
+use nlidb_tensor::Rng;
 
 use crate::linear::Linear;
 
@@ -27,9 +27,9 @@ impl LstmCell {
         prefix: &str,
         in_dim: usize,
         hidden: usize,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Self {
-        let gate = |store: &mut ParamStore, name: &str, rng: &mut StdRng| {
+        let gate = |store: &mut ParamStore, name: &str, rng: &mut Rng| {
             (
                 store.add(format!("{prefix}.{name}.wx"), Tensor::xavier(in_dim, hidden, rng)),
                 store.add(format!("{prefix}.{name}.wh"), Tensor::xavier(hidden, hidden, rng)),
@@ -157,7 +157,7 @@ impl Lstm {
         hidden: usize,
         layers: usize,
         bidirectional: bool,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Self {
         assert!(layers >= 1, "lstm needs at least one layer");
         let mut affines = Vec::with_capacity(layers);
@@ -217,10 +217,9 @@ impl Lstm {
 mod tests {
     use super::*;
     use nlidb_tensor::optim::Adam;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(3)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(3)
     }
 
     #[test]
@@ -303,7 +302,6 @@ mod tests {
         let lstm = Lstm::new(&mut store, "l", 1, 6, 1, false, &mut r);
         let head = Linear::new(&mut store, "head", 6, 1, &mut r);
         let mut opt = Adam::new(0.02);
-        use rand::Rng;
         let mut data = Vec::new();
         for _ in 0..40 {
             let seq: Vec<f32> =

@@ -8,13 +8,13 @@
 //! §V-A-2), which lets the seq2seq produce multi-token column names that
 //! never appear in the question.
 
-use serde::{Deserialize, Serialize};
+use nlidb_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 use crate::ast::{Agg, CmpOp, Literal, Query};
 
 /// A token of annotated SQL (also used as seq2seq output vocabulary).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AnnTok {
     /// `SELECT`
     Select,
@@ -83,9 +83,65 @@ impl AnnTok {
     }
 }
 
+impl ToJson for AnnTok {
+    fn to_json(&self) -> Json {
+        match self {
+            AnnTok::Select => Json::Str("Select".into()),
+            AnnTok::Where => Json::Str("Where".into()),
+            AnnTok::And => Json::Str("And".into()),
+            AnnTok::Eos => Json::Str("Eos".into()),
+            AnnTok::Agg(a) => Json::obj([("Agg", a.to_json())]),
+            AnnTok::Op(o) => Json::obj([("Op", o.to_json())]),
+            AnnTok::C(i) => Json::obj([("C", i.to_json())]),
+            AnnTok::V(i) => Json::obj([("V", i.to_json())]),
+            AnnTok::G(i) => Json::obj([("G", i.to_json())]),
+        }
+    }
+}
+
+impl FromJson for AnnTok {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_str() {
+            Some("Select") => return Ok(AnnTok::Select),
+            Some("Where") => return Ok(AnnTok::Where),
+            Some("And") => return Ok(AnnTok::And),
+            Some("Eos") => return Ok(AnnTok::Eos),
+            _ => {}
+        }
+        if let Some(a) = j.get("Agg") {
+            return Ok(AnnTok::Agg(Agg::from_json(a)?));
+        }
+        if let Some(o) = j.get("Op") {
+            return Ok(AnnTok::Op(CmpOp::from_json(o)?));
+        }
+        if let Some(i) = j.get("C") {
+            return Ok(AnnTok::C(usize::from_json(i)?));
+        }
+        if let Some(i) = j.get("V") {
+            return Ok(AnnTok::V(usize::from_json(i)?));
+        }
+        if let Some(i) = j.get("G") {
+            return Ok(AnnTok::G(usize::from_json(i)?));
+        }
+        Err(JsonError::new(format!("invalid annotated-SQL token: {j}")))
+    }
+}
+
 /// A full annotated SQL token sequence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct AnnotatedSql(pub Vec<AnnTok>);
+
+impl ToJson for AnnotatedSql {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for AnnotatedSql {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(AnnotatedSql(Vec::from_json(j)?))
+    }
+}
 
 impl fmt::Display for AnnotatedSql {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -95,7 +151,7 @@ impl fmt::Display for AnnotatedSql {
 }
 
 /// One mention slot produced by the annotation step.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Slot {
     /// Resolved schema column for this slot, if known. May come from an
     /// explicit column mention or be inferred from the paired value
@@ -105,15 +161,39 @@ pub struct Slot {
     pub value: Option<String>,
 }
 
+impl ToJson for Slot {
+    fn to_json(&self) -> Json {
+        Json::obj([("column", self.column.to_json()), ("value", self.value.to_json())])
+    }
+}
+
+impl FromJson for Slot {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Slot { column: j.opt("column")?, value: j.opt("value")? })
+    }
+}
+
 /// Mapping from placeholders to concrete columns/values, built by the
 /// annotation pipeline and consumed by [`recover`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct AnnotationMap {
     /// Mention slots in order of appearance (`c_{i+1}` / `v_{i+1}`).
     pub slots: Vec<Slot>,
     /// Schema column for each header placeholder `g_{k+1}`; identity for
     /// standard table-header encoding.
     pub headers: Vec<usize>,
+}
+
+impl ToJson for AnnotationMap {
+    fn to_json(&self) -> Json {
+        Json::obj([("slots", self.slots.to_json()), ("headers", self.headers.to_json())])
+    }
+}
+
+impl FromJson for AnnotationMap {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(AnnotationMap { slots: j.req("slots")?, headers: j.req("headers")? })
+    }
 }
 
 impl AnnotationMap {

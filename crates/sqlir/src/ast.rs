@@ -5,11 +5,11 @@
 //! [`Query`] models exactly that. Columns are referenced by index into the
 //! owning table's schema, as in the WikiSQL release.
 
-use serde::{Deserialize, Serialize};
+use nlidb_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// Aggregate applied to the selected column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Agg {
     /// Plain projection.
     None,
@@ -55,7 +55,7 @@ impl Agg {
 }
 
 /// Comparison operator in a `WHERE` condition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CmpOp {
     /// `=`
     Eq,
@@ -103,7 +103,7 @@ impl CmpOp {
 
 /// A condition literal. Text and numbers are kept distinct so execution can
 /// compare numerically when the column is numeric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Literal {
     /// A text value (comparison is case-insensitive after trimming).
     Text(String),
@@ -192,7 +192,7 @@ impl fmt::Display for Literal {
 }
 
 /// One `WHERE` condition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cond {
     /// Column index into the table schema.
     pub col: usize,
@@ -203,7 +203,7 @@ pub struct Cond {
 }
 
 /// A complete WikiSQL-class query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// Aggregate over the selected column.
     pub agg: Agg,
@@ -278,6 +278,101 @@ impl Query {
             }
         }
         toks
+    }
+}
+
+impl ToJson for Agg {
+    fn to_json(&self) -> Json {
+        let name = match self {
+            Agg::None => "None",
+            Agg::Count => "Count",
+            Agg::Min => "Min",
+            Agg::Max => "Max",
+            Agg::Sum => "Sum",
+            Agg::Avg => "Avg",
+        };
+        Json::Str(name.to_string())
+    }
+}
+
+impl FromJson for Agg {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_str() {
+            Some("None") => Ok(Agg::None),
+            Some("Count") => Ok(Agg::Count),
+            Some("Min") => Ok(Agg::Min),
+            Some("Max") => Ok(Agg::Max),
+            Some("Sum") => Ok(Agg::Sum),
+            Some("Avg") => Ok(Agg::Avg),
+            _ => Err(JsonError::new(format!("invalid aggregate: {j}"))),
+        }
+    }
+}
+
+impl ToJson for CmpOp {
+    fn to_json(&self) -> Json {
+        Json::Str(self.symbol().to_string())
+    }
+}
+
+impl FromJson for CmpOp {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_str()
+            .and_then(CmpOp::from_symbol)
+            .ok_or_else(|| JsonError::new(format!("invalid comparison operator: {j}")))
+    }
+}
+
+impl ToJson for Literal {
+    fn to_json(&self) -> Json {
+        match self {
+            Literal::Text(t) => Json::obj([("Text", Json::Str(t.clone()))]),
+            Literal::Number(n) => Json::obj([("Number", Json::Float(*n))]),
+        }
+    }
+}
+
+impl FromJson for Literal {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        if let Some(t) = j.get("Text") {
+            return Ok(Literal::Text(String::from_json(t)?));
+        }
+        if let Some(n) = j.get("Number") {
+            return Ok(Literal::Number(f64::from_json(n)?));
+        }
+        Err(JsonError::new(format!("invalid literal: {j}")))
+    }
+}
+
+impl ToJson for Cond {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("col", self.col.to_json()),
+            ("op", self.op.to_json()),
+            ("value", self.value.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Cond {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Cond { col: j.req("col")?, op: j.req("op")?, value: j.req("value")? })
+    }
+}
+
+impl ToJson for Query {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("agg", self.agg.to_json()),
+            ("select_col", self.select_col.to_json()),
+            ("conds", self.conds.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Query {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Query { agg: j.req("agg")?, select_col: j.req("select_col")?, conds: j.req("conds")? })
     }
 }
 
@@ -360,5 +455,17 @@ mod tests {
     fn out_of_range_column_renders_placeholder() {
         let q = Query::select(9);
         assert_eq!(q.to_sql(&cols()), "SELECT col9");
+    }
+
+    #[test]
+    fn query_json_roundtrip() {
+        let q = Query::select(1)
+            .with_agg(Agg::Count)
+            .and_where(0, CmpOp::Ge, Literal::Number(2.5))
+            .and_where(2, CmpOp::Eq, Literal::Text("mayo".into()));
+        let j = q.to_json();
+        assert_eq!(Query::from_json(&j).unwrap(), q);
+        let reparsed = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(Query::from_json(&reparsed).unwrap(), q);
     }
 }

@@ -1,8 +1,8 @@
 //! # nlidb-sqlir
 //!
 //! The SQL intermediate representation for the NLIDB reproduction:
-//! WikiSQL-class single-table queries (`SELECT <agg>(<col>) WHERE
-//! <col> <op> <val> AND ...`).
+//! WikiSQL-class single-table queries:
+//! `SELECT <agg>(<col>) WHERE <col> <op> <val> AND ...`.
 //!
 //! - [`ast`] — [`Query`] / [`Cond`] / [`Agg`] / [`CmpOp`] / [`Literal`] and
 //!   concrete-SQL rendering.

@@ -1,61 +1,103 @@
 //! Property tests: the SQL parser and canonicalizer never panic on
 //! arbitrary input, and parsing is total over the renderer's image.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from the workspace PRNG with fixed seeds, so failures
+//! reproduce from the case index alone.
 
 use nlidb_sqlir::{parse_sql, query_match, Agg, CmpOp, Literal, Query};
+use nlidb_tensor::Rng;
+
+const CASES: u64 = 256;
+
+fn case_rng(test_seed: u64, case: u64) -> Rng {
+    Rng::seed_from_u64(test_seed.wrapping_mul(0x100000001b3) ^ case)
+}
+
+fn rand_string(rng: &mut Rng, charset: &[char], len: usize) -> String {
+    (0..len).map(|_| *rng.choose(charset)).collect()
+}
+
+fn rand_char(rng: &mut Rng) -> char {
+    loop {
+        if let Some(c) = char::from_u32(rng.gen_range(0u32..=0x10FFFF)) {
+            return c;
+        }
+    }
+}
 
 fn columns() -> Vec<String> {
     vec!["Alpha".into(), "Beta Gamma".into(), "Delta".into(), "Beta".into()]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn parser_never_panics(input in ".{0,80}") {
+#[test]
+fn parser_never_panics() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let len = rng.gen_range(0usize..=80);
+        let input: String = (0..len).map(|_| rand_char(&mut rng)).collect();
         let _ = parse_sql(&input, &columns());
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_sqlish_input(
-        kw in prop::sample::select(vec!["SELECT", "WHERE", "AND", "COUNT", "="]),
-        col in prop::sample::select(vec!["Alpha", "Beta Gamma", "Nope"]),
-        tail in "[ a-z0-9\"'()=<>!]{0,30}",
-    ) {
+#[test]
+fn parser_never_panics_on_sqlish_input() {
+    let keywords = ["SELECT", "WHERE", "AND", "COUNT", "="];
+    let cols = ["Alpha", "Beta Gamma", "Nope"];
+    let tail_charset: Vec<char> = " abcdefghijklmnopqrstuvwxyz0123456789\"'()=<>!".chars().collect();
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let kw = *rng.choose(&keywords);
+        let col = *rng.choose(&cols);
+        let tail_len = rng.gen_range(0usize..=30);
+        let tail = rand_string(&mut rng, &tail_charset, tail_len);
         let _ = parse_sql(&format!("{kw} {col} {tail}"), &columns());
     }
+}
 
-    #[test]
-    fn all_agg_op_combinations_roundtrip(
-        agg_i in 0usize..6,
-        op_i in 0usize..6,
-        col in 0usize..4,
-        cond_col in 0usize..4,
-        n in -500i64..500,
-    ) {
+#[test]
+fn all_agg_op_combinations_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let agg_i = rng.gen_range(0usize..6);
+        let op_i = rng.gen_range(0usize..6);
+        let col = rng.gen_range(0usize..4);
+        let cond_col = rng.gen_range(0usize..4);
+        let n = rng.gen_range(-500i64..500);
         let q = Query::select(col)
             .with_agg(Agg::ALL[agg_i])
             .and_where(cond_col, CmpOp::ALL[op_i], Literal::Number(n as f64));
         let sql = q.to_sql(&columns());
         let back = parse_sql(&sql, &columns()).expect("rendered SQL parses");
-        prop_assert!(query_match(&back, &q), "{sql}");
+        assert!(query_match(&back, &q), "case {case}: {sql}");
     }
+}
 
-    #[test]
-    fn literal_canonicalization_is_idempotent(raw in "[a-zA-Z0-9 ,.%'-]{0,24}") {
+#[test]
+fn literal_canonicalization_is_idempotent() {
+    let charset: Vec<char> =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,.%'-".chars().collect();
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let len = rng.gen_range(0usize..=24);
+        let raw = rand_string(&mut rng, &charset, len);
         let once = Literal::parse(&raw).canonical_text();
         let twice = Literal::parse(&once).canonical_text();
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "case {case}: raw {raw:?}");
     }
+}
 
-    #[test]
-    fn quoted_literals_with_special_chars_roundtrip(
-        value in "[a-z0-9][a-z0-9 ,.%-]{0,20}"
-    ) {
+#[test]
+fn quoted_literals_with_special_chars_roundtrip() {
+    let head: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789".chars().collect();
+    let rest: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789 ,.%-".chars().collect();
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let mut value = rand_string(&mut rng, &head, 1);
+        let len = rng.gen_range(0usize..=20);
+        value.push_str(&rand_string(&mut rng, &rest, len));
         let q = Query::select(0).and_where(1, CmpOp::Eq, Literal::Text(value));
         let sql = q.to_sql(&columns());
         let back = parse_sql(&sql, &columns()).expect("parses");
-        prop_assert!(query_match(&back, &q), "{sql}");
+        assert!(query_match(&back, &q), "case {case}: {sql}");
     }
 }

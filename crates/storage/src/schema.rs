@@ -1,9 +1,9 @@
 //! Table schemas (§II "database schema" metadata).
 
-use serde::{Deserialize, Serialize};
+use nlidb_json::{FromJson, Json, JsonError, ToJson};
 
 /// Column data types supported by the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// Free text.
     Text,
@@ -21,7 +21,7 @@ impl DataType {
 }
 
 /// A column definition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Column {
     /// Human-readable name (may contain spaces, as in WikiSQL headers).
     pub name: String,
@@ -37,7 +37,7 @@ impl Column {
 }
 
 /// An ordered set of columns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Schema {
     columns: Vec<Column>,
 }
@@ -77,6 +77,52 @@ impl Schema {
     /// All column names (owned, for interop with `nlidb-sqlir`).
     pub fn column_names(&self) -> Vec<String> {
         self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+}
+
+impl ToJson for DataType {
+    fn to_json(&self) -> Json {
+        let name = match self {
+            DataType::Text => "Text",
+            DataType::Int => "Int",
+            DataType::Float => "Float",
+        };
+        Json::Str(name.to_string())
+    }
+}
+
+impl FromJson for DataType {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_str() {
+            Some("Text") => Ok(DataType::Text),
+            Some("Int") => Ok(DataType::Int),
+            Some("Float") => Ok(DataType::Float),
+            _ => Err(JsonError::new(format!("invalid data type: {j}"))),
+        }
+    }
+}
+
+impl ToJson for Column {
+    fn to_json(&self) -> Json {
+        Json::obj([("name", self.name.to_json()), ("dtype", self.dtype.to_json())])
+    }
+}
+
+impl FromJson for Column {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Column { name: j.req("name")?, dtype: j.req("dtype")? })
+    }
+}
+
+impl ToJson for Schema {
+    fn to_json(&self) -> Json {
+        Json::obj([("columns", self.columns.to_json())])
+    }
+}
+
+impl FromJson for Schema {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Schema { columns: j.req("columns")? })
     }
 }
 

@@ -6,14 +6,14 @@
 //! size, and crucially *not* a list of concrete values, which is what lets
 //! the classifier accept counterfactual values (§III challenge 4).
 
+use nlidb_json::{FromJson, Json, JsonError, ToJson};
 use nlidb_text::{tokenize, EmbeddingSpace};
-use serde::{Deserialize, Serialize};
 
 use crate::table::Table;
 use crate::value::Value;
 
 /// Statistics for a single column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnStats {
     /// The `s_c` embedding-space centroid of the column's cells.
     pub centroid: Vec<f32>,
@@ -80,7 +80,7 @@ impl ColumnStats {
 }
 
 /// Statistics for every column of a table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableStats {
     /// Per-column statistics, schema order.
     pub columns: Vec<ColumnStats>,
@@ -94,6 +94,42 @@ impl TableStats {
                 .map(|c| ColumnStats::compute(table, c, space))
                 .collect(),
         }
+    }
+}
+
+impl ToJson for ColumnStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("centroid", self.centroid.to_json()),
+            ("numeric_fraction", self.numeric_fraction.to_json()),
+            ("mean_tokens", self.mean_tokens.to_json()),
+            ("distinct", self.distinct.to_json()),
+            ("numeric_range", self.numeric_range.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ColumnStats {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(ColumnStats {
+            centroid: j.req("centroid")?,
+            numeric_fraction: j.req("numeric_fraction")?,
+            mean_tokens: j.req("mean_tokens")?,
+            distinct: j.req("distinct")?,
+            numeric_range: j.opt("numeric_range")?,
+        })
+    }
+}
+
+impl ToJson for TableStats {
+    fn to_json(&self) -> Json {
+        Json::obj([("columns", self.columns.to_json())])
+    }
+}
+
+impl FromJson for TableStats {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(TableStats { columns: j.req("columns")? })
     }
 }
 

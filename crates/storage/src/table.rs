@@ -1,12 +1,12 @@
 //! Column-major in-memory tables.
 
-use serde::{Deserialize, Serialize};
+use nlidb_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::schema::{DataType, Schema};
 use crate::value::Value;
 
 /// An in-memory relational table (column-major storage).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Table name.
     pub name: String,
@@ -83,6 +83,37 @@ impl Table {
     /// Column names (for `nlidb-sqlir` interop).
     pub fn column_names(&self) -> Vec<String> {
         self.schema.column_names()
+    }
+}
+
+impl ToJson for Table {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("schema", self.schema.to_json()),
+            ("columns", self.columns.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Table {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let table = Table {
+            name: j.req("name")?,
+            schema: j.req("schema")?,
+            columns: j.req("columns")?,
+            rows: j.req("rows")?,
+        };
+        if table.columns.len() != table.schema.len()
+            || table.columns.iter().any(|c| c.len() != table.rows)
+        {
+            return Err(JsonError::new(format!(
+                "table '{}' columns do not match schema/row count",
+                table.name
+            )));
+        }
+        Ok(table)
     }
 }
 

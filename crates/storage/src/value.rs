@@ -1,11 +1,11 @@
 //! Cell values and literal comparison semantics.
 
+use nlidb_json::{FromJson, Json, JsonError, ToJson};
 use nlidb_sqlir::Literal;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single table cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// Text cell.
     Text(String),
@@ -68,6 +68,35 @@ impl fmt::Display for Value {
             Value::Float(x) => write!(f, "{x}"),
             Value::Null => write!(f, "NULL"),
         }
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Json {
+        match self {
+            Value::Text(t) => Json::obj([("Text", Json::Str(t.clone()))]),
+            Value::Int(i) => Json::obj([("Int", Json::Int(*i))]),
+            Value::Float(f) => Json::obj([("Float", Json::Float(*f))]),
+            Value::Null => Json::Str("Null".into()),
+        }
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        if j.as_str() == Some("Null") {
+            return Ok(Value::Null);
+        }
+        if let Some(t) = j.get("Text") {
+            return Ok(Value::Text(String::from_json(t)?));
+        }
+        if let Some(i) = j.get("Int") {
+            return Ok(Value::Int(i64::from_json(i)?));
+        }
+        if let Some(f) = j.get("Float") {
+            return Ok(Value::Float(f64::from_json(f)?));
+        }
+        Err(JsonError::new(format!("invalid cell value: {j}")))
     }
 }
 

@@ -1,27 +1,31 @@
 //! Property tests for the storage engine: executor semantics against a
 //! brute-force reference implementation, and CSV round-trips.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from the workspace PRNG with fixed seeds, so failures
+//! reproduce from the case index alone.
 
 use nlidb_sqlir::{Agg, CmpOp, Literal, Query};
 use nlidb_storage::{
     execute, render_table, table_from_csv, Column, DataType, Schema, Table, Value,
 };
+use nlidb_tensor::Rng;
 
-fn arb_table() -> impl Strategy<Value = Table> {
-    (2usize..6, 1usize..8).prop_flat_map(|(ncols, nrows)| {
-        let cells = prop::collection::vec(-50i64..50, ncols * nrows);
-        cells.prop_map(move |data| {
-            let schema = Schema::new(
-                (0..ncols).map(|c| Column::new(format!("C{c}"), DataType::Int)).collect(),
-            );
-            let mut t = Table::new("t", schema);
-            for r in 0..nrows {
-                t.push_row((0..ncols).map(|c| Value::Int(data[r * ncols + c])).collect());
-            }
-            t
-        })
-    })
+const CASES: u64 = 96;
+
+fn case_rng(test_seed: u64, case: u64) -> Rng {
+    Rng::seed_from_u64(test_seed.wrapping_mul(0x100000001b3) ^ case)
+}
+
+fn arb_table(rng: &mut Rng) -> Table {
+    let ncols = rng.gen_range(2usize..6);
+    let nrows = rng.gen_range(1usize..8);
+    let schema =
+        Schema::new((0..ncols).map(|c| Column::new(format!("C{c}"), DataType::Int)).collect());
+    let mut t = Table::new("t", schema);
+    for _ in 0..nrows {
+        t.push_row((0..ncols).map(|_| Value::Int(rng.gen_range(-50i64..50))).collect());
+    }
+    t
 }
 
 /// Brute-force reference executor.
@@ -76,18 +80,16 @@ fn reference(table: &Table, q: &Query) -> Option<Vec<f64>> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn executor_matches_reference(
-        table in arb_table(),
-        agg_i in 0usize..6,
-        sel in 0usize..2,
-        cond_col in 0usize..2,
-        op_i in 0usize..6,
-        lit in -50i64..50,
-    ) {
+#[test]
+fn executor_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let table = arb_table(&mut rng);
+        let agg_i = rng.gen_range(0usize..6);
+        let sel = rng.gen_range(0usize..2);
+        let cond_col = rng.gen_range(0usize..2);
+        let op_i = rng.gen_range(0usize..6);
+        let lit = rng.gen_range(-50i64..50);
         let q = Query::select(sel)
             .with_agg(Agg::ALL[agg_i])
             .and_where(cond_col, CmpOp::ALL[op_i], Literal::Number(lit as f64));
@@ -96,25 +98,25 @@ proptest! {
         let got: Vec<Option<f64>> = rs.values.iter().map(|v| v.as_number()).collect();
         if expected.len() == 1 && expected[0].is_nan() {
             // Aggregate over empty selection: engine encodes as Null.
-            prop_assert_eq!(rs.values.len(), 1);
-            prop_assert!(got[0].is_none());
+            assert_eq!(rs.values.len(), 1, "case {case}");
+            assert!(got[0].is_none(), "case {case}");
         } else {
-            prop_assert_eq!(got.len(), expected.len());
+            assert_eq!(got.len(), expected.len(), "case {case}");
             for (g, e) in got.iter().zip(&expected) {
-                prop_assert!((g.expect("numeric") - e).abs() < 1e-9);
+                assert!((g.expect("numeric") - e).abs() < 1e-9, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn csv_roundtrip_preserves_cells(table in arb_table()) {
+#[test]
+fn csv_roundtrip_preserves_cells() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let table = arb_table(&mut rng);
         // Render to CSV text by hand and reload.
         let names = table.column_names();
-        let mut csv = names
-            .iter()
-            .map(|n| format!("{n}:int"))
-            .collect::<Vec<_>>()
-            .join(",");
+        let mut csv = names.iter().map(|n| format!("{n}:int")).collect::<Vec<_>>().join(",");
         csv.push('\n');
         for r in 0..table.num_rows() {
             let row: Vec<String> =
@@ -123,17 +125,22 @@ proptest! {
             csv.push('\n');
         }
         let back = table_from_csv("t", &csv).expect("valid CSV");
-        prop_assert_eq!(back.num_rows(), table.num_rows());
+        assert_eq!(back.num_rows(), table.num_rows(), "case {case}");
         for r in 0..table.num_rows() {
             for c in 0..table.num_cols() {
-                prop_assert_eq!(back.cell(r, c), table.cell(r, c));
+                assert_eq!(back.cell(r, c), table.cell(r, c), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn render_never_panics(table in arb_table(), max_rows in 0usize..10) {
+#[test]
+fn render_never_panics() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let table = arb_table(&mut rng);
+        let max_rows = rng.gen_range(0usize..10);
         let s = render_table(&table, max_rows);
-        prop_assert!(s.contains("C0"));
+        assert!(s.contains("C0"), "case {case}");
     }
 }

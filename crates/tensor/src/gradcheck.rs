@@ -70,14 +70,13 @@ pub fn check_input_gradient(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Rng;
 
     const EPS: f32 = 1e-2;
     const TOL: f32 = 2e-2;
 
     fn rand_t(rows: usize, cols: usize, seed: u64) -> Tensor {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         Tensor::uniform(rows, cols, 1.0, &mut rng)
     }
 

@@ -19,6 +19,8 @@
 //! - [`params`]: persistent named parameters ([`ParamStore`]).
 //! - [`optim`]: SGD/Adam and global-norm gradient clipping.
 //! - [`gradcheck`]: finite-difference verification utilities.
+//! - [`rng`]: the workspace-wide seeded PRNG ([`Rng`], PCG32) behind every
+//!   random draw in the reproduction.
 //!
 //! ## Example
 //! ```
@@ -45,8 +47,10 @@ pub mod gradcheck;
 pub mod graph;
 pub mod optim;
 pub mod params;
+pub mod rng;
 pub mod tensor;
 
 pub use graph::{softmax_rows_value, Graph, NodeId};
 pub use params::{ParamId, ParamStore};
+pub use rng::Rng;
 pub use tensor::Tensor;

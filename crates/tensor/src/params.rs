@@ -9,13 +9,25 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use nlidb_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::tensor::Tensor;
 
 /// Opaque handle to a parameter in a [`ParamStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ParamId(pub(crate) usize);
+
+impl ToJson for ParamId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for ParamId {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(ParamId(usize::from_json(j)?))
+    }
+}
 
 impl ParamId {
     /// Raw index (stable for the lifetime of the store).
@@ -25,12 +37,37 @@ impl ParamId {
 }
 
 /// A collection of named, trainable tensors.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ParamStore {
     names: Vec<String>,
     values: Vec<Tensor>,
-    #[serde(skip)]
+    // Derived from `names`; rebuilt after deserialization, never serialized.
     index: HashMap<String, ParamId>,
+}
+
+impl ToJson for ParamStore {
+    fn to_json(&self) -> Json {
+        Json::obj([("names", self.names.to_json()), ("values", self.values.to_json())])
+    }
+}
+
+impl FromJson for ParamStore {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let mut store = ParamStore {
+            names: j.req("names")?,
+            values: j.req("values")?,
+            index: HashMap::new(),
+        };
+        if store.names.len() != store.values.len() {
+            return Err(JsonError::new(format!(
+                "param store has {} names but {} values",
+                store.names.len(),
+                store.values.len()
+            )));
+        }
+        store.rebuild_index();
+        Ok(store)
+    }
 }
 
 impl ParamStore {
@@ -97,16 +134,14 @@ impl ParamStore {
             .map(|(i, (n, v))| (ParamId(i), n.as_str(), v))
     }
 
-    /// Serializes the store to JSON (checkpointing).
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("param store serialization cannot fail")
+    /// Serializes the store to a JSON string (checkpointing).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
     }
 
-    /// Restores a store from JSON produced by [`ParamStore::to_json`].
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        let mut store: ParamStore = serde_json::from_str(json)?;
-        store.rebuild_index();
-        Ok(store)
+    /// Restores a store from JSON produced by [`ParamStore::to_json_string`].
+    pub fn from_json_str(json: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(json)?)
     }
 
     fn rebuild_index(&mut self) {
@@ -152,8 +187,8 @@ mod tests {
         let mut store = ParamStore::new();
         store.add("a", Tensor::row_vector(&[1.5, -2.0]));
         store.add("b", Tensor::zeros(2, 2));
-        let json = store.to_json();
-        let restored = ParamStore::from_json(&json).unwrap();
+        let json = store.to_json_string();
+        let restored = ParamStore::from_json_str(&json).unwrap();
         assert_eq!(restored.len(), 2);
         let a = restored.id_of("a").unwrap();
         assert_eq!(restored.get(a).data(), &[1.5, -2.0]);

@@ -7,12 +7,12 @@
 //! paper's models need: sequence models operate on `[time, dim]` matrices,
 //! classifiers on `[1, dim]` rows.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use nlidb_json::{FromJson, Json, JsonError, ToJson};
+
+use crate::rng::Rng;
 
 /// A dense row-major matrix of `f32` values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
@@ -50,20 +50,20 @@ impl Tensor {
     }
 
     /// Creates a tensor with entries drawn uniformly from `[-bound, bound]`.
-    pub fn uniform(rows: usize, cols: usize, bound: f32, rng: &mut StdRng) -> Self {
+    pub fn uniform(rows: usize, cols: usize, bound: f32, rng: &mut Rng) -> Self {
         let data = (0..rows * cols).map(|_| rng.gen_range(-bound..=bound)).collect();
         Tensor { rows, cols, data }
     }
 
     /// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` weight.
-    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+    pub fn xavier(rows: usize, cols: usize, rng: &mut Rng) -> Self {
         let bound = (6.0 / (rows + cols) as f32).sqrt();
         Self::uniform(rows, cols, bound, rng)
     }
 
     /// Xavier initialization with a caller-provided seed (convenience for tests).
     pub fn xavier_seeded(rows: usize, cols: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         Self::xavier(rows, cols, &mut rng)
     }
 
@@ -278,6 +278,31 @@ impl Tensor {
     }
 }
 
+impl ToJson for Tensor {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rows", self.rows.to_json()),
+            ("cols", self.cols.to_json()),
+            ("data", self.data.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Tensor {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let rows: usize = j.req("rows")?;
+        let cols: usize = j.req("cols")?;
+        let data: Vec<f32> = j.req("data")?;
+        if data.len() != rows * cols {
+            return Err(JsonError::new(format!(
+                "tensor data length {} does not match shape [{rows}, {cols}]",
+                data.len()
+            )));
+        }
+        Ok(Tensor { rows, cols, data })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +393,15 @@ mod tests {
         assert_eq!(a, b);
         let c = Tensor::xavier_seeded(4, 4, 8);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_shape_and_data() {
+        let t = Tensor::from_vec(2, 2, vec![1.5, -2.0, 0.1, 0.0]);
+        let restored = Tensor::from_json(&t.to_json()).unwrap();
+        assert_eq!(restored, t);
+        let bad = nlidb_json::Json::parse(r#"{"rows":2,"cols":2,"data":[1.0]}"#).unwrap();
+        assert!(Tensor::from_json(&bad).is_err());
     }
 
     #[test]

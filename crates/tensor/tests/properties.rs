@@ -1,35 +1,46 @@
 //! Property-based tests for the autograd engine: algebraic identities of
 //! tensor ops and gradient-correctness over random graphs.
-
-use proptest::prelude::*;
+//!
+//! Each property is checked over many cases drawn from the workspace PRNG
+//! (`nlidb_tensor::Rng`) with a fixed seed, so failures are exactly
+//! reproducible from the case index alone.
 
 use nlidb_tensor::gradcheck::check_input_gradient;
-use nlidb_tensor::{Graph, Tensor};
+use nlidb_tensor::{Graph, Rng, Tensor};
 
-fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(-2.0f32..2.0, rows * cols)
-        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+const CASES: u64 = 64;
+
+/// One deterministic generator per (test, case) pair.
+fn case_rng(test_seed: u64, case: u64) -> Rng {
+    Rng::seed_from_u64(test_seed.wrapping_mul(0x100000001b3) ^ case)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_tensor(rng: &mut Rng, rows: usize, cols: usize) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
 
-    #[test]
-    fn matmul_identity_left_and_right(a in arb_tensor(3, 3)) {
+#[test]
+fn matmul_identity_left_and_right() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let a = arb_tensor(&mut rng, 3, 3);
         let mut id = Tensor::zeros(3, 3);
         for i in 0..3 {
             id.set(i, i, 1.0);
         }
-        prop_assert_eq!(&a.matmul(&id), &a);
-        prop_assert_eq!(&id.matmul(&a), &a);
+        assert_eq!(&a.matmul(&id), &a, "case {case}");
+        assert_eq!(&id.matmul(&a), &a, "case {case}");
     }
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(
-        a in arb_tensor(2, 3),
-        b in arb_tensor(3, 2),
-        c in arb_tensor(3, 2),
-    ) {
+#[test]
+fn matmul_distributes_over_addition() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let a = arb_tensor(&mut rng, 2, 3);
+        let b = arb_tensor(&mut rng, 3, 2);
+        let c = arb_tensor(&mut rng, 3, 2);
         // a(b + c) == ab + ac (within f32 tolerance)
         let bc = b.zip(&c, |x, y| x + y);
         let left = a.matmul(&bc);
@@ -39,50 +50,66 @@ proptest! {
             ab.zip(&ac, |x, y| x + y)
         };
         for (l, r) in left.data().iter().zip(right.data()) {
-            prop_assert!((l - r).abs() < 1e-4, "{l} vs {r}");
+            assert!((l - r).abs() < 1e-4, "case {case}: {l} vs {r}");
         }
     }
+}
 
-    #[test]
-    fn transpose_preserves_norm(a in arb_tensor(3, 4)) {
-        prop_assert!((a.norm() - a.transpose().norm()).abs() < 1e-5);
+#[test]
+fn transpose_preserves_norm() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let a = arb_tensor(&mut rng, 3, 4);
+        assert!((a.norm() - a.transpose().norm()).abs() < 1e-5, "case {case}");
     }
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(a in arb_tensor(3, 5)) {
+#[test]
+fn softmax_rows_are_distributions() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let a = arb_tensor(&mut rng, 3, 5);
         let mut g = Graph::new();
         let x = g.leaf(a);
         let s = g.softmax_rows(x);
         let v = g.value(s);
         for r in 0..v.rows() {
             let sum: f32 = v.row(r).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-5);
-            prop_assert!(v.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+            assert!((sum - 1.0).abs() < 1e-5, "case {case}");
+            assert!(v.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn add_commutes_and_scale_distributes(a in arb_tensor(2, 4), b in arb_tensor(2, 4), s in -3.0f32..3.0) {
+#[test]
+fn add_commutes_and_scale_distributes() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let a = arb_tensor(&mut rng, 2, 4);
+        let b = arb_tensor(&mut rng, 2, 4);
+        let s = rng.gen_range(-3.0f32..3.0);
         let mut g = Graph::new();
         let an = g.leaf(a.clone());
         let bn = g.leaf(b.clone());
         let ab = g.add(an, bn);
         let ba = g.add(bn, an);
-        prop_assert_eq!(g.value(ab), g.value(ba));
+        assert_eq!(g.value(ab), g.value(ba), "case {case}");
         let sab = g.scale(ab, s);
         let sa = g.scale(an, s);
         let sb = g.scale(bn, s);
         let sab2 = g.add(sa, sb);
         for (x, y) in g.value(sab).data().iter().zip(g.value(sab2).data()) {
-            prop_assert!((x - y).abs() < 1e-4);
+            assert!((x - y).abs() < 1e-4, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn gradients_match_finite_differences_on_random_graphs(
-        x in arb_tensor(2, 3),
-        w in arb_tensor(3, 3),
-    ) {
+#[test]
+fn gradients_match_finite_differences_on_random_graphs() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let x = arb_tensor(&mut rng, 2, 3);
+        let w = arb_tensor(&mut rng, 3, 3);
         // loss = sum(tanh(x @ w) * sigmoid(x))-ish composite
         let report = check_input_gradient(&x, 1e-2, |g, xn| {
             let wn = g.leaf(w.clone());
@@ -92,11 +119,15 @@ proptest! {
             let m = g.mul(t, s);
             g.sum_all(m)
         });
-        prop_assert!(report.passes(0.05), "{report:?}");
+        assert!(report.passes(0.05), "case {case}: {report:?}");
     }
+}
 
-    #[test]
-    fn backward_is_deterministic(x in arb_tensor(2, 2)) {
+#[test]
+fn backward_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let x = arb_tensor(&mut rng, 2, 2);
         let run = || {
             let mut g = Graph::new();
             let xn = g.input(x.clone());
@@ -105,18 +136,22 @@ proptest! {
             g.backward(loss);
             g.grad(xn).unwrap().clone()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
+}
 
-    #[test]
-    fn exp_ln_inverse_on_positive(x in prop::collection::vec(0.1f32..5.0, 6)) {
-        let t = Tensor::from_vec(2, 3, x);
+#[test]
+fn exp_ln_inverse_on_positive() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
+        let data: Vec<f32> = (0..6).map(|_| rng.gen_range(0.1f32..5.0)).collect();
+        let t = Tensor::from_vec(2, 3, data);
         let mut g = Graph::new();
         let xn = g.leaf(t.clone());
         let l = g.ln(xn);
         let e = g.exp(l);
         for (a, b) in g.value(e).data().iter().zip(t.data()) {
-            prop_assert!((a - b).abs() < 1e-4);
+            assert!((a - b).abs() < 1e-4, "case {case}");
         }
     }
 }

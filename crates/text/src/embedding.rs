@@ -12,8 +12,7 @@
 //! number concept with magnitude-dependent perturbation so years cluster
 //! near years. Everything is a pure function of `(seed, word)`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nlidb_tensor::Rng;
 
 use crate::lexicon::Lexicon;
 
@@ -63,7 +62,7 @@ impl EmbeddingSpace {
     }
 
     fn base_vector(&self, key: u64) -> Vec<f32> {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ key.wrapping_mul(0x9e3779b97f4a7c15));
+        let mut rng = Rng::seed_from_u64(self.seed ^ key.wrapping_mul(0x9e3779b97f4a7c15));
         let mut v: Vec<f32> = (0..self.dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
         for x in &mut v {

@@ -9,18 +9,41 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use nlidb_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::tokenize::tokenize;
 
 /// Synonym clusters plus per-column mention/describe phrase metadata.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Lexicon {
     groups: Vec<Vec<String>>,
-    #[serde(skip)]
+    // Derived from `groups`; rebuilt after deserialization, never serialized.
     word_to_group: HashMap<String, usize>,
     mention_phrases: HashMap<String, Vec<Vec<String>>>,
     describe_phrases: HashMap<String, Vec<String>>,
+}
+
+impl ToJson for Lexicon {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("groups", self.groups.to_json()),
+            ("mention_phrases", self.mention_phrases.to_json()),
+            ("describe_phrases", self.describe_phrases.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Lexicon {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let mut lex = Lexicon {
+            groups: j.req("groups")?,
+            word_to_group: HashMap::new(),
+            mention_phrases: j.req("mention_phrases")?,
+            describe_phrases: j.req("describe_phrases")?,
+        };
+        lex.rebuild_index();
+        Ok(lex)
+    }
 }
 
 impl Lexicon {
@@ -285,11 +308,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_with_index_rebuild() {
+    fn json_roundtrip_rebuilds_index() {
         let lex = Lexicon::builtin();
-        let json = serde_json::to_string(&lex).unwrap();
-        let mut restored: Lexicon = serde_json::from_str(&json).unwrap();
-        restored.rebuild_index();
+        let json = lex.to_json().to_string();
+        let restored = Lexicon::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert!(restored.same_group("actor", "star"));
         assert_eq!(restored.num_groups(), lex.num_groups());
     }

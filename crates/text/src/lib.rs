@@ -2,7 +2,7 @@
 //!
 //! Text-processing substrate for the NLIDB reproduction:
 //!
-//! - [`tokenize`] — word tokenizer, word vocabulary, fixed char alphabet.
+//! - [`tokenize`](mod@tokenize) — word tokenizer, word vocabulary, fixed char alphabet.
 //! - [`distance`] — edit distance / similarity for context-free matching.
 //! - [`stopwords`] — the §IV-D value-span stop-word filter.
 //! - [`embedding`] — deterministic synthetic "pre-trained" embeddings

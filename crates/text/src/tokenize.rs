@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use nlidb_json::{FromJson, Json, JsonError, ToJson};
 
 /// Splits text into lowercase word tokens.
 ///
@@ -51,11 +51,25 @@ pub mod special {
 }
 
 /// A word-level vocabulary with reserved special tokens.
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Vocab {
     words: Vec<String>,
-    #[serde(skip)]
+    // Derived from `words`; rebuilt after deserialization, never serialized.
     index: HashMap<String, usize>,
+}
+
+impl ToJson for Vocab {
+    fn to_json(&self) -> Json {
+        Json::obj([("words", self.words.to_json())])
+    }
+}
+
+impl FromJson for Vocab {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let mut v = Vocab { words: j.req("words")?, index: HashMap::new() };
+        v.rebuild_index();
+        Ok(v)
+    }
 }
 
 impl Vocab {

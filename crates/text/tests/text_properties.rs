@@ -1,88 +1,165 @@
 //! Property tests for the text substrate: tokenizer totality, edit
 //! distance metric laws, dependency-tree invariants, and embedding
 //! determinism.
+//!
+//! Cases are drawn from the workspace PRNG with fixed seeds, so failures
+//! reproduce from the case index alone.
 
-use proptest::prelude::*;
+use nlidb_tensor::Rng;
+use nlidb_text::{edit_distance, tokenize, CharVocab, DepTree, EmbeddingSpace, Vocab};
 
-use nlidb_text::{
-    edit_distance, tokenize, CharVocab, DepTree, EmbeddingSpace, Vocab,
-};
+const CASES: u64 = 128;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn case_rng(test_seed: u64, case: u64) -> Rng {
+    Rng::seed_from_u64(test_seed.wrapping_mul(0x100000001b3) ^ case)
+}
 
-    #[test]
-    fn tokenizer_never_panics_and_lowercases(input in ".{0,120}") {
-        let toks = tokenize(&input);
-        for t in &toks {
-            prop_assert!(!t.is_empty());
-            let lower = t.to_lowercase();
-            prop_assert_eq!(t.as_str(), lower.as_str());
-            prop_assert!(!t.chars().any(char::is_whitespace));
+/// A string of `len` characters drawn from `charset`.
+fn rand_string(rng: &mut Rng, charset: &[char], len: usize) -> String {
+    (0..len).map(|_| *rng.choose(charset)).collect()
+}
+
+fn lowercase_word(rng: &mut Rng, max_len: usize) -> String {
+    let alphabet: Vec<char> = ('a'..='z').collect();
+    let len = rng.gen_range(0..=max_len);
+    rand_string(rng, &alphabet, len)
+}
+
+/// An arbitrary valid `char` (skipping the surrogate gap).
+fn rand_char(rng: &mut Rng) -> char {
+    loop {
+        if let Some(c) = char::from_u32(rng.gen_range(0u32..=0x10FFFF)) {
+            return c;
         }
     }
+}
 
-    #[test]
-    fn tokenizer_is_idempotent_on_its_output(input in "[a-zA-Z0-9 ,.?%'-]{0,60}") {
+#[test]
+fn tokenizer_never_panics_and_lowercases() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let len = rng.gen_range(0usize..=120);
+        let input: String = (0..len).map(|_| rand_char(&mut rng)).collect();
+        let toks = tokenize(&input);
+        for t in &toks {
+            assert!(!t.is_empty(), "case {case}");
+            assert_eq!(t.as_str(), t.to_lowercase().as_str(), "case {case}");
+            assert!(!t.chars().any(char::is_whitespace), "case {case}");
+        }
+    }
+}
+
+#[test]
+fn tokenizer_is_idempotent_on_its_output() {
+    let charset: Vec<char> =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,.?%'-".chars().collect();
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let len = rng.gen_range(0usize..=60);
+        let input = rand_string(&mut rng, &charset, len);
         let once = tokenize(&input);
         let again = tokenize(&once.join(" "));
-        prop_assert_eq!(once, again);
+        assert_eq!(once, again, "case {case}: input {input:?}");
     }
+}
 
-    #[test]
-    fn edit_distance_metric_laws(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
+#[test]
+fn edit_distance_metric_laws() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let a = lowercase_word(&mut rng, 12);
+        let b = lowercase_word(&mut rng, 12);
+        let c = lowercase_word(&mut rng, 12);
         // Identity, symmetry, triangle inequality.
-        prop_assert_eq!(edit_distance(&a, &a), 0);
-        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
-        prop_assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
+        assert_eq!(edit_distance(&a, &a), 0, "case {case}");
+        assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a), "case {case}");
+        assert!(
+            edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c),
+            "case {case}"
+        );
         // Bounded by the longer string.
-        prop_assert!(edit_distance(&a, &b) <= a.len().max(b.len()));
+        assert!(edit_distance(&a, &b) <= a.len().max(b.len()), "case {case}");
     }
+}
 
-    #[test]
-    fn dep_tree_is_well_formed(input in "[a-z]{1,8}( [a-z]{1,8}){0,11}( \\?)?") {
+#[test]
+fn dep_tree_is_well_formed() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let n_words = rng.gen_range(1usize..=12);
+        let alphabet: Vec<char> = ('a'..='z').collect();
+        let mut input: String = (0..n_words)
+            .map(|_| {
+                let len = rng.gen_range(1usize..=8);
+                rand_string(&mut rng, &alphabet, len)
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        if rng.gen_bool(0.5) {
+            input.push_str(" ?");
+        }
         let toks = tokenize(&input);
         let tree = DepTree::parse(&toks);
-        prop_assert_eq!(tree.len(), toks.len());
+        assert_eq!(tree.len(), toks.len(), "case {case}");
         if !toks.is_empty() {
-            prop_assert!(tree.root() < toks.len());
-            prop_assert!(tree.parent(tree.root()).is_none());
+            assert!(tree.root() < toks.len(), "case {case}");
+            assert!(tree.parent(tree.root()).is_none(), "case {case}");
             for i in 0..toks.len() {
                 // Distances are symmetric and zero only on the diagonal.
-                prop_assert_eq!(tree.dist(i, tree.root()), tree.dist(tree.root(), i));
-                prop_assert_eq!(tree.dist(i, i), 0);
+                assert_eq!(tree.dist(i, tree.root()), tree.dist(tree.root(), i), "case {case}");
+                assert_eq!(tree.dist(i, i), 0, "case {case}");
                 if i != tree.root() {
-                    prop_assert!(tree.dist(i, tree.root()) >= 1);
+                    assert!(tree.dist(i, tree.root()) >= 1, "case {case}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn embeddings_are_unit_scale_and_deterministic(word in "[a-z0-9-]{1,14}") {
-        let s1 = EmbeddingSpace::with_builtin_lexicon(16, 5);
-        let s2 = EmbeddingSpace::with_builtin_lexicon(16, 5);
+#[test]
+fn embeddings_are_unit_scale_and_deterministic() {
+    let charset: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789-".chars().collect();
+    let s1 = EmbeddingSpace::with_builtin_lexicon(16, 5);
+    let s2 = EmbeddingSpace::with_builtin_lexicon(16, 5);
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let len = rng.gen_range(1usize..=14);
+        let word = rand_string(&mut rng, &charset, len);
         let v1 = s1.vector(&word);
-        prop_assert_eq!(&v1, &s2.vector(&word));
+        assert_eq!(&v1, &s2.vector(&word), "case {case}");
         let norm: f32 = v1.iter().map(|x| x * x).sum::<f32>().sqrt();
-        prop_assert!(norm > 0.3 && norm < 3.0, "norm {norm} for {word}");
+        assert!(norm > 0.3 && norm < 3.0, "case {case}: norm {norm} for {word}");
         // Self-similarity is exactly 1.
-        prop_assert!((s1.word_similarity(&word, &word) - 1.0).abs() < 1e-5);
+        assert!((s1.word_similarity(&word, &word) - 1.0).abs() < 1e-5, "case {case}");
     }
+}
 
-    #[test]
-    fn char_vocab_total(ch in any::<char>()) {
-        prop_assert!(CharVocab::id(ch) < CharVocab::SIZE);
+#[test]
+fn char_vocab_total() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let ch = rand_char(&mut rng);
+        assert!(CharVocab::id(ch) < CharVocab::SIZE, "case {case}: {ch:?}");
     }
+}
 
-    #[test]
-    fn vocab_encode_decode_identity(words in prop::collection::vec("[a-z]{1,8}", 0..12)) {
+#[test]
+fn vocab_encode_decode_identity() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let n = rng.gen_range(0usize..12);
+        let alphabet: Vec<char> = ('a'..='z').collect();
+        let words: Vec<String> = (0..n)
+            .map(|_| {
+                let len = rng.gen_range(1usize..=8);
+                rand_string(&mut rng, &alphabet, len)
+            })
+            .collect();
         let mut v = Vocab::new();
         for w in &words {
             v.add(w);
         }
-        let tokens: Vec<String> = words.clone();
-        let ids = v.encode(&tokens);
-        prop_assert_eq!(v.decode(&ids), tokens);
+        let ids = v.encode(&words);
+        assert_eq!(v.decode(&ids), words, "case {case}");
     }
 }

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic release build + full test suite.
+#
+# Runs entirely offline — the workspace has no registry dependencies, so
+# this must succeed on a machine with no network and no cargo registry
+# cache. The workspace_guard test enforces that property; this script is
+# the one-command wrapper CI and contributors run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline --workspace
+
+echo "verify: OK"

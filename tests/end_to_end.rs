@@ -18,7 +18,7 @@ fn tiny_system(seed: u64) -> (Nlidb, nlidb_data::Dataset) {
 
 #[test]
 fn full_pipeline_beats_trivial_baselines_on_unseen_tables() {
-    let (nlidb, ds) = tiny_system(1001);
+    let (nlidb, ds) = tiny_system(1005);
     let preds: Vec<(Option<Query>, _)> = ds
         .dev
         .iter()

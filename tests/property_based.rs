@@ -1,59 +1,52 @@
 //! Workspace-level property-based tests on the core invariants that span
 //! crates: SQL round trips, canonicalization laws, recovery determinism,
 //! execution well-definedness, and annotation structure.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from the workspace PRNG with fixed seeds, so failures
+//! reproduce from the case index alone.
 
 use nlidb_sqlir::{
     annotate_query, canonicalize, logical_form_match, parse_sql, query_match, recover, Agg,
     AnnotationMap, CmpOp, Literal, Query, Slot,
 };
 use nlidb_storage::{execute, Column, DataType, Schema, Table, Value};
+use nlidb_tensor::Rng;
 
-fn arb_agg() -> impl Strategy<Value = Agg> {
-    prop_oneof![
-        Just(Agg::None),
-        Just(Agg::Count),
-        Just(Agg::Min),
-        Just(Agg::Max),
-        Just(Agg::Sum),
-        Just(Agg::Avg),
-    ]
+const CASES: u64 = 128;
+
+fn case_rng(test_seed: u64, case: u64) -> Rng {
+    Rng::seed_from_u64(test_seed.wrapping_mul(0x100000001b3) ^ case)
 }
 
-fn arb_op() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Ge),
-        Just(CmpOp::Le),
-        Just(CmpOp::Ne),
-    ]
-}
-
-fn arb_literal() -> impl Strategy<Value = Literal> {
-    prop_oneof![
-        "[a-z][a-z ]{0,12}[a-z]".prop_map(Literal::Text),
-        (-10_000i64..10_000).prop_map(|n| Literal::Number(n as f64)),
-    ]
+fn arb_literal(rng: &mut Rng) -> Literal {
+    if rng.gen_bool(0.5) {
+        let inner: Vec<char> = "abcdefghijklmnopqrstuvwxyz ".chars().collect();
+        let outer: Vec<char> = "abcdefghijklmnopqrstuvwxyz".chars().collect();
+        let mut s = String::new();
+        s.push(*rng.choose(&outer));
+        let mid = rng.gen_range(0usize..=12);
+        for _ in 0..mid {
+            s.push(*rng.choose(&inner));
+        }
+        s.push(*rng.choose(&outer));
+        Literal::Text(s)
+    } else {
+        Literal::Number(rng.gen_range(-10_000i64..10_000) as f64)
+    }
 }
 
 const NCOLS: usize = 5;
 
-fn arb_query() -> impl Strategy<Value = Query> {
-    (
-        arb_agg(),
-        0..NCOLS,
-        prop::collection::vec((0..NCOLS, arb_op(), arb_literal()), 0..4),
-    )
-        .prop_map(|(agg, select_col, conds)| {
-            let mut q = Query { agg, select_col, conds: Vec::new() };
-            for (col, op, value) in conds {
-                q = q.and_where(col, op, value);
-            }
-            q
-        })
+fn arb_query(rng: &mut Rng) -> Query {
+    let agg = Agg::ALL[rng.gen_range(0usize..Agg::ALL.len())];
+    let select_col = rng.gen_range(0usize..NCOLS);
+    let mut q = Query { agg, select_col, conds: Vec::new() };
+    for _ in 0..rng.gen_range(0usize..4) {
+        let col = rng.gen_range(0usize..NCOLS);
+        let op = CmpOp::ALL[rng.gen_range(0usize..CmpOp::ALL.len())];
+        q = q.and_where(col, op, arb_literal(rng));
+    }
+    q
 }
 
 fn columns() -> Vec<String> {
@@ -70,36 +63,53 @@ fn numeric_table() -> Table {
     t
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn sql_render_parse_roundtrip(q in arb_query()) {
+#[test]
+fn sql_render_parse_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let q = arb_query(&mut rng);
         let sql = q.to_sql(&columns());
         let parsed = parse_sql(&sql, &columns()).expect("rendered SQL must parse");
         // Round trip is canonical-equal (literal text/number types may
         // normalize, e.g. "42" parses back as a number).
-        prop_assert!(query_match(&parsed, &q), "{} != {}", parsed.to_sql(&columns()), sql);
+        assert!(
+            query_match(&parsed, &q),
+            "case {case}: {} != {}",
+            parsed.to_sql(&columns()),
+            sql
+        );
     }
+}
 
-    #[test]
-    fn canonicalization_is_idempotent_and_order_insensitive(q in arb_query()) {
+#[test]
+fn canonicalization_is_idempotent_and_order_insensitive() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let q = arb_query(&mut rng);
         let c1 = canonicalize(&q);
         let mut reversed = q.clone();
         reversed.conds.reverse();
-        prop_assert_eq!(&c1, &canonicalize(&reversed));
-        prop_assert_eq!(&c1, &canonicalize(&q));
+        assert_eq!(&c1, &canonicalize(&reversed), "case {case}");
+        assert_eq!(&c1, &canonicalize(&q), "case {case}");
     }
+}
 
-    #[test]
-    fn query_match_is_reflexive_and_implied_by_lf(q in arb_query()) {
-        prop_assert!(query_match(&q, &q));
-        prop_assert!(logical_form_match(&q, &q));
+#[test]
+fn query_match_is_reflexive_and_implied_by_lf() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let q = arb_query(&mut rng);
+        assert!(query_match(&q, &q), "case {case}");
+        assert!(logical_form_match(&q, &q), "case {case}");
         // lf-match implies qm-match on any pair (here: the same query).
     }
+}
 
-    #[test]
-    fn annotate_then_recover_is_identity_up_to_canonical(q in arb_query()) {
+#[test]
+fn annotate_then_recover_is_identity_up_to_canonical() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let q = arb_query(&mut rng);
         // Build a map that covers every referenced column/value.
         let mut slots: Vec<Slot> = vec![Slot { column: Some(q.select_col), value: None }];
         for c in &q.conds {
@@ -108,37 +118,45 @@ proptest! {
         let map = AnnotationMap { slots, headers: (0..NCOLS).collect() };
         let sa = annotate_query(&q, &map);
         let back = recover(&sa, &map).expect("recovery must succeed with a covering map");
-        prop_assert!(query_match(&back, &q), "{:?} -> {} -> {:?}", q, sa, back);
+        assert!(query_match(&back, &q), "case {case}: {q:?} -> {sa} -> {back:?}");
     }
+}
 
-    #[test]
-    fn execution_is_total_on_numeric_tables(q in arb_query()) {
+#[test]
+fn execution_is_total_on_numeric_tables() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let q = arb_query(&mut rng);
         // On an all-numeric table every query executes (COUNT/MIN/... are
         // all defined) and execution is deterministic.
         let t = numeric_table();
         let a = execute(&t, &q);
         let b = execute(&t, &q);
-        prop_assert!(a.is_ok(), "{:?}", a);
-        prop_assert_eq!(a.unwrap().values, b.unwrap().values);
+        assert!(a.is_ok(), "case {case}: {a:?}");
+        assert_eq!(a.unwrap().values, b.unwrap().values, "case {case}");
     }
+}
 
-    #[test]
-    fn execution_result_size_is_bounded(q in arb_query()) {
+#[test]
+fn execution_result_size_is_bounded() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let q = arb_query(&mut rng);
         let t = numeric_table();
         let rs = execute(&t, &q).unwrap();
         match q.agg {
-            Agg::None => prop_assert!(rs.values.len() <= t.num_rows()),
-            _ => prop_assert_eq!(rs.values.len(), 1),
+            Agg::None => assert!(rs.values.len() <= t.num_rows(), "case {case}"),
+            _ => assert_eq!(rs.values.len(), 1, "case {case}"),
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn generated_corpora_always_annotate_and_recover(seed in 0u64..500) {
-        use nlidb_core::annotate::{annotate_gold, gold_target, AnnotateConfig};
+#[test]
+fn generated_corpora_always_annotate_and_recover() {
+    use nlidb_core::annotate::{annotate_gold, gold_target, AnnotateConfig};
+    for case in 0..64u64 {
+        let mut rng = case_rng(7, case);
+        let seed = rng.gen_range(0u64..500);
         let mut cfg = nlidb_data::wikisql::WikiSqlConfig::tiny(seed);
         cfg.train_tables = 1;
         cfg.dev_tables = 1;
@@ -149,10 +167,9 @@ proptest! {
             let ann = annotate_gold(e, &AnnotateConfig::default(), 10);
             let sa = gold_target(e, &ann.map);
             let back = recover(&sa, &ann.map).expect("gold annotation must recover");
-            prop_assert!(
+            assert!(
                 query_match(&back, &e.query),
-                "seed {} question {:?}",
-                seed,
+                "case {case} seed {seed} question {:?}",
                 e.question_text()
             );
         }
