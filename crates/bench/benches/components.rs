@@ -20,6 +20,7 @@ use nlidb_data::wikisql::{generate, WikiSqlConfig};
 use nlidb_json::json;
 use nlidb_sqlir::{canonicalize, parse_sql, query_match};
 use nlidb_storage::{execute, TableStats};
+use nlidb_tensor::{pool, Rng, Tensor};
 use nlidb_text::{tokenize, DepTree, EmbeddingSpace};
 
 /// One benchmark's measurement.
@@ -29,24 +30,31 @@ struct Record {
     iters: u64,
 }
 
+/// `NLIDB_BENCH_SMOKE=1` shrinks batch counts and calibration budgets so
+/// CI / verify.sh can confirm the bench binary end-to-end in seconds.
+fn smoke() -> bool {
+    std::env::var_os("NLIDB_BENCH_SMOKE").is_some()
+}
+
 /// Times `f`, returning the median per-iteration nanoseconds over
 /// `BATCHES` batches. Batch size adapts so each batch runs ≥ ~1ms,
 /// keeping timer overhead negligible without a fixed iteration count.
 fn bench<F: FnMut()>(name: &'static str, records: &mut Vec<Record>, mut f: F) {
-    const BATCHES: usize = 15;
-    // Warm-up and batch-size calibration: grow until a batch takes >= 1ms.
+    let batches: usize = if smoke() { 3 } else { 15 };
+    let min_batch_us: u128 = if smoke() { 200 } else { 1000 };
+    // Warm-up and batch-size calibration: grow until a batch takes >= ~1ms.
     let mut batch: u64 = 1;
     loop {
         let t = Instant::now();
         for _ in 0..batch {
             f();
         }
-        if t.elapsed().as_micros() >= 1000 || batch >= 1 << 20 {
+        if t.elapsed().as_micros() >= min_batch_us || batch >= 1 << 20 {
             break;
         }
         batch *= 2;
     }
-    let mut samples: Vec<f64> = (0..BATCHES)
+    let mut samples: Vec<f64> = (0..batches)
         .map(|_| {
             let t = Instant::now();
             for _ in 0..batch {
@@ -57,8 +65,8 @@ fn bench<F: FnMut()>(name: &'static str, records: &mut Vec<Record>, mut f: F) {
         .collect();
     samples.sort_by(|a, b| a.total_cmp(b));
     let median_ns = samples[samples.len() / 2];
-    println!("{name:<32} {:>12} {:>10}", format_ns(median_ns), batch * BATCHES as u64);
-    records.push(Record { name, median_ns, iters: batch * BATCHES as u64 });
+    println!("{name:<32} {:>12} {:>10}", format_ns(median_ns), batch * batches as u64);
+    records.push(Record { name, median_ns, iters: batch * batches as u64 });
 }
 
 fn format_ns(ns: f64) -> String {
@@ -127,6 +135,52 @@ fn bench_models(records: &mut Vec<Record>) {
     });
 }
 
+/// Serial-vs-parallel entries for the threaded hot paths: the 256×256
+/// matmul that dominates encoder/decoder cost, and one full minibatch
+/// train step of the mention classifier (batch of 8 examples). The
+/// "parallel" variants pin the pool to at least two threads so the
+/// fan-out path is always exercised; on a multi-core host they use every
+/// available core.
+fn bench_threading(records: &mut Vec<Record>) {
+    let mut rng = Rng::seed_from_u64(0xBE7C4);
+    let mut mat = |n: usize| {
+        let data = (0..n * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        Tensor::from_vec(n, n, data)
+    };
+    let a = mat(256);
+    let b = mat(256);
+    pool::set_threads(1);
+    bench("tensor/matmul_256_serial", records, || {
+        black_box(black_box(&a).matmul(black_box(&b)));
+    });
+    pool::set_threads(pool::default_threads().max(2));
+    bench("tensor/matmul_256_parallel", records, || {
+        black_box(black_box(&a).matmul(black_box(&b)));
+    });
+    pool::set_threads(pool::default_threads());
+
+    let mut cfg = ModelConfig::tiny();
+    cfg.batch_size = 8;
+    let ds = generate(&WikiSqlConfig::tiny(7));
+    let vocab = build_input_vocab(&ds, &cfg);
+    let space = EmbeddingSpace::with_builtin_lexicon(cfg.word_dim, 7);
+    let mut pairs = training_pairs(&ds.train[..8]);
+    pairs.truncate(8);
+    // One epoch over 8 examples at batch_size 8 = exactly one fan-out +
+    // reduction + optimizer step.
+    let mut clf = MentionClassifier::new(&cfg, vocab.clone(), &space);
+    pool::set_threads(1);
+    bench("train/mention_step_serial", records, || {
+        black_box(clf.train(black_box(&pairs), 1));
+    });
+    let mut clf = MentionClassifier::new(&cfg, vocab, &space);
+    pool::set_threads(pool::default_threads().max(2));
+    bench("train/mention_step_parallel", records, || {
+        black_box(clf.train(black_box(&pairs), 1));
+    });
+    pool::set_threads(pool::default_threads());
+}
+
 fn bench_pipeline(records: &mut Vec<Record>) {
     let mut gen_cfg = WikiSqlConfig::tiny(7);
     gen_cfg.questions_per_table = 4;
@@ -149,6 +203,7 @@ fn main() {
     bench_text(&mut records);
     bench_sql(&mut records);
     bench_models(&mut records);
+    bench_threading(&mut records);
     bench_pipeline(&mut records);
     let rows: Vec<nlidb_json::Json> = records
         .iter()

@@ -47,6 +47,14 @@ pub struct ModelConfig {
     pub epochs: usize,
     /// Training epochs for the mention classifiers.
     pub mention_epochs: usize,
+    /// Minibatch size for the mention-classifier and seq2seq training
+    /// loops. Per-example gradients within a batch are computed
+    /// independently (and in parallel across the `nlidb_tensor::pool`
+    /// workers when `NLIDB_THREADS > 1`), then summed in example-index
+    /// order before one clipped optimizer step — so the result is
+    /// bitwise-independent of the thread count. `1` reproduces the
+    /// classic per-example SGD walk exactly.
+    pub batch_size: usize,
     /// Master seed for parameter initialization and shuffling.
     pub seed: u64,
 }
@@ -72,6 +80,7 @@ impl Default for ModelConfig {
             lr: 2e-3,
             epochs: 4,
             mention_epochs: 2,
+            batch_size: 1,
             seed: 1234,
         }
     }
@@ -98,6 +107,7 @@ impl ToJson for ModelConfig {
             ("lr", self.lr.to_json()),
             ("epochs", self.epochs.to_json()),
             ("mention_epochs", self.mention_epochs.to_json()),
+            ("batch_size", self.batch_size.to_json()),
             ("seed", self.seed.to_json()),
         ])
     }
@@ -124,6 +134,8 @@ impl FromJson for ModelConfig {
             lr: j.req("lr")?,
             epochs: j.req("epochs")?,
             mention_epochs: j.req("mention_epochs")?,
+            // Absent in checkpoints written before minibatch support.
+            batch_size: j.opt("batch_size")?.unwrap_or(1),
             seed: j.req("seed")?,
         })
     }
@@ -182,6 +194,19 @@ mod tests {
         let c = ModelConfig::default();
         let h = c.hidden;
         assert_eq!(c.half_hidden().hidden, h / 2);
+    }
+
+    #[test]
+    fn batch_size_roundtrips_and_defaults_for_old_checkpoints() {
+        assert_eq!(ModelConfig::default().batch_size, 1);
+        let mut c = ModelConfig::tiny();
+        c.batch_size = 8;
+        let restored = ModelConfig::from_json(&c.to_json()).unwrap();
+        assert_eq!(restored.batch_size, 8);
+        // Checkpoints written before minibatch support lack the field.
+        let old = ModelConfig::default().to_json().to_string().replace("\"batch_size\":1,", "");
+        let parsed = ModelConfig::from_json(&nlidb_json::Json::parse(&old).unwrap()).unwrap();
+        assert_eq!(parsed.batch_size, 1);
     }
 
     #[test]

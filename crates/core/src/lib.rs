@@ -11,6 +11,9 @@
 //! - [`seq2seq`] — §V-B GRU encoder/decoder with Bahdanau attention and
 //!   the paper's additive copy mechanism; beam-search decoding.
 //! - [`transformer`] — the Table II transformer ablation.
+//! - [`train`] — example-level data parallelism for the training loops
+//!   (fixed sharding + ordered gradient reduction; thread-count
+//!   independent results).
 //! - [`pipeline`] — the [`pipeline::Nlidb`] facade: train / predict /
 //!   recover.
 //! - [`metrics`] — `Acc_lf` / `Acc_qm` / `Acc_ex` and §VII-A1 mention
@@ -28,6 +31,7 @@ pub mod mention;
 pub mod metrics;
 pub mod pipeline;
 pub mod seq2seq;
+pub mod train;
 pub mod transformer;
 pub mod vocab;
 

@@ -208,6 +208,14 @@ impl MentionClassifier {
 
     /// Trains on `(question, column, mentioned?)` triples. Returns the
     /// final-epoch mean loss.
+    ///
+    /// Examples are processed in shuffled minibatches of
+    /// `cfg.batch_size`; within a batch, per-example forward/backward
+    /// passes fan out across the `nlidb_tensor::pool` workers and the
+    /// gradients are reduced in example-index order
+    /// ([`crate::train::batch_grads`]), so the trained parameters are
+    /// bitwise-independent of `NLIDB_THREADS`. `batch_size = 1` is the
+    /// classic per-example SGD walk.
     pub fn train(
         &mut self,
         data: &[(Vec<String>, Vec<String>, bool)],
@@ -216,6 +224,7 @@ impl MentionClassifier {
         let mut opt = Adam::new(self.cfg.lr);
         let mut rng = Rng::seed_from_u64(self.cfg.seed ^ 0x7EA1);
         let mut order: Vec<usize> = (0..data.len()).collect();
+        let batch_size = self.cfg.batch_size.max(1);
         let mut last = f32::INFINITY;
         for _ in 0..epochs {
             // Fisher-Yates shuffle.
@@ -224,15 +233,18 @@ impl MentionClassifier {
                 order.swap(i, j);
             }
             let mut total = 0.0;
-            for &idx in &order {
-                let (q, c, label) = &data[idx];
-                let mut g = Graph::new();
-                let out = self.forward(&mut g, q, c);
-                let target = Tensor::row_vector(&[if *label { 1.0 } else { 0.0 }]);
-                let loss = g.bce_with_logits(out.logit, target);
-                total += g.value(loss).scalar();
-                g.backward(loss);
-                let mut grads = g.param_grads();
+            for batch in order.chunks(batch_size) {
+                let (loss_sum, mut grads) = crate::train::batch_grads(batch.len(), |bi| {
+                    let (q, c, label) = &data[batch[bi]];
+                    let mut g = Graph::new();
+                    let out = self.forward(&mut g, q, c);
+                    let target = Tensor::row_vector(&[if *label { 1.0 } else { 0.0 }]);
+                    let loss = g.bce_with_logits(out.logit, target);
+                    let value = g.value(loss).scalar();
+                    g.backward(loss);
+                    (value, g.param_grads())
+                });
+                total += loss_sum;
                 clip_global_norm(&mut grads, self.cfg.clip);
                 opt.step(&mut self.store, &grads);
             }

@@ -185,10 +185,18 @@ impl Seq2Seq {
     }
 
     /// Trains with Adam + global-norm clipping. Returns final-epoch loss.
+    ///
+    /// Examples are processed in shuffled minibatches of
+    /// `cfg.batch_size`; per-example forward/backward passes within a
+    /// batch fan out across the `nlidb_tensor::pool` workers and reduce
+    /// in example-index order ([`crate::train::batch_grads`]), so the
+    /// trained parameters are bitwise-independent of `NLIDB_THREADS`.
+    /// `batch_size = 1` is the classic per-example SGD walk.
     pub fn train(&mut self, data: &[Seq2SeqItem], epochs: usize) -> f32 {
         let mut opt = Adam::new(self.cfg.lr);
         let mut rng = Rng::seed_from_u64(self.cfg.seed ^ 0x7EAC4);
         let mut order: Vec<usize> = (0..data.len()).collect();
+        let batch_size = self.cfg.batch_size.max(1);
         let mut last = f32::INFINITY;
         for _ in 0..epochs {
             for i in (1..order.len()).rev() {
@@ -196,12 +204,15 @@ impl Seq2Seq {
                 order.swap(i, j);
             }
             let mut total = 0.0;
-            for &i in &order {
-                let mut g = Graph::new();
-                let loss = self.forward_loss(&mut g, &data[i]);
-                total += g.value(loss).scalar();
-                g.backward(loss);
-                let mut grads = g.param_grads();
+            for batch in order.chunks(batch_size) {
+                let (loss_sum, mut grads) = crate::train::batch_grads(batch.len(), |bi| {
+                    let mut g = Graph::new();
+                    let loss = self.forward_loss(&mut g, &data[batch[bi]]);
+                    let value = g.value(loss).scalar();
+                    g.backward(loss);
+                    (value, g.param_grads())
+                });
+                total += loss_sum;
                 clip_global_norm(&mut grads, self.cfg.clip);
                 opt.step(&mut self.store, &grads);
             }

@@ -1,0 +1,119 @@
+//! Example-level data parallelism for the training hot path.
+//!
+//! Both training loops in this crate (mention classifier, seq2seq) follow
+//! the same pattern per minibatch: build an independent [`Graph`] per
+//! example, run forward + backward, then combine the per-example parameter
+//! gradients into one clipped optimizer step. [`batch_grads`] fans the
+//! per-example work out across the `nlidb_tensor::pool` workers with
+//! *fixed sharding* (example `i` of the batch is always task `i`) and then
+//! performs an **ordered, index-ranked reduction**: gradients are merged
+//! strictly in ascending example index on the calling thread, and each
+//! parameter's slot in the merged list is the batch position where it
+//! first appeared. Floating-point addition order is therefore a function
+//! of the batch alone — never of the thread count or scheduling — which
+//! makes training results (and the experiment/checkpoint records derived
+//! from them) byte-identical between `NLIDB_THREADS=1` and any parallel
+//! run with the same seed.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use nlidb_tensor::{pool, ParamId, Tensor};
+
+/// Per-example result of a forward/backward pass: the scalar loss and the
+/// parameter gradients from [`nlidb_tensor::Graph::param_grads`].
+pub type ExampleGrads = (f32, Vec<(ParamId, Tensor)>);
+
+/// Computes `compute(0), ..., compute(batch_len - 1)` — one independent
+/// forward/backward per batch index, in parallel across the pool — and
+/// reduces the results in ascending index order.
+///
+/// Returns the summed loss and the summed gradients. The merged gradient
+/// list preserves the order in which parameters first appear (scanning
+/// examples in index order), matching the single-example order of
+/// `Graph::param_grads` when every example binds the same parameters.
+pub fn batch_grads<F>(batch_len: usize, compute: F) -> (f32, Vec<(ParamId, Tensor)>)
+where
+    F: Fn(usize) -> ExampleGrads + Sync,
+{
+    let mut results: Vec<Option<ExampleGrads>> = (0..batch_len).map(|_| None).collect();
+    // Fixed sharding: slot i always holds example i's result, no matter
+    // which worker produced it.
+    pool::parallel_for_chunks(&mut results, 1, |i, slot| {
+        slot[0] = Some(compute(i));
+    });
+    let mut total_loss = 0.0;
+    let mut merged: Vec<(ParamId, Tensor)> = Vec::new();
+    let mut slot_of: HashMap<ParamId, usize> = HashMap::new();
+    for r in results {
+        let (loss, grads) = r.expect("every batch index computed");
+        total_loss += loss;
+        for (pid, g) in grads {
+            match slot_of.entry(pid) {
+                Entry::Occupied(e) => merged[*e.get()].1.add_scaled(&g, 1.0),
+                Entry::Vacant(e) => {
+                    e.insert(merged.len());
+                    merged.push((pid, g));
+                }
+            }
+        }
+    }
+    (total_loss, merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_tensor::ParamStore;
+
+    fn mint_pids(n: usize) -> Vec<ParamId> {
+        let mut store = ParamStore::new();
+        (0..n).map(|i| store.add(format!("p{i}"), Tensor::zeros(1, 1))).collect()
+    }
+
+    #[test]
+    fn single_example_batch_is_passthrough() {
+        let pids = mint_pids(1);
+        let (loss, grads) =
+            batch_grads(1, |_| (0.5, vec![(pids[0], Tensor::row_vector(&[1.0, 2.0]))]));
+        assert_eq!(loss, 0.5);
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].1.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn reduction_is_index_ordered_and_thread_count_independent() {
+        let pids = mint_pids(8);
+        // Example i contributes to params (i % 3) and 7, with i-dependent
+        // values so any ordering difference changes the f32 sums.
+        let compute = |i: usize| {
+            let v = 0.1_f32 + i as f32 * 0.317;
+            (
+                v,
+                vec![
+                    (pids[i % 3], Tensor::row_vector(&[v, -v])),
+                    (pids[7], Tensor::row_vector(&[v * 0.5])),
+                ],
+            )
+        };
+        pool::set_threads(1);
+        let (loss_s, grads_s) = batch_grads(16, compute);
+        pool::set_threads(4);
+        let (loss_p, grads_p) = batch_grads(16, compute);
+        pool::set_threads(pool::default_threads());
+        assert_eq!(loss_s.to_bits(), loss_p.to_bits());
+        assert_eq!(grads_s.len(), grads_p.len());
+        // First-appearance order: pid 0 (example 0), pid 7 (example 0),
+        // pid 1 (example 1), pid 2 (example 2).
+        let order: Vec<usize> = grads_s.iter().map(|(p, _)| p.index()).collect();
+        assert_eq!(order, vec![0, 7, 1, 2]);
+        for ((pa, ga), (pb, gb)) in grads_s.iter().zip(&grads_p) {
+            assert_eq!(pa, pb);
+            assert!(ga
+                .data()
+                .iter()
+                .map(|x| x.to_bits())
+                .eq(gb.data().iter().map(|x| x.to_bits())));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! End-to-end check of the threading determinism contract: training an
+//! identically-seeded model with `NLIDB_THREADS=1` and with a parallel
+//! pool must produce byte-identical parameter stores (and equal losses).
+//!
+//! This is the property ISSUE/DESIGN promise for experiment records —
+//! thread count changes *who* computes each example's gradients, never
+//! the values or the reduction order.
+
+use nlidb_core::seq2seq::{Seq2Seq, Seq2SeqItem};
+use nlidb_core::vocab::OutVocab;
+use nlidb_core::mention::classifier::MentionClassifier;
+use nlidb_core::ModelConfig;
+use nlidb_sqlir::{AnnTok, AnnotatedSql, CmpOp};
+use nlidb_tensor::{pool, Rng};
+use nlidb_text::{tokenize, EmbeddingSpace, Vocab};
+
+/// Serializes tests that flip the global pool size.
+fn pool_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn batched_tiny() -> ModelConfig {
+    let mut cfg = ModelConfig::tiny();
+    cfg.batch_size = 4;
+    cfg
+}
+
+#[test]
+fn classifier_training_is_bitwise_equal_across_thread_counts() {
+    let _guard = pool_lock();
+    let cfg = batched_tiny();
+    let data: Vec<(Vec<String>, Vec<String>, bool)> = [
+        ("which film was directed by antczak?", "director", true),
+        ("which film was directed by antczak?", "film name", false),
+        ("how many seats in 1990?", "seats", true),
+        ("how many seats in 1990?", "year", true),
+        ("how many seats in 1990?", "party", false),
+        ("what is the capital of texas?", "capital", true),
+    ]
+    .iter()
+    .map(|(q, c, y)| (tokenize(q), tokenize(c), *y))
+    .collect();
+    let ds = nlidb_data::wikisql::generate(&nlidb_data::wikisql::WikiSqlConfig::tiny(21));
+    let vocab = nlidb_core::vocab::build_input_vocab(&ds, &cfg);
+    let space = EmbeddingSpace::with_builtin_lexicon(cfg.word_dim, 3);
+
+    pool::set_threads(1);
+    let mut serial = MentionClassifier::new(&cfg, vocab.clone(), &space);
+    let loss_s = serial.train(&data, 1);
+
+    pool::set_threads(4);
+    let mut parallel = MentionClassifier::new(&cfg, vocab, &space);
+    let loss_p = parallel.train(&data, 1);
+    pool::set_threads(pool::default_threads());
+
+    assert_eq!(loss_s.to_bits(), loss_p.to_bits(), "losses diverged");
+    assert_eq!(
+        serial.store.to_json_string(),
+        parallel.store.to_json_string(),
+        "trained parameters diverged between thread counts"
+    );
+}
+
+#[test]
+fn seq2seq_training_is_bitwise_equal_across_thread_counts() {
+    let _guard = pool_lock();
+    let cfg = batched_tiny();
+    let mut vocab = Vocab::new();
+    for i in 1..=6 {
+        vocab.add(&format!("c{i}"));
+        vocab.add(&format!("v{i}"));
+    }
+    for w in ["which", "thing", "?"] {
+        vocab.add(w);
+    }
+    let ov = OutVocab::new(&cfg);
+    let space = EmbeddingSpace::with_builtin_lexicon(cfg.word_dim, 3);
+    let mut rng = Rng::seed_from_u64(99);
+    let data: Vec<Seq2SeqItem> = (0..6)
+        .map(|_| {
+            let c = rng.gen_range(0..3usize);
+            let v = rng.gen_range(0..3usize);
+            let words = [
+                "which".to_string(),
+                format!("c{}", c + 1),
+                "thing".to_string(),
+                format!("v{}", v + 1),
+                "?".to_string(),
+            ];
+            let src: Vec<usize> = words.iter().map(|w| vocab.id(w)).collect();
+            let copy: Vec<Option<usize>> =
+                words.iter().map(|w| ov.copy_id_for_input_token(w)).collect();
+            let sa = AnnotatedSql(vec![
+                AnnTok::Select,
+                AnnTok::C(c),
+                AnnTok::Where,
+                AnnTok::C(c),
+                AnnTok::Op(CmpOp::Eq),
+                AnnTok::V(v),
+            ]);
+            Seq2SeqItem { src, copy, tgt: ov.encode(&sa) }
+        })
+        .collect();
+
+    pool::set_threads(1);
+    let mut serial = Seq2Seq::new(&cfg, &vocab, ov.clone(), &space, true);
+    let loss_s = serial.train(&data, 1);
+
+    pool::set_threads(4);
+    let mut parallel = Seq2Seq::new(&cfg, &vocab, ov, &space, true);
+    let loss_p = parallel.train(&data, 1);
+    pool::set_threads(pool::default_threads());
+
+    assert_eq!(loss_s.to_bits(), loss_p.to_bits(), "losses diverged");
+    assert_eq!(
+        serial.store.to_json_string(),
+        parallel.store.to_json_string(),
+        "trained parameters diverged between thread counts"
+    );
+}

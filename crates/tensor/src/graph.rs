@@ -686,14 +686,23 @@ impl Graph {
     }
 
     /// Collects accumulated gradients per bound parameter, merging multiple
-    /// bindings of the same parameter.
+    /// bindings of the same parameter. Output order is the order in which
+    /// each parameter was *first* bound (stable across calls), and the
+    /// merge is ParamId-indexed so a graph with `n` bindings costs O(n),
+    /// not O(n²).
     pub fn param_grads(&self) -> Vec<(ParamId, Tensor)> {
+        use std::collections::hash_map::Entry;
         let mut merged: Vec<(ParamId, Tensor)> = Vec::with_capacity(self.param_bindings.len());
+        let mut slot: std::collections::HashMap<ParamId, usize> =
+            std::collections::HashMap::with_capacity(self.param_bindings.len());
         for &(node, pid) in &self.param_bindings {
             let Some(g) = self.grad(node) else { continue };
-            match merged.iter_mut().find(|(id, _)| *id == pid) {
-                Some((_, acc)) => acc.add_scaled(g, 1.0),
-                None => merged.push((pid, g.clone())),
+            match slot.entry(pid) {
+                Entry::Occupied(e) => merged[*e.get()].1.add_scaled(g, 1.0),
+                Entry::Vacant(e) => {
+                    e.insert(merged.len());
+                    merged.push((pid, g.clone()));
+                }
             }
         }
         merged
@@ -867,6 +876,44 @@ mod tests {
         assert_eq!(grads.len(), 1);
         // d(w^2)/dw = 2w = 4
         assert_eq!(grads[0].1.data(), &[4.0]);
+    }
+
+    #[test]
+    fn param_grads_merge_many_repeated_bindings_in_first_bound_order() {
+        // Regression companion to the ParamId-indexed merge: many params,
+        // each bound many times, interleaved — the output must keep
+        // first-binding order and sum every binding's gradient.
+        const PARAMS: usize = 40;
+        const REPEATS: usize = 25;
+        let mut store = ParamStore::new();
+        let pids: Vec<ParamId> = (0..PARAMS)
+            .map(|i| store.add(format!("w{i}"), Tensor::row_vector(&[1.0 + i as f32])))
+            .collect();
+        let mut g = Graph::new();
+        let mut acc: Option<NodeId> = None;
+        for r in 0..REPEATS {
+            for &pid in &pids {
+                // Interleave bindings so first-binding order != last-use order.
+                let node = g.param(&store, pid);
+                let scaled = g.scale(node, (r + 1) as f32);
+                let s = g.sum_all(scaled);
+                acc = Some(match acc {
+                    None => s,
+                    Some(a) => g.add(a, s),
+                });
+            }
+        }
+        g.backward(acc.unwrap());
+        let grads = g.param_grads();
+        assert_eq!(grads.len(), PARAMS);
+        let expected_order: Vec<ParamId> = pids.clone();
+        let got_order: Vec<ParamId> = grads.iter().map(|(id, _)| *id).collect();
+        assert_eq!(got_order, expected_order, "first-binding order must be preserved");
+        // d/dw of sum_r (r+1) * w = sum of 1..=REPEATS.
+        let expected = (REPEATS * (REPEATS + 1) / 2) as f32;
+        for (_, grad) in &grads {
+            assert_eq!(grad.data(), &[expected]);
+        }
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! - [`params`]: persistent named parameters ([`ParamStore`]).
 //! - [`optim`]: SGD/Adam and global-norm gradient clipping.
 //! - [`gradcheck`]: finite-difference verification utilities.
+//! - [`pool`]: the deterministic scoped thread pool behind every parallel
+//!   construct (`NLIDB_THREADS` knob; parallel results are bitwise equal
+//!   to serial).
 //! - [`rng`]: the workspace-wide seeded PRNG ([`Rng`], PCG32) behind every
 //!   random draw in the reproduction.
 //!
@@ -47,6 +50,7 @@ pub mod gradcheck;
 pub mod graph;
 pub mod optim;
 pub mod params;
+pub mod pool;
 pub mod rng;
 pub mod tensor;
 

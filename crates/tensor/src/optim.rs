@@ -11,18 +11,24 @@ use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
 
 /// Rescales all gradients so their concatenated L2 norm is at most
-/// `max_norm`. Returns the pre-clip global norm.
+/// `max_norm`. Returns the pre-clip global norm (saturating to
+/// `f32::INFINITY` only when the true `f64` norm exceeds `f32::MAX`).
+///
+/// The norm is accumulated in `f64`: with an `f32` accumulator, gradients
+/// near `f32::MAX` overflowed `total` to infinity, which made
+/// `scale = max_norm / total` collapse to `0` and *zeroed* every gradient
+/// instead of clipping it — exactly the step where clipping matters most.
 pub fn clip_global_norm(grads: &mut [(ParamId, Tensor)], max_norm: f32) -> f32 {
-    let total: f32 = grads.iter().map(|(_, g)| g.norm_sq()).sum::<f32>().sqrt();
-    if total > max_norm && total > 0.0 {
-        let scale = max_norm / total;
+    let total = grads.iter().map(|(_, g)| g.norm_sq_f64()).sum::<f64>().sqrt();
+    if total > max_norm as f64 && total > 0.0 {
+        let scale = (max_norm as f64 / total) as f32;
         for (_, g) in grads.iter_mut() {
             for x in g.data_mut() {
                 *x *= scale;
             }
         }
     }
-    total
+    total as f32
 }
 
 /// Stochastic gradient descent with optional classical momentum.
@@ -199,6 +205,32 @@ mod tests {
         let clipped: f32 =
             grads.iter().map(|(_, g)| g.norm_sq()).sum::<f32>().sqrt();
         assert!((clipped - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_survives_gradients_near_f32_max() {
+        // Regression: an f32 accumulator overflowed `total` to inf, making
+        // `scale = max_norm / inf = 0` and zeroing every gradient.
+        let mut store = ParamStore::new();
+        let p1 = store.add("a", Tensor::row_vector(&[0.0, 0.0]));
+        let p2 = store.add("b", Tensor::row_vector(&[0.0]));
+        let mut grads = vec![
+            (p1, Tensor::row_vector(&[3.0e38, -3.0e38])),
+            (p2, Tensor::row_vector(&[1.0e38])),
+        ];
+        let norm = clip_global_norm(&mut grads, 5.0);
+        assert!(norm > 0.0, "pre-clip norm must be positive, got {norm}");
+        for (_, g) in &grads {
+            assert!(
+                g.data().iter().all(|x| x.abs() > 0.0 && x.is_finite()),
+                "clipped gradients must be nonzero and finite: {:?}",
+                g.data()
+            );
+        }
+        let clipped = grads.iter().map(|(_, g)| g.norm_sq_f64()).sum::<f64>().sqrt();
+        assert!((clipped - 5.0).abs() < 1e-3, "clipped norm {clipped} != 5.0");
+        // Sign is preserved through the rescale.
+        assert!(grads[0].1.data()[1] < 0.0);
     }
 
     #[test]

@@ -9,7 +9,16 @@
 
 use nlidb_json::{FromJson, Json, JsonError, ToJson};
 
+use crate::pool;
 use crate::rng::Rng;
+
+/// Minimum multiply-accumulate count (`rows * inner * cols`) before
+/// [`Tensor::matmul`] fans out across the pool; below this the fixed cost
+/// of a fan-out exceeds the arithmetic.
+const PAR_MATMUL_MIN_WORK: usize = 64 * 64 * 64;
+
+/// Minimum element count before [`Tensor::map`] / [`Tensor::zip`] fan out.
+const PAR_ELEMWISE_MIN_LEN: usize = 16 * 1024;
 
 /// A dense row-major matrix of `f32` values.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,7 +147,15 @@ impl Tensor {
     /// Matrix product `self @ other`.
     ///
     /// Uses an i-k-j loop order so the inner loop streams both the output
-    /// row and the right-hand-side row contiguously.
+    /// row and the right-hand-side row contiguously. Large products fan
+    /// out over row ranges of the output via [`crate::pool`]; because each
+    /// output row is computed by the same scalar loop either way, the
+    /// parallel result is bitwise identical to the serial one.
+    ///
+    /// Note there is deliberately *no* skip of zero left-hand entries:
+    /// `0 * NaN` and `0 * Inf` must produce `NaN` so that divergence in
+    /// one operand is never silently masked (IEEE-754 semantics); see
+    /// [`Tensor::matmul_sparse_lhs`] for the opt-in sparse path.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -149,10 +166,56 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Tensor::zeros(self.rows, other.cols);
+        let work = self.rows * self.cols * other.cols;
+        if work >= PAR_MATMUL_MIN_WORK && self.rows >= 2 && pool::num_threads() > 1 {
+            let cols = other.cols;
+            // About 4 chunks per thread so the work-sharing cursor can
+            // even out stragglers; chunk boundaries align to whole rows.
+            let rows_per = self.rows.div_ceil(4 * pool::num_threads()).max(1);
+            pool::parallel_for_chunks(&mut out.data, rows_per * cols, |offset, chunk| {
+                let first_row = offset / cols;
+                for (ri, out_row) in chunk.chunks_mut(cols).enumerate() {
+                    self.matmul_row_into(other, first_row + ri, out_row);
+                }
+            });
+        } else {
+            for i in 0..self.rows {
+                self.matmul_row_into(other, i, out.row_mut(i));
+            }
+        }
+        out
+    }
+
+    /// Accumulates row `i` of `self @ other` into `out_row` (assumed zeroed).
+    #[inline]
+    fn matmul_row_into(&self, other: &Tensor, i: usize, out_row: &mut [f32]) {
+        for (k, &a_ik) in self.row(i).iter().enumerate() {
+            let b_row = other.row(k);
+            for (o, &b) in out_row.iter_mut().zip(b_row) {
+                *o += a_ik * b;
+            }
+        }
+    }
+
+    /// Matrix product that skips zero entries of `self` (the left operand).
+    ///
+    /// This is the former fast path of [`Tensor::matmul`], now explicit:
+    /// it is only valid when `other` is known to be finite, because a
+    /// skipped `0 * NaN` / `0 * Inf` yields `0` instead of `NaN`. Use it
+    /// for genuinely sparse left operands (indicator/one-hot matrices).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_sparse_lhs(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: [{}, {}] @ [{}, {}]",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
         for i in 0..self.rows {
-            let a_row = self.row(i);
             let out_row = out.row_mut(i);
-            for (k, &a_ik) in a_row.iter().enumerate() {
+            for (k, &a_ik) in self.row(i).iter().enumerate() {
                 if a_ik == 0.0 {
                     continue;
                 }
@@ -176,23 +239,46 @@ impl Tensor {
         out
     }
 
-    /// Elementwise map.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+    /// Elementwise map. Large tensors fan out over disjoint chunks via
+    /// [`crate::pool`]; per-element results are position-independent, so
+    /// the parallel output is bitwise identical to the serial one.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        if self.data.len() >= PAR_ELEMWISE_MIN_LEN && pool::num_threads() > 1 {
+            let chunk = self.data.len().div_ceil(pool::num_threads());
+            let src = &self.data;
+            pool::parallel_for_chunks(&mut out.data, chunk, |offset, part| {
+                for (j, o) in part.iter_mut().enumerate() {
+                    *o = f(src[offset + j]);
+                }
+            });
+        } else {
+            for (o, &x) in out.data.iter_mut().zip(&self.data) {
+                *o = f(x);
+            }
         }
+        out
     }
 
-    /// Elementwise binary combination with shape assertion.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    /// Elementwise binary combination with shape assertion. Parallelized
+    /// like [`Tensor::map`] with the same bitwise-determinism contract.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        if self.data.len() >= PAR_ELEMWISE_MIN_LEN && pool::num_threads() > 1 {
+            let chunk = self.data.len().div_ceil(pool::num_threads());
+            let (a, b) = (&self.data, &other.data);
+            pool::parallel_for_chunks(&mut out.data, chunk, |offset, part| {
+                for (j, o) in part.iter_mut().enumerate() {
+                    *o = f(a[offset + j], b[offset + j]);
+                }
+            });
+        } else {
+            for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+                *o = f(a, b);
+            }
         }
+        out
     }
 
     /// In-place `self += scale * other`.
@@ -211,6 +297,15 @@ impl Tensor {
     /// Squared L2 norm of all elements.
     pub fn norm_sq(&self) -> f32 {
         self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Squared L2 norm accumulated in `f64`.
+    ///
+    /// Overflow-safe: squares of values near `f32::MAX` overflow an `f32`
+    /// accumulator to infinity, but fit comfortably in `f64` (used by
+    /// global-norm gradient clipping).
+    pub fn norm_sq_f64(&self) -> f64 {
+        self.data.iter().map(|&x| x as f64 * x as f64).sum()
     }
 
     /// L2 norm of all elements.
@@ -334,6 +429,38 @@ mod tests {
         let c = a.matmul(&b);
         assert_eq!(c.shape(), (2, 2));
         assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf_through_zero_lhs() {
+        // Regression: the old kernel skipped `a_ik == 0.0`, silently
+        // turning `0 * NaN` / `0 * Inf` into `0` and masking divergence
+        // in the right operand during training.
+        let a = Tensor::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Tensor::from_vec(2, 2, vec![f32::NAN, 1.0, 2.0, 3.0]);
+        let c = a.matmul(&b);
+        assert!(c.get(0, 0).is_nan(), "0 * NaN must propagate as NaN");
+        assert_eq!(c.get(0, 1), 3.0);
+
+        let b = Tensor::from_vec(2, 1, vec![f32::INFINITY, 5.0]);
+        let c = a.matmul(&b);
+        assert!(c.get(0, 0).is_nan(), "0 * Inf must propagate as NaN");
+    }
+
+    #[test]
+    fn matmul_sparse_lhs_matches_dense_on_finite_inputs() {
+        let a = Tensor::from_vec(2, 3, vec![0.0, 2.0, 0.0, 1.0, 0.0, 3.0]);
+        let b = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matmul_sparse_lhs(&b), a.matmul(&b));
+    }
+
+    #[test]
+    fn norm_sq_f64_survives_values_near_f32_max() {
+        let t = Tensor::row_vector(&[3.0e38, 3.0e38]);
+        assert!(t.norm_sq().is_infinite(), "f32 accumulator overflows");
+        let sq = t.norm_sq_f64();
+        assert!(sq.is_finite());
+        assert!((sq - 2.0 * 9.0e76).abs() / sq < 1e-6);
     }
 
     #[test]

@@ -6,9 +6,24 @@
 //! reproducible from the case index alone.
 
 use nlidb_tensor::gradcheck::check_input_gradient;
-use nlidb_tensor::{Graph, Rng, Tensor};
+use nlidb_tensor::{pool, Graph, Rng, Tensor};
 
 const CASES: u64 = 64;
+
+/// Serializes tests that flip the global pool size. Safe either way —
+/// every parallel op is bitwise equal to serial by contract — but holding
+/// the lock keeps each test actually exercising the mode it names.
+fn pool_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// True bitwise equality (distinguishes `-0.0` from `0.0`, equates NaN
+/// payloads only when identical).
+fn bitwise_eq(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.data().iter().map(|x| x.to_bits()).eq(b.data().iter().map(|x| x.to_bits()))
+}
 
 /// One deterministic generator per (test, case) pair.
 fn case_rng(test_seed: u64, case: u64) -> Rng {
@@ -138,6 +153,87 @@ fn backward_is_deterministic() {
         };
         assert_eq!(run(), run(), "case {case}");
     }
+}
+
+#[test]
+fn parallel_matmul_is_bitwise_equal_to_serial() {
+    let _guard = pool_lock();
+    // Fewer cases than CASES: each case multiplies matrices large enough
+    // to cross the fan-out threshold.
+    for case in 0..8 {
+        let mut rng = case_rng(9, case);
+        let m = rng.gen_range(48..160usize);
+        let k = rng.gen_range(48..160usize);
+        let n = rng.gen_range(48..160usize);
+        let a = arb_tensor(&mut rng, m, k);
+        let b = arb_tensor(&mut rng, k, n);
+        pool::set_threads(1);
+        let serial = a.matmul(&b);
+        for threads in [2, 4, 7] {
+            pool::set_threads(threads);
+            let parallel = a.matmul(&b);
+            assert!(
+                bitwise_eq(&serial, &parallel),
+                "case {case}: {threads}-thread matmul differs from serial"
+            );
+        }
+    }
+    pool::set_threads(pool::default_threads());
+}
+
+#[test]
+fn parallel_map_zip_are_bitwise_equal_to_serial() {
+    let _guard = pool_lock();
+    for case in 0..8 {
+        let mut rng = case_rng(10, case);
+        let rows = rng.gen_range(64..256usize);
+        let cols = rng.gen_range(80..256usize);
+        let a = arb_tensor(&mut rng, rows, cols);
+        let b = arb_tensor(&mut rng, rows, cols);
+        pool::set_threads(1);
+        let map_serial = a.map(|x| (x * 1.3).tanh());
+        let zip_serial = a.zip(&b, |x, y| x * y + 0.25 * x);
+        pool::set_threads(4);
+        let map_parallel = a.map(|x| (x * 1.3).tanh());
+        let zip_parallel = a.zip(&b, |x, y| x * y + 0.25 * x);
+        assert!(bitwise_eq(&map_serial, &map_parallel), "case {case}: map differs");
+        assert!(bitwise_eq(&zip_serial, &zip_parallel), "case {case}: zip differs");
+    }
+    pool::set_threads(pool::default_threads());
+}
+
+#[test]
+fn parallel_backward_is_bitwise_equal_to_serial() {
+    let _guard = pool_lock();
+    for case in 0..6 {
+        let mut rng = case_rng(11, case);
+        let m = rng.gen_range(48..128usize);
+        let k = rng.gen_range(48..128usize);
+        let n = rng.gen_range(48..128usize);
+        let a = arb_tensor(&mut rng, m, k);
+        let b = arb_tensor(&mut rng, k, n);
+        let run = || {
+            let mut g = Graph::new();
+            let an = g.input(a.clone());
+            let bn = g.input(b.clone());
+            let c = g.matmul(an, bn);
+            let t = g.tanh(c);
+            let loss = g.sum_all(t);
+            g.backward(loss);
+            (g.grad(an).unwrap().clone(), g.grad(bn).unwrap().clone())
+        };
+        pool::set_threads(1);
+        let (da_s, db_s) = run();
+        for threads in [2, 5] {
+            pool::set_threads(threads);
+            let (da_p, db_p) = run();
+            assert!(
+                bitwise_eq(&da_s, &da_p) && bitwise_eq(&db_s, &db_p),
+                "case {case}: {threads}-thread backward differs from serial"
+            );
+        }
+    }
+    pool::set_threads(pool::default_threads());
 }
 
 #[test]

@@ -9,6 +9,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
+
+# The full suite twice: once pinned to the exact serial path, once with
+# the pool at its default width. The threading contract (DESIGN.md
+# "Threading & determinism") promises bitwise-identical results either
+# way, so both runs must be green.
+NLIDB_THREADS=1 cargo test -q --offline --workspace
 cargo test -q --offline --workspace
+
+# Bench smoke: confirms the component benchmarks (including the
+# serial-vs-parallel matmul / train-step entries) run end to end and
+# write results/bench_components.json.
+NLIDB_BENCH_SMOKE=1 cargo bench -q --offline -p nlidb-bench
 
 echo "verify: OK"
