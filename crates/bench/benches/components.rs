@@ -210,4 +210,5 @@ fn main() {
         .map(|r| json!({"name": r.name, "median_ns": r.median_ns, "iters": r.iters}))
         .collect();
     nlidb_bench::write_result("bench_components", &json!({"rows": rows}));
+    nlidb_trace::write_if_enabled("bench_components");
 }

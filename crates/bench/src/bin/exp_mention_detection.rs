@@ -84,4 +84,5 @@ fn main() {
             "paper_ours": 0.918, "paper_typesql": 0.879,
         }),
     );
+    nlidb_trace::write_if_enabled("mention_detection");
 }

@@ -160,4 +160,5 @@ fn main() {
             "rows": rows,
         }),
     );
+    nlidb_trace::write_if_enabled("table2_main");
 }

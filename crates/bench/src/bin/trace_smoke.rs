@@ -1,0 +1,125 @@
+//! CI smoke for the observability layer (run by `scripts/verify.sh`).
+//!
+//! Trains a tiny end-to-end system twice — tracing off, then tracing on —
+//! and enforces the two halves of the `NLIDB_TRACE` contract:
+//!
+//! 1. **Determinism**: parameter stores, predictions, and `Acc_ex` are
+//!    byte-identical with tracing on or off.
+//! 2. **Completeness**: the emitted `results/trace_trace_smoke.json`
+//!    parses with the in-tree JSON parser and carries every promised
+//!    instrument family — autograd op spans, pipeline stage spans,
+//!    executor counters, and per-epoch training series.
+//!
+//! Exits non-zero on any violation.
+
+use nlidb_core::pipeline::Translator;
+use nlidb_core::{evaluate, ModelConfig, Nlidb, NlidbOptions};
+use nlidb_data::wikisql::{generate, WikiSqlConfig};
+use nlidb_data::{Dataset, Example};
+use nlidb_json::Json;
+use nlidb_sqlir::Query;
+
+fn check(failed: &mut bool, ok: bool, what: &str) {
+    println!("  [{}] {what}", if ok { "ok" } else { "FAIL" });
+    if !ok {
+        *failed = true;
+    }
+}
+
+/// One full train + evaluate pass; returns the concatenated parameter
+/// stores, the dev predictions, and `Acc_ex`.
+fn run(ds: &Dataset) -> (String, Vec<Option<Query>>, f32) {
+    let opts = NlidbOptions { model: ModelConfig::tiny(), ..NlidbOptions::default() };
+    let nlidb = Nlidb::train(ds, opts);
+    let mut stores = nlidb.detector.classifier.store.to_json_string();
+    stores.push_str(&nlidb.detector.value_detector.store.to_json_string());
+    match nlidb.translator() {
+        Translator::Gru(m) => stores.push_str(&m.store.to_json_string()),
+        Translator::Transformer(m) => stores.push_str(&m.store.to_json_string()),
+    }
+    let preds: Vec<(Option<Query>, &Example)> =
+        ds.dev.iter().map(|e| (nlidb.predict(&e.question, &e.table), e)).collect();
+    let result = evaluate(&preds);
+    (stores, preds.into_iter().map(|(p, _)| p).collect(), result.acc_ex)
+}
+
+fn main() {
+    let mut gen_cfg = WikiSqlConfig::tiny(75);
+    gen_cfg.train_tables = 8;
+    gen_cfg.questions_per_table = 8;
+    let ds = generate(&gen_cfg);
+
+    eprintln!("trace_smoke: training with tracing off…");
+    nlidb_trace::set_enabled(false);
+    let (stores_off, preds_off, ex_off) = run(&ds);
+
+    eprintln!("trace_smoke: training with tracing on…");
+    nlidb_trace::reset();
+    nlidb_trace::set_enabled(true);
+    let (stores_on, preds_on, ex_on) = run(&ds);
+    let path = nlidb_trace::write("trace_smoke").expect("write trace JSON");
+    nlidb_trace::set_enabled(false);
+
+    let mut failed = false;
+    println!("determinism (NLIDB_TRACE off vs on):");
+    check(&mut failed, stores_off == stores_on, "parameter stores byte-identical");
+    check(&mut failed, preds_off == preds_on, "dev predictions identical");
+    check(&mut failed, ex_off.to_bits() == ex_on.to_bits(), "Acc_ex identical");
+
+    println!("trace file {}:", path.display());
+    let text = std::fs::read_to_string(&path).expect("read trace JSON back");
+    let parsed = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            println!("  [FAIL] trace JSON does not parse: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    check(&mut failed, parsed.get("run").is_some(), "run label present");
+    let span_keys: Vec<&str> = match parsed.get("spans") {
+        Some(Json::Obj(entries)) => entries.iter().map(|(k, _)| k.as_str()).collect(),
+        _ => Vec::new(),
+    };
+    check(
+        &mut failed,
+        span_keys.iter().any(|k| k.starts_with("graph.fwd.")),
+        "autograd forward-op spans (graph.fwd.*)",
+    );
+    check(
+        &mut failed,
+        span_keys.iter().any(|k| k.starts_with("graph.bwd.")),
+        "autograd backward-op spans (graph.bwd.*)",
+    );
+    for name in
+        ["pipeline.train.mention", "pipeline.train.translator", "pipeline.mention_detect", "pipeline.annotate", "pipeline.decode", "storage.execute"]
+    {
+        check(&mut failed, span_keys.contains(&name), &format!("span {name}"));
+    }
+    let counters = parsed.get("counters");
+    for name in ["storage.queries", "storage.rows_scanned", "storage.conditions_evaluated"] {
+        check(
+            &mut failed,
+            counters.and_then(|c| c.get(name)).is_some(),
+            &format!("counter {name}"),
+        );
+    }
+    let series = parsed.get("series");
+    for name in ["train.seq2seq.loss", "train.seq2seq.epoch_ms", "train.mention.loss"] {
+        check(
+            &mut failed,
+            series.and_then(|s| s.get(name)).is_some(),
+            &format!("series {name}"),
+        );
+    }
+    let values = parsed.get("values");
+    check(
+        &mut failed,
+        values.and_then(|v| v.get("graph.nodes_per_backward")).is_some(),
+        "value histogram graph.nodes_per_backward",
+    );
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("trace_smoke: all checks passed");
+}

@@ -227,6 +227,7 @@ impl MentionClassifier {
         let batch_size = self.cfg.batch_size.max(1);
         let mut last = f32::INFINITY;
         for _ in 0..epochs {
+            let epoch_start = nlidb_trace::enabled().then(std::time::Instant::now);
             // Fisher-Yates shuffle.
             for i in (1..order.len()).rev() {
                 let j = rng.gen_range(0..=i);
@@ -249,6 +250,15 @@ impl MentionClassifier {
                 opt.step(&mut self.store, &grads);
             }
             last = total / data.len().max(1) as f32;
+            if let Some(t0) = epoch_start {
+                let secs = t0.elapsed().as_secs_f64();
+                nlidb_trace::series("train.mention.epoch_ms", secs * 1e3);
+                nlidb_trace::series(
+                    "train.mention.examples_per_sec",
+                    data.len() as f64 / secs.max(1e-9),
+                );
+                nlidb_trace::series("train.mention.loss", f64::from(last));
+            }
         }
         last
     }

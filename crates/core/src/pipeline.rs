@@ -101,9 +101,12 @@ impl Nlidb {
         let cfg = &opts.model;
         let in_vocab = build_input_vocab(ds, cfg);
         let out_vocab = OutVocab::new(cfg);
-        let detector =
-            MentionDetector::train(cfg, &ds.train, in_vocab.clone(), &space, lexicon);
+        let detector = {
+            let _t = nlidb_trace::span("pipeline.train.mention");
+            MentionDetector::train(cfg, &ds.train, in_vocab.clone(), &space, lexicon)
+        };
         let items = training_items(&ds.train, &opts, &in_vocab, &out_vocab);
+        let _t = nlidb_trace::span("pipeline.train.translator");
         let translator = match opts.use_transformer {
             false => {
                 let mut m = Seq2Seq::new(cfg, &in_vocab, out_vocab.clone(), &space, opts.copy);
@@ -160,6 +163,7 @@ impl Nlidb {
     }
 
     fn translate(&self, tokens: &[String]) -> AnnotatedSql {
+        let _t = nlidb_trace::span("pipeline.decode");
         let (src, copy) = self.encode_src(tokens);
         if src.is_empty() {
             return AnnotatedSql::default();
@@ -173,7 +177,11 @@ impl Nlidb {
 
     /// Runs annotation (step 1) on a question/table pair.
     pub fn annotate_question(&self, question: &[String], table: &Table) -> Annotation {
-        let slots = self.detector.detect(question, table);
+        let _t = nlidb_trace::span("pipeline.annotate");
+        let slots = {
+            let _t = nlidb_trace::span("pipeline.mention_detect");
+            self.detector.detect(question, table)
+        };
         annotate(
             question,
             &slots,
@@ -192,6 +200,7 @@ impl Nlidb {
     /// found.
     pub fn predict(&self, question: &[String], table: &Table) -> Option<Query> {
         let (sa, map) = self.predict_annotated(question, table);
+        let _t = nlidb_trace::span("pipeline.recover");
         recover(&sa, &map).ok().or_else(|| fallback_query(&map))
     }
 

@@ -225,6 +225,7 @@ impl TransformerSeq2Seq {
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut last = f32::INFINITY;
         for _ in 0..epochs {
+            let epoch_start = nlidb_trace::enabled().then(std::time::Instant::now);
             for i in (1..order.len()).rev() {
                 let j = rng.gen_range(0..=i);
                 order.swap(i, j);
@@ -240,6 +241,15 @@ impl TransformerSeq2Seq {
                 opt.step(&mut self.store, &grads);
             }
             last = total / data.len().max(1) as f32;
+            if let Some(t0) = epoch_start {
+                let secs = t0.elapsed().as_secs_f64();
+                nlidb_trace::series("train.transformer.epoch_ms", secs * 1e3);
+                nlidb_trace::series(
+                    "train.transformer.examples_per_sec",
+                    data.len() as f64 / secs.max(1e-9),
+                );
+                nlidb_trace::series("train.transformer.loss", f64::from(last));
+            }
         }
         last
     }

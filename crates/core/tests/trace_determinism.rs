@@ -1,0 +1,110 @@
+//! End-to-end check of the tracing determinism contract: training an
+//! identically-seeded model with `NLIDB_TRACE` off and on must produce
+//! byte-identical parameter stores and equal losses — instrumentation
+//! observes the computation, it never participates in it (no PRNG draws,
+//! no reordered float reductions).
+//!
+//! Also sanity-checks the trace snapshot itself: it must round-trip
+//! through the in-tree JSON parser and carry the instrument families the
+//! tentpole promises (autograd op spans, backward stats, training-loop
+//! series).
+
+use nlidb_core::mention::classifier::MentionClassifier;
+use nlidb_core::ModelConfig;
+use nlidb_json::Json;
+use nlidb_text::{tokenize, EmbeddingSpace};
+
+/// Serializes tests that flip the global trace switch.
+fn trace_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn training_data() -> Vec<(Vec<String>, Vec<String>, bool)> {
+    [
+        ("which film was directed by antczak?", "director", true),
+        ("which film was directed by antczak?", "film name", false),
+        ("how many seats in 1990?", "seats", true),
+        ("how many seats in 1990?", "year", true),
+        ("how many seats in 1990?", "party", false),
+        ("what is the capital of texas?", "capital", true),
+    ]
+    .iter()
+    .map(|(q, c, y)| (tokenize(q), tokenize(c), *y))
+    .collect()
+}
+
+#[test]
+fn training_is_bitwise_equal_with_tracing_on_and_off() {
+    let _guard = trace_lock();
+    let cfg = ModelConfig::tiny();
+    let data = training_data();
+    let ds = nlidb_data::wikisql::generate(&nlidb_data::wikisql::WikiSqlConfig::tiny(21));
+    let vocab = nlidb_core::vocab::build_input_vocab(&ds, &cfg);
+    let space = EmbeddingSpace::with_builtin_lexicon(cfg.word_dim, 3);
+
+    nlidb_trace::set_enabled(false);
+    let mut plain = MentionClassifier::new(&cfg, vocab.clone(), &space);
+    let loss_off = plain.train(&data, 2);
+
+    nlidb_trace::reset();
+    nlidb_trace::set_enabled(true);
+    let mut traced = MentionClassifier::new(&cfg, vocab, &space);
+    let loss_on = traced.train(&data, 2);
+    let snap = nlidb_trace::snapshot("trace_determinism");
+    nlidb_trace::set_enabled(false);
+    nlidb_trace::reset();
+
+    assert_eq!(loss_off.to_bits(), loss_on.to_bits(), "losses diverged");
+    assert_eq!(
+        plain.store.to_json_string(),
+        traced.store.to_json_string(),
+        "trained parameters diverged between NLIDB_TRACE off and on"
+    );
+
+    // The snapshot must round-trip through the in-tree parser …
+    let text = snap.pretty();
+    let parsed = Json::parse(&text).expect("trace snapshot must be valid JSON");
+    // … and carry the promised instrument families.
+    let spans = parsed.get("spans").expect("spans section");
+    let Json::Obj(span_entries) = spans else { panic!("spans must be an object") };
+    assert!(
+        span_entries.iter().any(|(k, _)| k.starts_with("graph.fwd.")),
+        "no autograd forward-op spans recorded"
+    );
+    assert!(span_entries.iter().any(|(k, _)| k == "graph.backward"), "no backward span");
+    let series = parsed.get("series").expect("series section");
+    for name in
+        ["train.mention.loss", "train.mention.epoch_ms", "train.mention.examples_per_sec"]
+    {
+        let Some(Json::Arr(points)) = series.get(name) else {
+            panic!("missing training series {name}");
+        };
+        assert_eq!(points.len(), 2, "{name}: one point per epoch expected");
+    }
+    let values = parsed.get("values").expect("values section");
+    assert!(
+        values.get("graph.nodes_per_backward").is_some(),
+        "graph size histogram missing"
+    );
+}
+
+#[test]
+fn disabled_tracing_records_nothing_during_training() {
+    let _guard = trace_lock();
+    nlidb_trace::set_enabled(false);
+    nlidb_trace::reset();
+    let cfg = ModelConfig::tiny();
+    let ds = nlidb_data::wikisql::generate(&nlidb_data::wikisql::WikiSqlConfig::tiny(21));
+    let vocab = nlidb_core::vocab::build_input_vocab(&ds, &cfg);
+    let space = EmbeddingSpace::with_builtin_lexicon(cfg.word_dim, 3);
+    let mut m = MentionClassifier::new(&cfg, vocab, &space);
+    m.train(&training_data(), 1);
+    let snap = nlidb_trace::snapshot("off");
+    for section in ["spans", "counters", "values", "series"] {
+        let Some(Json::Obj(entries)) = snap.get(section) else {
+            panic!("missing section {section}");
+        };
+        assert!(entries.is_empty(), "{section} recorded entries while disabled");
+    }
+}

@@ -170,10 +170,6 @@ mod tests {
             let memory = g.leaf(mem);
             let query = g.leaf(Tensor::row_vector(&[1.0, 0.0]));
             let out = attn.forward(&mut g, &store, memory, query);
-            let logw = g.log_softmax_rows(out.weights);
-            // Treat as 3-class prediction of the target row — wait, weights
-            // are already softmaxed; use raw scores for the loss instead.
-            let _ = logw;
             let scores_row = g.transpose(out.scores);
             let logp = g.log_softmax_rows(scores_row);
             let loss = g.pick_nll(logp, vec![target_row]);

@@ -49,6 +49,15 @@ pub enum ExecError {
         /// Aggregate keyword.
         agg: &'static str,
     },
+    /// Numeric aggregate saw a NaN input (malformed float cell or
+    /// NaN-parsing text); folding with `f64::min`/`f64::max` would
+    /// silently drop it, so the executor refuses instead.
+    NanInAggregate {
+        /// Offending column index.
+        column: usize,
+        /// Aggregate keyword.
+        agg: &'static str,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -57,6 +66,9 @@ impl std::fmt::Display for ExecError {
             ExecError::BadColumn(c) => write!(f, "column index {c} out of range"),
             ExecError::NonNumericAggregate { column, agg } => {
                 write!(f, "{agg} over non-numeric column {column}")
+            }
+            ExecError::NanInAggregate { column, agg } => {
+                write!(f, "{agg} over column {column} with NaN input")
             }
         }
     }
@@ -79,7 +91,12 @@ fn matches(cell: &Value, op: CmpOp, lit: &nlidb_sqlir::Literal) -> bool {
 }
 
 /// Executes a query against a table.
+///
+/// Aggregate semantics follow SQL: `COUNT(col)` counts non-NULL cells
+/// only, and numeric aggregates refuse NaN inputs
+/// ([`ExecError::NanInAggregate`]) rather than silently dropping them.
 pub fn execute(table: &Table, query: &Query) -> Result<ResultSet, ExecError> {
+    let _t = nlidb_trace::span("storage.execute");
     let ncols = table.num_cols();
     if query.select_col >= ncols {
         return Err(ExecError::BadColumn(query.select_col));
@@ -90,21 +107,38 @@ pub fn execute(table: &Table, query: &Query) -> Result<ResultSet, ExecError> {
         }
     }
     let mut selected: Vec<&Value> = Vec::new();
+    let mut conds_evaluated: u64 = 0;
     'rows: for r in 0..table.num_rows() {
         for c in &query.conds {
+            conds_evaluated += 1;
             if !matches(table.cell(r, c.col), c.op, &c.value) {
                 continue 'rows;
             }
         }
         selected.push(table.cell(r, query.select_col));
     }
+    if nlidb_trace::enabled() {
+        nlidb_trace::count("storage.queries", 1);
+        nlidb_trace::count("storage.rows_scanned", table.num_rows() as u64);
+        nlidb_trace::count("storage.conditions_evaluated", conds_evaluated);
+        nlidb_trace::count("storage.rows_selected", selected.len() as u64);
+    }
     let values = match query.agg {
         Agg::None => selected.into_iter().cloned().collect(),
-        Agg::Count => vec![Value::Int(selected.len() as i64)],
+        // SQL `COUNT(col)` excludes NULLs.
+        Agg::Count => vec![Value::Int(
+            selected.iter().filter(|v| !matches!(**v, Value::Null)).count() as i64,
+        )],
         agg => {
             let nums: Vec<f64> = selected.iter().filter_map(|v| v.as_number()).collect();
             if nums.len() < selected.len() {
                 return Err(ExecError::NonNumericAggregate {
+                    column: query.select_col,
+                    agg: agg.keyword(),
+                });
+            }
+            if nums.iter().any(|n| n.is_nan()) {
+                return Err(ExecError::NanInAggregate {
                     column: query.select_col,
                     agg: agg.keyword(),
                 });
@@ -131,7 +165,9 @@ pub fn execute(table: &Table, query: &Query) -> Result<ResultSet, ExecError> {
 pub fn execution_match(table: &Table, predicted: &Query, gold: &Query) -> bool {
     match (execute(table, predicted), execute(table, gold)) {
         (Ok(a), Ok(b)) => a.same_as(&b),
-        (Err(_), Err(_)) => true,
+        // Two failures only agree when they are the *same* failure;
+        // counting any error pair as a match inflates `Acc_ex`.
+        (Err(a), Err(b)) => a == b,
         _ => false,
     }
 }
@@ -270,6 +306,86 @@ mod tests {
         let a = ResultSet { values: vec![Value::Int(356)] };
         let b = ResultSet { values: vec![Value::Float(356.0)] };
         assert!(a.same_as(&b));
+    }
+
+    /// Rows with a NULL score: ("a", 1), ("b", NULL), ("c", 3).
+    fn null_table() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("Name", DataType::Text),
+            Column::new("Score", DataType::Int),
+        ]);
+        let mut t = Table::new("scores", schema);
+        t.push_row(vec![Value::Text("a".into()), Value::Int(1)]);
+        t.push_row(vec![Value::Text("b".into()), Value::Null]);
+        t.push_row(vec![Value::Text("c".into()), Value::Int(3)]);
+        t
+    }
+
+    #[test]
+    fn count_excludes_null_cells() {
+        let t = null_table();
+        // COUNT(Score): the NULL cell must not be counted.
+        let q = Query::select(1).with_agg(Agg::Count);
+        assert_eq!(execute(&t, &q).unwrap().values, vec![Value::Int(2)]);
+        // COUNT(Name): no NULLs, all three rows count.
+        let q = Query::select(0).with_agg(Agg::Count);
+        assert_eq!(execute(&t, &q).unwrap().values, vec![Value::Int(3)]);
+    }
+
+    #[test]
+    fn count_over_all_null_selection_is_zero() {
+        let q = Query::select(1)
+            .with_agg(Agg::Count)
+            .and_where(0, CmpOp::Eq, Literal::Text("b".into()));
+        assert_eq!(execute(&null_table(), &q).unwrap().values, vec![Value::Int(0)]);
+    }
+
+    #[test]
+    fn min_max_surface_nan_instead_of_dropping_it() {
+        // Regression: folding from ±INFINITY with f64::min/f64::max keeps
+        // the non-NaN operand, so a malformed Float(NaN) cell used to
+        // vanish silently from MIN/MAX results.
+        let schema = Schema::new(vec![Column::new("X", DataType::Float)]);
+        let mut t = Table::new("nan", schema);
+        t.push_row(vec![Value::Float(2.0)]);
+        t.push_row(vec![Value::Float(f64::NAN)]);
+        for agg in [Agg::Min, Agg::Max, Agg::Sum, Agg::Avg] {
+            let q = Query::select(0).with_agg(agg);
+            assert_eq!(
+                execute(&t, &q),
+                Err(ExecError::NanInAggregate { column: 0, agg: agg.keyword() }),
+                "{agg:?} must refuse NaN input"
+            );
+        }
+        // NaN can also arrive through NaN-parsing text cells.
+        let schema = Schema::new(vec![Column::new("X", DataType::Text)]);
+        let mut t = Table::new("nan_text", schema);
+        t.push_row(vec![Value::Text("1.5".into())]);
+        t.push_row(vec![Value::Text("NaN".into())]);
+        let q = Query::select(0).with_agg(Agg::Min);
+        assert_eq!(
+            execute(&t, &q),
+            Err(ExecError::NanInAggregate { column: 0, agg: "MIN" })
+        );
+    }
+
+    #[test]
+    fn null_cells_match_no_condition_operator() {
+        // Pins the three-valued-logic-like behavior of `matches`: a NULL
+        // cell compares as "unknown", so even negative/inclusive operators
+        // (Ne, Ge, Le) must not select the row.
+        let t = null_table();
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Gt, CmpOp::Lt, CmpOp::Ge, CmpOp::Le] {
+            let q = Query::select(0).and_where(1, op, Literal::Number(2.0));
+            let rs = execute(&t, &q).unwrap();
+            assert!(
+                !rs.values.contains(&Value::Text("b".into())),
+                "{op:?} must not match the NULL row"
+            );
+        }
+        // Sanity: Ne still selects the genuinely unequal non-NULL rows.
+        let q = Query::select(0).and_where(1, CmpOp::Ne, Literal::Number(1.0));
+        assert_eq!(execute(&t, &q).unwrap().values, vec![Value::Text("c".into())]);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! embedding row, so word/char embeddings of the question are fed in as
 //! gradient-tracked inputs and their gradients read back after `backward`.
 
+use nlidb_trace as trace;
+
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
 
@@ -144,6 +146,7 @@ impl Graph {
 
     /// Elementwise addition.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.add");
         let v = self.value(a).zip(self.value(b), |x, y| x + y);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Add(a, b), rg)
@@ -151,6 +154,7 @@ impl Graph {
 
     /// Elementwise subtraction `a - b`.
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.sub");
         let v = self.value(a).zip(self.value(b), |x, y| x - y);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Sub(a, b), rg)
@@ -158,6 +162,7 @@ impl Graph {
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.mul");
         let v = self.value(a).zip(self.value(b), |x, y| x * y);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Mul(a, b), rg)
@@ -165,6 +170,7 @@ impl Graph {
 
     /// Multiplication by a constant scalar.
     pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
+        let _t = trace::span("graph.fwd.scale");
         let v = self.value(a).map(|x| x * s);
         let rg = self.rg(a);
         self.push(v, Op::Scale(a, s), rg)
@@ -172,6 +178,7 @@ impl Graph {
 
     /// Adds a `[1, d]` row vector to every row of a `[n, d]` matrix.
     pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.add_row");
         let (m, r) = (self.value(a), self.value(row));
         assert_eq!(r.rows(), 1, "add_row rhs must be [1, d]");
         assert_eq!(m.cols(), r.cols(), "add_row width mismatch");
@@ -187,6 +194,7 @@ impl Graph {
 
     /// Multiplies every row of a `[n, d]` matrix by a `[1, d]` row vector.
     pub fn mul_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.mul_row");
         let (m, r) = (self.value(a), self.value(row));
         assert_eq!(r.rows(), 1, "mul_row rhs must be [1, d]");
         assert_eq!(m.cols(), r.cols(), "mul_row width mismatch");
@@ -202,6 +210,7 @@ impl Graph {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.matmul");
         let v = self.value(a).matmul(self.value(b));
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Matmul(a, b), rg)
@@ -209,6 +218,7 @@ impl Graph {
 
     /// Transpose.
     pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.transpose");
         let v = self.value(a).transpose();
         let rg = self.rg(a);
         self.push(v, Op::Transpose(a), rg)
@@ -216,6 +226,7 @@ impl Graph {
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.sigmoid");
         let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
         let rg = self.rg(a);
         self.push(v, Op::Sigmoid(a), rg)
@@ -223,6 +234,7 @@ impl Graph {
 
     /// Elementwise tanh.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.tanh");
         let v = self.value(a).map(f32::tanh);
         let rg = self.rg(a);
         self.push(v, Op::Tanh(a), rg)
@@ -230,6 +242,7 @@ impl Graph {
 
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.relu");
         let v = self.value(a).map(|x| x.max(0.0));
         let rg = self.rg(a);
         self.push(v, Op::Relu(a), rg)
@@ -237,6 +250,7 @@ impl Graph {
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.exp");
         let v = self.value(a).map(f32::exp);
         let rg = self.rg(a);
         self.push(v, Op::Exp(a), rg)
@@ -244,6 +258,7 @@ impl Graph {
 
     /// Elementwise natural log (inputs must be positive).
     pub fn ln(&mut self, a: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.ln");
         let v = self.value(a).map(f32::ln);
         let rg = self.rg(a);
         self.push(v, Op::Ln(a), rg)
@@ -251,6 +266,7 @@ impl Graph {
 
     /// Adds a constant scalar to every element.
     pub fn add_scalar(&mut self, a: NodeId, s: f32) -> NodeId {
+        let _t = trace::span("graph.fwd.add_scalar");
         let v = self.value(a).map(|x| x + s);
         let rg = self.rg(a);
         self.push(v, Op::AddScalar(a), rg)
@@ -258,6 +274,7 @@ impl Graph {
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.softmax_rows");
         let v = softmax_rows_value(self.value(a));
         let rg = self.rg(a);
         self.push(v, Op::SoftmaxRows(a), rg)
@@ -265,6 +282,7 @@ impl Graph {
 
     /// Row-wise log-softmax (numerically stable).
     pub fn log_softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.log_softmax_rows");
         let x = self.value(a);
         let mut v = x.clone();
         for r in 0..v.rows() {
@@ -281,6 +299,7 @@ impl Graph {
 
     /// Horizontal concatenation.
     pub fn hcat(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.hcat");
         let v = self.value(a).hcat(self.value(b));
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::HCat(a, b), rg)
@@ -288,6 +307,7 @@ impl Graph {
 
     /// Vertical concatenation.
     pub fn vcat(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.vcat");
         let v = self.value(a).vcat(self.value(b));
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::VCat(a, b), rg)
@@ -295,6 +315,7 @@ impl Graph {
 
     /// Rows `[from, to)` of the source node.
     pub fn row_slice(&mut self, a: NodeId, from: usize, to: usize) -> NodeId {
+        let _t = trace::span("graph.fwd.row_slice");
         let src = self.value(a);
         assert!(from <= to && to <= src.rows(), "row_slice out of range");
         let cols = src.cols();
@@ -314,6 +335,7 @@ impl Graph {
 
     /// Gathers rows by index (embedding lookup); indices may repeat.
     pub fn gather_rows(&mut self, a: NodeId, indices: Vec<usize>) -> NodeId {
+        let _t = trace::span("graph.fwd.gather_rows");
         let src = self.value(a);
         let cols = src.cols();
         let mut data = Vec::with_capacity(indices.len() * cols);
@@ -328,6 +350,7 @@ impl Graph {
 
     /// Repeats a `[1, d]` row `n` times into `[n, d]`.
     pub fn repeat_rows(&mut self, a: NodeId, n: usize) -> NodeId {
+        let _t = trace::span("graph.fwd.repeat_rows");
         let src = self.value(a);
         assert_eq!(src.rows(), 1, "repeat_rows source must be [1, d]");
         let mut data = Vec::with_capacity(n * src.cols());
@@ -341,6 +364,7 @@ impl Graph {
 
     /// Sum of all elements as `[1, 1]`.
     pub fn sum_all(&mut self, a: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.sum_all");
         let v = Tensor::from_vec(1, 1, vec![self.value(a).sum()]);
         let rg = self.rg(a);
         self.push(v, Op::SumAll(a), rg)
@@ -348,6 +372,7 @@ impl Graph {
 
     /// Column-wise mean over rows: `[n, d] -> [1, d]`.
     pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.mean_rows");
         let src = self.value(a);
         let n = src.rows().max(1) as f32;
         let mut out = vec![0.0; src.cols()];
@@ -366,6 +391,7 @@ impl Graph {
 
     /// Column-wise sum over rows: `[n, d] -> [1, d]`.
     pub fn sum_rows(&mut self, a: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.sum_rows");
         let src = self.value(a);
         let mut out = vec![0.0; src.cols()];
         for r in 0..src.rows() {
@@ -384,6 +410,7 @@ impl Graph {
     /// Panics if `n < k`; callers pad with zero rows first (§IV-B pads so
     /// that at least one slice is available).
     pub fn unfold(&mut self, a: NodeId, k: usize) -> NodeId {
+        let _t = trace::span("graph.fwd.unfold");
         let src = self.value(a);
         assert!(k >= 1 && src.rows() >= k, "unfold needs at least k={k} rows, got {}", src.rows());
         let out_rows = src.rows() - k + 1;
@@ -402,6 +429,7 @@ impl Graph {
     /// Mean negative log-likelihood: input must be row-wise log-probabilities
     /// `[n, V]`; `targets[i]` selects the gold class of row `i`.
     pub fn pick_nll(&mut self, logp: NodeId, targets: Vec<usize>) -> NodeId {
+        let _t = trace::span("graph.fwd.pick_nll");
         let src = self.value(logp);
         assert_eq!(src.rows(), targets.len(), "pick_nll target count mismatch");
         let mut loss = 0.0;
@@ -417,6 +445,7 @@ impl Graph {
     /// Mean binary cross-entropy with logits against fixed 0/1 targets
     /// (numerically stable formulation).
     pub fn bce_with_logits(&mut self, logits: NodeId, targets: Tensor) -> NodeId {
+        let _t = trace::span("graph.fwd.bce_with_logits");
         let x = self.value(logits);
         assert_eq!(x.shape(), targets.shape(), "bce shape mismatch");
         let n = x.len().max(1) as f32;
@@ -435,6 +464,9 @@ impl Graph {
     /// gradient-tracked node and [`Graph::param_grads`] collects them per
     /// parameter.
     pub fn backward(&mut self, loss: NodeId) {
+        let _t = trace::span("graph.backward");
+        trace::record("graph.nodes_per_backward", self.nodes.len() as f64);
+        trace::record("graph.param_bindings_per_backward", self.param_bindings.len() as f64);
         assert_eq!(self.value(loss).shape(), (1, 1), "backward requires a scalar loss");
         self.grads = (0..self.nodes.len()).map(|_| None).collect();
         self.grads[loss.0] = Some(Tensor::from_vec(1, 1, vec![1.0]));
@@ -461,6 +493,7 @@ impl Graph {
     fn backprop_node(&mut self, i: usize, g: &Tensor) {
         // Clone the op descriptor so we can call &mut self accumulation.
         let op = self.nodes[i].op.clone();
+        let _t = trace::span(bwd_span_name(&op));
         match op {
             Op::Leaf | Op::Input | Op::Param => {}
             Op::Add(a, b) => {
@@ -706,6 +739,42 @@ impl Graph {
             }
         }
         merged
+    }
+}
+
+/// Backward-pass span name per op kind, for `Op`-level profiling.
+fn bwd_span_name(op: &Op) -> &'static str {
+    match op {
+        Op::Leaf => "graph.bwd.leaf",
+        Op::Input => "graph.bwd.input",
+        Op::Param => "graph.bwd.param",
+        Op::Add(..) => "graph.bwd.add",
+        Op::Sub(..) => "graph.bwd.sub",
+        Op::Mul(..) => "graph.bwd.mul",
+        Op::Scale(..) => "graph.bwd.scale",
+        Op::AddRow(..) => "graph.bwd.add_row",
+        Op::MulRow(..) => "graph.bwd.mul_row",
+        Op::Matmul(..) => "graph.bwd.matmul",
+        Op::Transpose(..) => "graph.bwd.transpose",
+        Op::Sigmoid(..) => "graph.bwd.sigmoid",
+        Op::Tanh(..) => "graph.bwd.tanh",
+        Op::Relu(..) => "graph.bwd.relu",
+        Op::SoftmaxRows(..) => "graph.bwd.softmax_rows",
+        Op::LogSoftmaxRows(..) => "graph.bwd.log_softmax_rows",
+        Op::HCat(..) => "graph.bwd.hcat",
+        Op::VCat(..) => "graph.bwd.vcat",
+        Op::RowSlice(..) => "graph.bwd.row_slice",
+        Op::GatherRows(..) => "graph.bwd.gather_rows",
+        Op::RepeatRows(..) => "graph.bwd.repeat_rows",
+        Op::SumAll(..) => "graph.bwd.sum_all",
+        Op::MeanRows(..) => "graph.bwd.mean_rows",
+        Op::SumRows(..) => "graph.bwd.sum_rows",
+        Op::Unfold(..) => "graph.bwd.unfold",
+        Op::Exp(..) => "graph.bwd.exp",
+        Op::Ln(..) => "graph.bwd.ln",
+        Op::AddScalar(..) => "graph.bwd.add_scalar",
+        Op::PickNll(..) => "graph.bwd.pick_nll",
+        Op::BceWithLogits(..) => "graph.bwd.bce_with_logits",
     }
 }
 

@@ -25,6 +25,11 @@
 //! - [`rng`]: the workspace-wide seeded PRNG ([`Rng`], PCG32) behind every
 //!   random draw in the reproduction.
 //!
+//! The autograd tape and the pool are instrumented with `nlidb-trace`
+//! (per-`Op` forward/backward timings, pool task counters), active only
+//! under `NLIDB_TRACE=1`; instrumentation never alters computation, so
+//! results are byte-identical with tracing on or off.
+//!
 //! ## Example
 //! ```
 //! use nlidb_tensor::{Graph, ParamStore, Tensor, optim::Adam};

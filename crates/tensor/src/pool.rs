@@ -35,6 +35,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+use nlidb_trace as trace;
+
 /// Pool size sentinel meaning "not yet resolved from the environment".
 const UNSET: usize = 0;
 
@@ -103,11 +105,13 @@ unsafe impl Sync for Job {}
 impl Job {
     /// Claims and runs tasks until the cursor is exhausted.
     fn drain(&self) {
+        let mut claimed = 0u64;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.total {
-                return;
+                break;
             }
+            claimed += 1;
             // SAFETY: see the struct-level invariant on `task`.
             (unsafe { &*self.task })(i);
             if self.unfinished.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -115,6 +119,15 @@ impl Job {
                 *done = true;
                 self.done_cv.notify_all();
             }
+        }
+        // Flushed once per drain (not per task) so tracing stays cheap.
+        if claimed > 0 && trace::enabled() {
+            let name = if IN_WORKER.with(|w| w.get()) {
+                "pool.tasks_claimed_by_workers"
+            } else {
+                "pool.tasks_claimed_by_caller"
+            };
+            trace::count(name, claimed);
         }
     }
 
@@ -197,11 +210,14 @@ pub fn parallel_for<F: Fn(usize) + Sync>(tasks: usize, f: F) {
     }
     let threads = num_threads();
     if tasks == 1 || threads <= 1 || IN_WORKER.with(|w| w.get()) {
+        trace::count("pool.serial_tasks", tasks as u64);
         for i in 0..tasks {
             f(i);
         }
         return;
     }
+    trace::count("pool.jobs", 1);
+    trace::count("pool.tasks", tasks as u64);
     ensure_workers(threads - 1);
     let task_ref: &(dyn Fn(usize) + Sync) = &f;
     // SAFETY: the job never outlives this call — `job.wait()` below blocks

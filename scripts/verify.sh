@@ -22,4 +22,10 @@ cargo test -q --offline --workspace
 # write results/bench_components.json.
 NLIDB_BENCH_SMOKE=1 cargo bench -q --offline -p nlidb-bench
 
+# Trace smoke: trains a tiny end-to-end system with NLIDB_TRACE off and
+# on, asserts byte-identical parameters/predictions either way, and
+# checks that results/trace_trace_smoke.json parses with nlidb-json and
+# carries every promised instrument family (DESIGN.md "Observability").
+NLIDB_TRACE=1 cargo run -q --release --offline -p nlidb-bench --bin trace_smoke
+
 echo "verify: OK"

@@ -17,3 +17,4 @@ pub use nlidb_sqlir as sqlir;
 pub use nlidb_storage as storage;
 pub use nlidb_tensor as tensor;
 pub use nlidb_text as text;
+pub use nlidb_trace as trace;
