@@ -2,7 +2,7 @@
 //! derives. Each workspace crate implements these for its own types; the
 //! impls here cover primitives and containers.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::value::{Json, JsonError};
 
@@ -192,6 +192,8 @@ impl<A: FromJson, B: FromJson> FromJson for (A, B) {
 /// regardless of `HashMap` iteration order.
 impl<V: ToJson> ToJson for HashMap<String, V> {
     fn to_json(&self) -> Json {
+        // lint:allow(hashmap-iteration): the drawn keys are sorted on the
+        // next line before any order can reach the encoded output.
         let mut keys: Vec<&String> = self.keys().collect();
         keys.sort();
         Json::Obj(keys.into_iter().map(|k| (k.clone(), self[k].to_json())).collect())
@@ -199,6 +201,21 @@ impl<V: ToJson> ToJson for HashMap<String, V> {
 }
 
 impl<V: FromJson> FromJson for HashMap<String, V> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let pairs = j.as_obj().ok_or(()).or_else(|_| j.type_err("object"))?;
+        pairs.iter().map(|(k, v)| Ok((k.clone(), V::from_json(v)?))).collect()
+    }
+}
+
+/// `BTreeMap` is the preferred map in the deterministic crates: its
+/// iteration order is the key order, so encoding needs no sorting step.
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<V: FromJson> FromJson for BTreeMap<String, V> {
     fn from_json(j: &Json) -> Result<Self, JsonError> {
         let pairs = j.as_obj().ok_or(()).or_else(|_| j.type_err("object"))?;
         pairs.iter().map(|(k, v)| Ok((k.clone(), V::from_json(v)?))).collect()
@@ -236,6 +253,19 @@ mod tests {
         m.insert("aa".into(), 2);
         assert_eq!(m.to_json().to_string(), r#"{"aa":2,"zz":1}"#);
         assert_eq!(HashMap::<String, usize>::from_json(&m.to_json()).unwrap(), m);
+    }
+
+    #[test]
+    fn btreemap_roundtrips_and_matches_hashmap_encoding() {
+        let mut b: BTreeMap<String, usize> = BTreeMap::new();
+        b.insert("zz".into(), 1);
+        b.insert("aa".into(), 2);
+        assert_eq!(b.to_json().to_string(), r#"{"aa":2,"zz":1}"#);
+        assert_eq!(BTreeMap::<String, usize>::from_json(&b.to_json()).unwrap(), b);
+        // Same keys/values encode identically through either map type, so
+        // switching a field from HashMap to BTreeMap is serialization-stable.
+        let h: HashMap<String, usize> = b.clone().into_iter().collect();
+        assert_eq!(h.to_json().to_string(), b.to_json().to_string());
     }
 
     #[test]

@@ -1,0 +1,9 @@
+// Conforming: configuration arrives through parameters; compile-time
+// env! expansion is not a process-environment read.
+fn knob(threads: usize) -> usize {
+    threads.max(1)
+}
+
+fn manifest_dir() -> &'static str {
+    env!("CARGO_MANIFEST_DIR")
+}

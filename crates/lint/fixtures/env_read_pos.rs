@@ -1,0 +1,5 @@
+// Violates env-read: a process-environment read outside the
+// allowlisted config sites (pool/trace/bench).
+fn knob() -> bool {
+    std::env::var("NLIDB_SECRET_KNOB").is_ok() || std::env::var_os("OTHER").is_some()
+}

@@ -1,0 +1,35 @@
+// Conforming uses of hash containers in a deterministic crate: keyed
+// access, membership, order-free consumers, a sorted draw, and a
+// justified suppression.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct Index {
+    by_name: HashMap<String, usize>,
+    ordered: BTreeMap<String, usize>,
+}
+
+impl Index {
+    fn lookup(&self, k: &str) -> Option<usize> {
+        self.by_name.get(k).copied()
+    }
+
+    fn dump_sorted(&self) -> Vec<(String, usize)> {
+        // BTreeMap iteration is key-ordered by construction.
+        self.ordered.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    fn size(&self) -> usize {
+        self.by_name.keys().count()
+    }
+
+    fn dump_hash_sorted(&self) -> Vec<&String> {
+        // lint:allow(hashmap-iteration): keys are sorted before returning.
+        let mut keys: Vec<&String> = self.by_name.keys().collect();
+        keys.sort();
+        keys
+    }
+}
+
+fn is_member(s: &HashSet<u32>, x: u32) -> bool {
+    s.contains(&x)
+}

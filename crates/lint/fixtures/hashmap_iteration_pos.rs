@@ -1,0 +1,26 @@
+// Violates hashmap-iteration three ways: a method draw from a typed
+// binding, a `for` loop over an initializer binding, and a draw from a
+// struct field.
+use std::collections::{HashMap, HashSet};
+
+struct Index {
+    by_name: HashMap<String, usize>,
+}
+
+impl Index {
+    fn dump(&self) -> Vec<usize> {
+        self.by_name.values().copied().collect()
+    }
+}
+
+fn first_key(m: &HashMap<String, u32>) -> Option<&String> {
+    m.keys().next()
+}
+
+fn visit_all() {
+    let mut seen = HashSet::new();
+    seen.insert(1u32);
+    for x in &seen {
+        drop(x);
+    }
+}

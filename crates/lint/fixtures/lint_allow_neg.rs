@@ -1,0 +1,12 @@
+// Conforming suppressions: a reasoned allow above the site and a
+// trailing one on the same line.
+fn fan_out() {
+    // lint:allow(raw-spawn): fixture demonstrating the suppression form
+    let h = std::thread::spawn(|| ());
+    let _ = h.join();
+}
+
+fn fan_out_trailing() {
+    let h = std::thread::spawn(|| ()); // lint:allow(raw-spawn): same-line form
+    let _ = h.join();
+}

@@ -1,0 +1,11 @@
+// Violates the suppression contract twice: an allow with no reason
+// (does NOT silence the diagnostic it targets) and an allow naming a
+// rule that does not exist.
+fn fan_out() {
+    // lint:allow(raw-spawn)
+    let h = std::thread::spawn(|| ());
+    let _ = h.join();
+}
+
+// lint:allow(hashmap-iterations): rule name is a typo, flagged as unknown
+fn nothing() {}

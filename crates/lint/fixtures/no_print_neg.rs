@@ -1,0 +1,16 @@
+// Conforming: the library returns values and counts through the trace
+// registry; printing "println!" inside a string is not printing.
+fn report(x: u32) -> String {
+    let template = "println!(\"not actually a print\")";
+    drop(template);
+    nlidb_trace::count("report.calls", 1);
+    format!("x = {x}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("test output is fine");
+    }
+}

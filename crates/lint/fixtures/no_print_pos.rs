@@ -1,0 +1,5 @@
+// Violates no-print-in-lib: stdout/stderr writes from library code.
+fn report(x: u32) {
+    println!("x = {x}");
+    eprintln!("warning: {x}");
+}

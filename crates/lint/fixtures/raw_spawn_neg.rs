@@ -1,0 +1,12 @@
+// Conforming: parallelism goes through the deterministic pool; the
+// word "spawn" in comments and strings does not trigger anything.
+fn fan_out(data: &mut [f32]) {
+    // workers are spawned lazily by the pool, not here
+    let msg = "never spawn raw threads";
+    nlidb_tensor::pool::parallel_for_chunks(data, 64, |_, part| {
+        for x in part {
+            *x += 1.0;
+        }
+    });
+    drop(msg);
+}

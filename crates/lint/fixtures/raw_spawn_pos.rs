@@ -1,0 +1,5 @@
+// Violates raw-spawn: thread creation outside crates/tensor/src/pool.rs.
+fn fan_out() {
+    let h = std::thread::spawn(|| 40 + 2);
+    let _ = h.join();
+}

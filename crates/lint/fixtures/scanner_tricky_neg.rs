@@ -1,0 +1,28 @@
+// Every rule trigger word below sits inside a comment, string, raw
+// string, char, or byte literal — a correct scanner reports nothing on
+// this file even under a deterministic-crate lib path.
+//
+// line comment: HashMap::iter() Instant::now() SystemTime spawn unsafe
+// println! std::env::var("X")
+
+/* block comment: map.keys() /* nested: thread::spawn(|| {}) */ still
+   inside: eprintln!("x") unsafe { } */
+
+fn strings() -> (usize, char, u8) {
+    let plain = "Instant::now() and SystemTime and spawn";
+    let escaped = "quote \" then unsafe { *p } and println!(\"x\")";
+    let raw = r#"env::var("HOME") and m.values() and "quoted" text"#;
+    let raw_hashes = r##"one "#" hash deep: set.drain() spawn unsafe"##;
+    let byte = b"thread::spawn and dbg!(x)";
+    let raw_byte = br#"SystemTime::now() m.into_keys()"#;
+    let ch = 'u';
+    let quote_ch = '\'';
+    let newline_ch = '\n';
+    let byte_ch = b'z';
+    drop((plain, escaped, raw, raw_hashes, byte, raw_byte, quote_ch, newline_ch));
+    (0, ch, byte_ch)
+}
+
+fn lifetimes_are_not_chars<'a>(x: &'a str) -> &'a str {
+    x
+}

@@ -1,0 +1,11 @@
+// Conforming: every unsafe carries its proof obligation, immediately
+// above or trailing on the same line.
+fn read(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer derived from a live &u8, so it is
+    // valid, aligned, and initialized for the duration of this call.
+    unsafe { *p }
+}
+
+fn read_trailing(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: valid by the same caller contract as `read`.
+}

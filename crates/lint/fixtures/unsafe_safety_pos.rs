@@ -1,0 +1,11 @@
+// Violates unsafe-needs-safety-comment: no SAFETY comment, and a stale
+// comment separated from the unsafe by a code line does not count.
+fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+fn read_with_gap(p: *const u8) -> u8 {
+    // SAFETY: this comment is orphaned by the line below.
+    let _unrelated = 1;
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+// Conforming: the clock read sits on a line guarded by
+// `nlidb_trace::enabled()`, so the untraced path never touches it; the
+// bare import is not an offence.
+use std::time::Instant;
+
+fn maybe_stamp() -> Option<(&'static str, Instant)> {
+    nlidb_trace::enabled().then(|| ("epoch", Instant::now()))
+}

@@ -1,0 +1,9 @@
+// Violates wall-clock: an unguarded Instant::now and a SystemTime use
+// in library code outside the trace/bench crates.
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::UNIX_EPOCH
+}

@@ -1,0 +1,209 @@
+//! `dependency-policy`: the workspace must stay hermetic.
+//!
+//! Every dependency in every `Cargo.toml` must resolve inside the
+//! repository — either `workspace = true` or an explicit `path = "…"` —
+//! so the build never touches a registry, and the crates this repo
+//! deliberately replaced (`rand`, `serde`, …) must not come back under
+//! any spelling. Historically this lived in `tests/workspace_guard.rs`;
+//! that test is now a thin wrapper over this module so the policy also
+//! shows up in `cargo run -p nlidb-lint` output with `file:line`
+//! diagnostics.
+
+use std::path::{Path, PathBuf};
+
+use crate::Diagnostic;
+
+/// Registry crates the workspace replaced with in-tree code; they must
+/// not reappear in any manifest (optional, renamed, feature-gated, …).
+pub const BANNED_CRATES: &[&str] = &["rand", "serde", "serde_json", "proptest", "criterion"];
+
+/// All manifests in the workspace: the root plus every member crate,
+/// sorted for deterministic diagnostic order.
+pub fn manifests(root: &Path) -> Vec<PathBuf> {
+    let mut out = vec![root.join("Cargo.toml")];
+    let mut members = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let manifest = entry.path().join("Cargo.toml");
+            if manifest.is_file() {
+                members.push(manifest);
+            }
+        }
+    }
+    members.sort();
+    out.extend(members);
+    out
+}
+
+/// Is this `[section]` header one that declares dependencies?
+fn is_dependency_section(header: &str) -> bool {
+    let h = header.trim_matches(['[', ']']);
+    h == "dependencies"
+        || h == "dev-dependencies"
+        || h == "build-dependencies"
+        || h == "workspace.dependencies"
+        || h.starts_with("target.") && h.ends_with("dependencies")
+}
+
+/// A dependency line is hermetic when it resolves inside the repo.
+fn is_hermetic(spec: &str) -> bool {
+    spec.contains("workspace = true") || spec.contains("path = ")
+}
+
+fn rel(root: &Path, manifest: &Path) -> String {
+    manifest
+        .strip_prefix(root)
+        .unwrap_or(manifest)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Dependencies that resolve outside the repository.
+pub fn hermetic_violations(root: &Path) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for manifest in manifests(root) {
+        let Ok(text) = std::fs::read_to_string(&manifest) else { continue };
+        let file = rel(root, &manifest);
+        let mut in_deps = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_deps = is_dependency_section(line);
+                continue;
+            }
+            if in_deps && line.contains('=') && !is_hermetic(line) {
+                out.push(Diagnostic {
+                    file: file.clone(),
+                    line: lineno as u32 + 1,
+                    rule: "dependency-policy".into(),
+                    message: format!(
+                        "non-hermetic dependency `{line}`; every dep must be `workspace = true` \
+                         or `path = …`"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Banned registry crate names reappearing in any manifest.
+pub fn banned_violations(root: &Path) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for manifest in manifests(root) {
+        let Ok(text) = std::fs::read_to_string(&manifest) else { continue };
+        let file = rel(root, &manifest);
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            let Some((key, _)) = line.split_once('=') else { continue };
+            let key = key.trim().trim_matches('"');
+            if BANNED_CRATES.contains(&key) {
+                out.push(Diagnostic {
+                    file: file.clone(),
+                    line: lineno as u32 + 1,
+                    rule: "dependency-policy".into(),
+                    message: format!("banned registry crate `{key}` (replaced by in-tree code)"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The full manifest-level rule: hermetic deps + banned names. Also
+/// sanity-checks that the walk actually found member manifests, so a
+/// mislocated root surfaces as a diagnostic instead of a silent pass.
+pub fn check_manifests(root: &Path) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if manifests(root).len() < 2 {
+        out.push(Diagnostic {
+            file: "Cargo.toml".into(),
+            line: 0,
+            rule: "dependency-policy".into(),
+            message: format!(
+                "expected the root manifest plus member crates under {}",
+                root.display()
+            ),
+        });
+    }
+    out.extend(hermetic_violations(root));
+    out.extend(banned_violations(root));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_workspace(dir: &Path, crate_manifest: &str) {
+        std::fs::create_dir_all(dir.join("crates/x")).unwrap();
+        std::fs::write(
+            dir.join("Cargo.toml"),
+            "[workspace]\nmembers = [\"crates/*\"]\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("crates/x/Cargo.toml"), crate_manifest).unwrap();
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nlidb-lint-deps-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn hermetic_workspace_is_clean() {
+        let dir = tmp("clean");
+        write_workspace(
+            &dir,
+            "[package]\nname = \"x\"\n[dependencies]\nnlidb-json = { workspace = true }\nother = { path = \"../other\" }\n",
+        );
+        assert!(check_manifests(&dir).is_empty());
+    }
+
+    #[test]
+    fn registry_dependency_is_flagged_with_location() {
+        let dir = tmp("registry");
+        write_workspace(&dir, "[package]\nname = \"x\"\n[dependencies]\nlibc = \"0.2\"\n");
+        let diags = check_manifests(&dir);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].file, "crates/x/Cargo.toml");
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn banned_names_are_flagged_even_with_path() {
+        let dir = tmp("banned");
+        write_workspace(
+            &dir,
+            "[package]\nname = \"x\"\n[dependencies]\nserde = { path = \"../vendored-serde\" }\n",
+        );
+        let diags = check_manifests(&dir);
+        assert!(diags.iter().any(|d| d.message.contains("banned registry crate `serde`")));
+    }
+
+    #[test]
+    fn dev_and_target_sections_are_covered() {
+        let dir = tmp("sections");
+        write_workspace(
+            &dir,
+            "[package]\nname = \"x\"\n[dev-dependencies]\ntempfile = \"3\"\n[target.'cfg(unix)'.dependencies]\nnix = \"0.27\"\n",
+        );
+        let diags = check_manifests(&dir);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn missing_members_surface_as_a_diagnostic() {
+        let dir = tmp("empty");
+        std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+        let diags = check_manifests(&dir);
+        assert!(diags.iter().any(|d| d.message.contains("member crates")));
+    }
+}

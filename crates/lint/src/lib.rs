@@ -1,0 +1,451 @@
+//! `nlidb-lint` — the workspace's determinism & safety static-analysis
+//! pass.
+//!
+//! The repo's headline guarantee is *bitwise* reproducibility: trained
+//! parameters and experiment records are identical across thread counts,
+//! tracing on/off, and reruns. The determinism tests check that
+//! dynamically; this crate checks it **structurally**, at source level,
+//! so a nondeterministic code path that happens not to fire in a test
+//! still cannot land. It also guards the safety and hygiene invariants
+//! the workspace relies on (documented `unsafe`, no raw threads outside
+//! the pool, no registry dependencies).
+//!
+//! The pass runs three ways, all over the same engine:
+//! - `cargo run -p nlidb-lint` — the CLI, prints `file:line` diagnostics;
+//! - `tests/lint_guard.rs` — tier-1 test, fails the build on any
+//!   diagnostic;
+//! - `tests/workspace_guard.rs` — thin wrapper over the
+//!   `dependency-policy` rule (its historical home).
+//!
+//! Rules never fire inside comments, strings, raw strings, or
+//! char/byte literals (see [`scanner`]), nor inside `#[cfg(test)]`
+//! regions for rules where tests are legitimately exempt. A diagnostic
+//! can be suppressed at its site with an inline comment:
+//!
+//! ```text
+//! // lint:allow(rule-name): reason why this site is sound
+//! ```
+//!
+//! The reason is mandatory — a bare `lint:allow(rule)` is itself a
+//! diagnostic. See DESIGN.md §7 for the rule catalog and how to add a
+//! rule.
+
+pub mod deps;
+pub mod rules;
+pub mod scanner;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use scanner::{Scanned, TokKind};
+
+/// One lint finding at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path (unix separators).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier (one of [`RULES`] or the meta rules).
+    pub rule: String,
+    /// Human-readable explanation with a suggested fix.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Which compilation target a file belongs to. Rules scope on this:
+/// e.g. printing is fine in a binary but not in a library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Library source (`src/` minus `src/bin/` and `src/main.rs`).
+    Lib,
+    /// Binary source (`src/bin/**`, `src/main.rs`).
+    Bin,
+    /// Integration test (`tests/**`).
+    Test,
+    /// Bench target (`benches/**`).
+    Bench,
+    /// Example (`examples/**`).
+    Example,
+}
+
+/// The source-level rules, in the order they run. `dependency-policy`
+/// is manifest-level and lives in [`deps`].
+pub const RULES: &[&str] = &[
+    "hashmap-iteration",
+    "wall-clock",
+    "raw-spawn",
+    "unsafe-needs-safety-comment",
+    "no-print-in-lib",
+    "env-read",
+];
+
+/// Every rule name a `lint:allow` may reference.
+pub const ALL_RULE_NAMES: &[&str] = &[
+    "hashmap-iteration",
+    "wall-clock",
+    "raw-spawn",
+    "unsafe-needs-safety-comment",
+    "no-print-in-lib",
+    "env-read",
+    "dependency-policy",
+];
+
+/// Everything a rule needs to know about one source file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path with unix separators.
+    pub rel_path: &'a str,
+    /// Crate the file belongs to (`"tensor"`, `"core"`, …; `"nlidb"`
+    /// for the root package).
+    pub crate_name: &'a str,
+    /// Which target the file compiles into.
+    pub target: Target,
+    /// Scanner output.
+    pub scanned: &'a Scanned,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` items or
+    /// `#[test]` functions.
+    pub test_regions: &'a [(u32, u32)],
+}
+
+impl FileContext<'_> {
+    /// Whether `line` is inside test-only code.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.target == Target::Test
+            || self.test_regions.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+}
+
+/// Classifies a workspace-relative path into (crate name, target).
+/// Returns `None` for paths lint does not look at.
+pub fn classify(rel_path: &str) -> Option<(String, Target)> {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let (crate_name, rest): (String, &[&str]) = if parts.first() == Some(&"crates") {
+        (parts.get(1)?.to_string(), &parts[2..])
+    } else {
+        ("nlidb".to_string(), &parts[..])
+    };
+    let target = match rest.first().copied() {
+        Some("src") => {
+            if rest.get(1) == Some(&"bin") || rest.last() == Some(&"main.rs") {
+                Target::Bin
+            } else {
+                Target::Lib
+            }
+        }
+        Some("tests") => Target::Test,
+        Some("benches") => Target::Bench,
+        Some("examples") => Target::Example,
+        _ => return None,
+    };
+    Some((crate_name, target))
+}
+
+/// Finds line ranges of `#[cfg(test)]` items and `#[test]` functions by
+/// brace-matching the item that follows the attribute.
+pub fn test_regions(scanned: &Scanned) -> Vec<(u32, u32)> {
+    let toks = &scanned.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_attr_start = toks[i].text == "#"
+            && toks.get(i + 1).is_some_and(|t| t.text == "[");
+        if !is_attr_start {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body to its matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut mentions_test = false;
+        let mut negated = false;
+        while j < toks.len() && depth > 0 {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                "test" if toks[j].kind == TokKind::Ident => mentions_test = true,
+                // `#[cfg(not(test))]` marks code compiled *outside* tests;
+                // it must not be exempt from lib-scoped rules.
+                "not" if toks[j].kind == TokKind::Ident => negated = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        let mentions_test = mentions_test && !negated;
+        if !mentions_test {
+            i = j;
+            continue;
+        }
+        // The attribute applies to the next item: find its opening `{`
+        // (stop early at `;` — e.g. `#[cfg(test)] mod tests;` has no
+        // inline body to mark).
+        let mut k = j;
+        while k < toks.len() && toks[k].text != "{" && toks[k].text != ";" {
+            k += 1;
+        }
+        if k >= toks.len() || toks[k].text == ";" {
+            i = k;
+            continue;
+        }
+        let start_line = toks[i].line;
+        let mut braces = 1usize;
+        let mut m = k + 1;
+        while m < toks.len() && braces > 0 {
+            match toks[m].text.as_str() {
+                "{" => braces += 1,
+                "}" => braces -= 1,
+                _ => {}
+            }
+            m += 1;
+        }
+        let end_line = toks.get(m.saturating_sub(1)).map_or(start_line, |t| t.line);
+        out.push((start_line, end_line));
+        i = m;
+    }
+    out
+}
+
+/// A parsed `lint:allow(rule): reason` suppression.
+struct Suppression {
+    line: u32,
+    rule: String,
+    has_reason: bool,
+    known_rule: bool,
+}
+
+/// Extracts suppressions from a file's comments.
+fn suppressions(scanned: &Scanned) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in &scanned.comments {
+        // Only a comment that *starts* with the marker is a suppression;
+        // prose that merely mentions the syntax is not.
+        let trimmed = c.text.trim_start();
+        let Some(rest) = trimmed.strip_prefix("lint:allow(") else { continue };
+        let Some(close) = rest.find(')') else { continue };
+        let rule = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        let has_reason = after
+            .strip_prefix(':')
+            .map(str::trim)
+            .is_some_and(|r| !r.is_empty());
+        let known_rule = ALL_RULE_NAMES.contains(&rule.as_str());
+        out.push(Suppression { line: c.line, rule, has_reason, known_rule });
+    }
+    out
+}
+
+/// Runs every source rule on one file and applies suppressions.
+///
+/// `rel_path` drives crate/target scoping, so fixture tests can exercise
+/// any scope by passing a synthetic path like `crates/tensor/src/x.rs`.
+pub fn check_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let Some((crate_name, target)) = classify(rel_path) else {
+        return Vec::new();
+    };
+    let scanned = scanner::scan(source);
+    let regions = test_regions(&scanned);
+    let ctx = FileContext {
+        rel_path,
+        crate_name: &crate_name,
+        target,
+        scanned: &scanned,
+        test_regions: &regions,
+    };
+
+    let mut diags = rules::run_all(&ctx);
+
+    // Apply suppressions: a `lint:allow(rule)` covers its own line and
+    // the next line holding code (so it works as a trailing comment or
+    // on the line above the flagged statement).
+    let allows = suppressions(&scanned);
+    let covered = |rule: &str, line: u32| -> bool {
+        allows.iter().filter(|s| s.rule == rule && s.has_reason).any(|s| {
+            if s.line == line {
+                return true;
+            }
+            // Next code line after the suppression comment.
+            let next = scanned
+                .tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > s.line);
+            next == Some(line)
+        })
+    };
+    diags.retain(|d| !covered(&d.rule, d.line));
+
+    // Malformed suppressions are diagnostics themselves: an allow
+    // without a reason is an undocumented exemption, and an allow for a
+    // rule that does not exist is a typo that silently suppresses
+    // nothing.
+    for s in &allows {
+        if !s.has_reason {
+            diags.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: s.line,
+                rule: "lint-allow-needs-reason".into(),
+                message: format!(
+                    "`lint:allow({})` must carry a reason: `// lint:allow({}): <why this is sound>`",
+                    s.rule, s.rule
+                ),
+            });
+        } else if !s.known_rule {
+            diags.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: s.line,
+                rule: "lint-allow-unknown-rule".into(),
+                message: format!(
+                    "`lint:allow({})` names no known rule (known: {})",
+                    s.rule,
+                    ALL_RULE_NAMES.join(", ")
+                ),
+            });
+        }
+    }
+
+    diags.sort();
+    diags
+}
+
+/// Recursively collects `.rs` files under `dir` into `out`.
+fn collect_rs(dir: &Path, out: &mut BTreeSet<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.insert(path);
+        }
+    }
+}
+
+/// Every source file the lint pass covers, workspace-relative, sorted.
+///
+/// Walks the root package's `src/`, `tests/`, `examples/` and each
+/// member crate's `src/`, `tests/`, `benches/`. Anything else (fixture
+/// directories, `target/`, docs) is out of scope by construction.
+pub fn workspace_sources(root: &Path) -> Vec<String> {
+    let mut files = BTreeSet::new();
+    for sub in ["src", "tests", "examples"] {
+        collect_rs(&root.join(sub), &mut files);
+    }
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut crate_dirs: Vec<PathBuf> =
+            entries.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            for sub in ["src", "tests", "benches"] {
+                collect_rs(&dir.join(sub), &mut files);
+            }
+        }
+    }
+    files
+        .into_iter()
+        .filter_map(|p| {
+            p.strip_prefix(root).ok().map(|r| {
+                r.components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/")
+            })
+        })
+        .collect()
+}
+
+/// Runs the full pass — all source rules over every workspace file,
+/// plus the manifest-level `dependency-policy` rule — and returns the
+/// surviving diagnostics, sorted by (file, line, rule).
+pub fn run_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for rel in workspace_sources(root) {
+        let path = root.join(&rel);
+        let Ok(source) = std::fs::read_to_string(&path) else {
+            diags.push(Diagnostic {
+                file: rel.clone(),
+                line: 0,
+                rule: "io".into(),
+                message: "could not read file".into(),
+            });
+            continue;
+        };
+        diags.extend(check_source(&rel, &source));
+    }
+    diags.extend(deps::check_manifests(root));
+    diags.sort();
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_maps_paths_to_scopes() {
+        assert_eq!(classify("crates/tensor/src/pool.rs"), Some(("tensor".into(), Target::Lib)));
+        assert_eq!(
+            classify("crates/bench/src/bin/exp_table2_main.rs"),
+            Some(("bench".into(), Target::Bin))
+        );
+        assert_eq!(classify("crates/core/tests/t.rs"), Some(("core".into(), Target::Test)));
+        assert_eq!(classify("crates/bench/benches/c.rs"), Some(("bench".into(), Target::Bench)));
+        assert_eq!(classify("src/lib.rs"), Some(("nlidb".into(), Target::Lib)));
+        assert_eq!(classify("src/bin/nlidb.rs"), Some(("nlidb".into(), Target::Bin)));
+        assert_eq!(classify("examples/quickstart.rs"), Some(("nlidb".into(), Target::Example)));
+        assert_eq!(classify("README.md"), None);
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods_and_test_fns() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn b() {}\n#[test]\nfn standalone() {\n    let x = 1;\n}\n";
+        let scanned = scanner::scan(src);
+        let regions = test_regions(&scanned);
+        assert_eq!(regions.len(), 2);
+        assert!(regions[0].0 <= 3 && regions[0].1 >= 4, "{regions:?}");
+        assert!(regions[1].0 <= 8 && regions[1].1 >= 9, "{regions:?}");
+    }
+
+    #[test]
+    fn suppression_requires_reason() {
+        let src = "// lint:allow(raw-spawn)\nfn f() { std::thread::spawn(|| {}); }\n";
+        let diags = check_source("crates/core/src/x.rs", src);
+        assert!(diags.iter().any(|d| d.rule == "lint-allow-needs-reason"), "{diags:?}");
+        // The underlying diagnostic is NOT suppressed without a reason.
+        assert!(diags.iter().any(|d| d.rule == "raw-spawn"), "{diags:?}");
+    }
+
+    #[test]
+    fn suppression_with_reason_covers_next_code_line() {
+        let src = "// lint:allow(raw-spawn): fixture exercising the engine\nfn f() { std::thread::spawn(|| {}); }\n";
+        let diags = check_source("crates/core/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_own_line() {
+        let src =
+            "fn f() { std::thread::spawn(|| {}); } // lint:allow(raw-spawn): same-line form\n";
+        let diags = check_source("crates/core/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_flagged() {
+        let src = "// lint:allow(hashmap-iterations): typo'd rule name\nfn f() {}\n";
+        let diags = check_source("crates/core/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "lint-allow-unknown-rule");
+    }
+
+    #[test]
+    fn suppression_does_not_leak_to_later_lines() {
+        let src = "// lint:allow(raw-spawn): only covers the next code line\nfn f() { std::thread::spawn(|| {}); }\nfn g() { std::thread::spawn(|| {}); }\n";
+        let diags = check_source("crates/core/src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+    }
+}

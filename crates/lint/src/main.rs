@@ -1,0 +1,47 @@
+//! CLI for the workspace lint pass.
+//!
+//! ```text
+//! cargo run -p nlidb-lint            # lint the whole workspace
+//! cargo run -p nlidb-lint -- --list  # print the rule catalog
+//! ```
+//!
+//! Exits 0 on a clean tree, 1 with `file:line: [rule] message`
+//! diagnostics otherwise. The same engine backs `tests/lint_guard.rs`,
+//! so whatever this prints is exactly what tier-1 enforces.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/ → crates/ → workspace root.
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest_dir
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("source rules:");
+        for r in nlidb_lint::RULES {
+            println!("  {r}");
+        }
+        println!("manifest rules:\n  dependency-policy");
+        println!("\nsuppress with: // lint:allow(<rule>): <reason>   (reason required)");
+        return;
+    }
+    let root = workspace_root();
+    let files = nlidb_lint::workspace_sources(&root);
+    let diags = nlidb_lint::run_workspace(&root);
+    if diags.is_empty() {
+        println!("nlidb-lint: {} files, 0 diagnostics", files.len());
+        return;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    println!("nlidb-lint: {} files, {} diagnostics", files.len(), diags.len());
+    std::process::exit(1);
+}

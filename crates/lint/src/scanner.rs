@@ -1,0 +1,406 @@
+//! A minimal Rust lexer for lint rules.
+//!
+//! The scanner's one job is to separate *code tokens* from *text* so
+//! rules never fire on the contents of a comment, a string, a raw
+//! string, or a char/byte literal. It is not a full Rust lexer: numbers
+//! are tokenized loosely, multi-character operators arrive as single
+//! punctuation characters (`::` is two `:` tokens), and macros are not
+//! expanded. That is enough for token-pattern rules with `file:line`
+//! diagnostics, and it keeps the scanner small and auditable.
+
+/// What kind of token a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (loosely tokenized; suffix included).
+    Num,
+    /// String literal of any flavor (plain, raw, byte, raw byte).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`, `'static`) or the label position of a loop.
+    Lifetime,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token text. For [`TokKind::Str`]/[`TokKind::Char`] this is the
+    /// raw literal *content placeholder* — rules must never match on it,
+    /// so the scanner stores an empty string instead of the contents.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokKind,
+}
+
+/// One comment (line or block). Block comments are split into one
+/// entry per source line so line-oriented rules (SAFETY comments,
+/// suppressions) see every line they cover.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line this comment (fragment) sits on.
+    pub line: u32,
+    /// The comment text for this line, without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Scanner output: the token stream plus every comment.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order, one entry per covered line.
+    pub comments: Vec<Comment>,
+}
+
+impl Scanned {
+    /// Whether `line` holds at least one code token.
+    pub fn has_code(&self, line: u32) -> bool {
+        // Tokens are in line order; a binary search would work, but the
+        // linear scan is fine at lint scale and simpler to trust.
+        self.tokens.iter().any(|t| t.line == line)
+    }
+
+    /// All comment fragments on `line`.
+    pub fn comments_on(&self, line: u32) -> impl Iterator<Item = &Comment> {
+        self.comments.iter().filter(move |c| c.line == line)
+    }
+
+    /// Whether `line` has any comment at all.
+    pub fn has_comment(&self, line: u32) -> bool {
+        self.comments_on(line).next().is_some()
+    }
+}
+
+/// Scans `source` into tokens and comments. Never fails: malformed
+/// input (unterminated literals, stray bytes) degrades to best-effort
+/// tokens rather than an error, because lint must not block on code
+/// rustc itself will reject.
+pub fn scan(source: &str) -> Scanned {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Scanned::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances over `n` chars, counting newlines.
+    macro_rules! bump {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < chars.len() {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+
+        // Line comment (also `///` docs and `//!` inner docs).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..j].iter().collect::<String>().trim_start_matches(['/', '!']).to_string(),
+            });
+            bump!(j - i);
+            continue;
+        }
+
+        // Block comment, nesting-aware; one Comment entry per line.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let mut frag = String::new();
+            let mut frag_line = line;
+            let mut cur_line = line;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    frag.push_str("/*");
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    if depth > 0 {
+                        frag.push_str("*/");
+                    }
+                    j += 2;
+                } else {
+                    if chars[j] == '\n' {
+                        out.comments.push(Comment { line: frag_line, text: std::mem::take(&mut frag) });
+                        cur_line += 1;
+                        frag_line = cur_line;
+                    } else {
+                        frag.push(chars[j]);
+                    }
+                    j += 1;
+                }
+            }
+            out.comments.push(Comment { line: frag_line, text: frag });
+            bump!(j - i);
+            continue;
+        }
+
+        // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…',
+        // c"…" (C strings). Checked before plain identifiers.
+        if c == 'r' || c == 'b' || c == 'c' {
+            // Longest prefix of raw/byte markers ending in a quote start.
+            let mut p = i;
+            let mut saw_b = false;
+            while p < chars.len() && matches!(chars[p], 'r' | 'b' | 'c') && p - i < 2 {
+                if chars[p] == 'b' {
+                    saw_b = true;
+                }
+                p += 1;
+            }
+            // Count raw hashes.
+            let mut hashes = 0usize;
+            let mut q = p;
+            while chars.get(q) == Some(&'#') {
+                hashes += 1;
+                q += 1;
+            }
+            let raw = q > p || (p > i && chars[p.wrapping_sub(1)] == 'r');
+            if chars.get(q) == Some(&'"') && (raw || p > i) {
+                let tok_line = line;
+                if hashes > 0 || chars[p - 1] == 'r' || (p - i == 2 && chars[i] != 'b') || raw {
+                    // Raw string: ends at `"` followed by `hashes` hashes.
+                    let mut j = q + 1;
+                    loop {
+                        if j >= chars.len() {
+                            break;
+                        }
+                        if chars[j] == '"' {
+                            let mut h = 0usize;
+                            while chars.get(j + 1 + h) == Some(&'#') && h < hashes {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                j += 1 + hashes;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    out.tokens.push(Token { text: String::new(), line: tok_line, kind: TokKind::Str });
+                    bump!(j - i);
+                    continue;
+                }
+                // Non-raw byte/C string: escape-aware scan from the quote.
+                let mut j = q + 1;
+                while j < chars.len() && chars[j] != '"' {
+                    if chars[j] == '\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Token { text: String::new(), line: tok_line, kind: TokKind::Str });
+                bump!(j + 1 - i);
+                continue;
+            }
+            if saw_b && p - i == 1 && chars.get(p) == Some(&'\'') {
+                // Byte char b'x' / b'\n'.
+                let mut j = p + 1;
+                if chars.get(j) == Some(&'\\') {
+                    j += 1;
+                }
+                j += 1; // the char itself
+                if chars.get(j) == Some(&'\'') {
+                    j += 1;
+                }
+                out.tokens.push(Token { text: String::new(), line, kind: TokKind::Char });
+                bump!(j - i);
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b/c.
+        }
+
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                text: chars[i..j].iter().collect(),
+                line,
+                kind: TokKind::Ident,
+            });
+            bump!(j - i);
+            continue;
+        }
+
+        // Number (loose: digits, then idents/dots that glue suffixes and
+        // exponents; `1.max(2)` splits at the dot because `m` follows it).
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'.') && chars.get(j + 1).is_some_and(char::is_ascii_digit) {
+                j += 1;
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+            out.tokens.push(Token { text: chars[i..j].iter().collect(), line, kind: TokKind::Num });
+            bump!(j - i);
+            continue;
+        }
+
+        // Plain string literal, escape-aware.
+        if c == '"' {
+            let tok_line = line;
+            let mut j = i + 1;
+            while j < chars.len() && chars[j] != '"' {
+                if chars[j] == '\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            out.tokens.push(Token { text: String::new(), line: tok_line, kind: TokKind::Str });
+            bump!(j + 1 - i);
+            continue;
+        }
+
+        // Char literal vs lifetime. `'a'` is a char; `'a` (no closing
+        // quote after one char or escape) is a lifetime.
+        if c == '\'' {
+            if chars.get(i + 1) == Some(&'\\') {
+                // Escaped char: '\n', '\'', '\u{…}'. The char right after
+                // the backslash is consumed unconditionally so '\'' works.
+                let mut j = i + 3;
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                out.tokens.push(Token { text: String::new(), line, kind: TokKind::Char });
+                bump!(j + 1 - i);
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                out.tokens.push(Token { text: String::new(), line, kind: TokKind::Char });
+                bump!(3);
+                continue;
+            }
+            // Lifetime: consume the ident part.
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                text: chars[i..j].iter().collect(),
+                line,
+                kind: TokKind::Lifetime,
+            });
+            bump!(j - i);
+            continue;
+        }
+
+        // Everything else: single punctuation char.
+        out.tokens.push(Token { text: c.to_string(), line, kind: TokKind::Punct });
+        bump!(1);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(s: &Scanned) -> Vec<&str> {
+        s.tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let s = scan("let x = 1; // HashMap in a comment\n/* SystemTime too */ let y = 2;");
+        assert!(!idents(&s).contains(&"HashMap"));
+        assert!(!idents(&s).contains(&"SystemTime"));
+        assert!(idents(&s).contains(&"y"));
+        assert!(s.comments.iter().any(|c| c.text.contains("HashMap")));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let s = scan("/* outer /* inner */ still comment */ let z = 3;");
+        assert_eq!(idents(&s), vec!["let", "z"]);
+    }
+
+    #[test]
+    fn block_comment_registers_every_line() {
+        let s = scan("/* a\nb\nc */\nlet x = 1;");
+        assert!(s.has_comment(1) && s.has_comment(2) && s.has_comment(3));
+        assert!(s.has_code(4));
+        assert!(!s.has_code(2));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let s = scan(r#"let msg = "Instant::now() inside a string";"#);
+        assert!(!idents(&s).contains(&"Instant"));
+        assert_eq!(s.tokens.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let s = scan(r##"let r = r#"quote " and HashMap::new() stay text"# ; let after = 1;"##);
+        assert!(!idents(&s).contains(&"HashMap"));
+        assert!(idents(&s).contains(&"after"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let s = scan(r##"let a = b"spawn"; let b2 = br#"unsafe"#; let tail = 0;"##);
+        assert!(!idents(&s).contains(&"spawn"));
+        assert!(!idents(&s).contains(&"unsafe"));
+        assert!(idents(&s).contains(&"tail"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let n = '\\n'; }");
+        let lifetimes: Vec<_> =
+            s.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(s.tokens.iter().filter(|t| t.kind == TokKind::Char).count(), 3);
+        // The char contents never leak into identifiers.
+        assert!(idents(&s).contains(&"str"));
+    }
+
+    #[test]
+    fn lines_are_one_based_and_accurate() {
+        let s = scan("a\nb\n\nc");
+        let lines: Vec<u32> = s.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn doc_comment_markers_are_stripped() {
+        let s = scan("/// doc text\n//! inner doc\nfn x() {}");
+        assert_eq!(s.comments[0].text.trim(), "doc text");
+        assert_eq!(s.comments[1].text.trim(), "inner doc");
+    }
+}

@@ -1,14 +1,18 @@
 //! A named collection of tables (one-table-per-question corpora still
 //! benefit from a catalog for the interactive examples).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::table::Table;
 
 /// A collection of tables addressable by name.
+///
+/// Stored in a `BTreeMap` so every scan over the catalog — the
+/// case-insensitive fallback in [`Catalog::get`], [`Catalog::names`] —
+/// visits tables in name order, independent of registration history.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: HashMap<String, Table>,
+    tables: BTreeMap<String, Table>,
 }
 
 impl Catalog {
@@ -22,7 +26,9 @@ impl Catalog {
         self.tables.insert(table.name.clone(), table);
     }
 
-    /// Fetches a table by name (case-insensitive).
+    /// Fetches a table by name (case-insensitive). When several names
+    /// differ only in case, the lexicographically first one wins —
+    /// deterministically, because the scan runs in key order.
     pub fn get(&self, name: &str) -> Option<&Table> {
         self.tables
             .get(name)
@@ -39,7 +45,7 @@ impl Catalog {
         self.tables.is_empty()
     }
 
-    /// Names of all tables (unordered).
+    /// Names of all tables, in sorted order.
     pub fn names(&self) -> Vec<&str> {
         self.tables.keys().map(String::as_str).collect()
     }
@@ -70,5 +76,24 @@ mod tests {
         c.register(t("a"));
         c.register(t("a"));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn names_are_sorted_regardless_of_registration_order() {
+        let mut c = Catalog::new();
+        for name in ["zulu", "alpha", "mike"] {
+            c.register(t(name));
+        }
+        assert_eq!(c.names(), vec!["alpha", "mike", "zulu"]);
+    }
+
+    #[test]
+    fn case_insensitive_ties_resolve_to_first_name_in_key_order() {
+        let mut c = Catalog::new();
+        c.register(t("Films"));
+        c.register(t("FILMS"));
+        // No exact match for "films": the fallback scan runs in key order,
+        // so "FILMS" (sorts before "Films") wins every time.
+        assert_eq!(c.get("films").unwrap().name, "FILMS");
     }
 }

@@ -5,7 +5,10 @@
 //! (with optional momentum) and Adam are provided; the reproduction's
 //! training loops default to Adam.
 
-use std::collections::HashMap;
+// Optimizer state is keyed by `ParamId` in a `BTreeMap`: any iteration
+// over it (debug dumps, future state serialization) is id-ordered by
+// construction, so no hash-order can ever reach trained parameters.
+use std::collections::BTreeMap;
 
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
@@ -38,18 +41,18 @@ pub struct Sgd {
     pub lr: f32,
     /// Momentum coefficient; `0.0` disables momentum.
     pub momentum: f32,
-    velocity: HashMap<ParamId, Tensor>,
+    velocity: BTreeMap<ParamId, Tensor>,
 }
 
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: HashMap::new() }
+        Sgd { lr, momentum: 0.0, velocity: BTreeMap::new() }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: HashMap::new() }
+        Sgd { lr, momentum, velocity: BTreeMap::new() }
     }
 
     /// Applies one update step.
@@ -84,14 +87,14 @@ pub struct Adam {
     /// Numerical stabilizer.
     pub eps: f32,
     t: u64,
-    m: HashMap<ParamId, Tensor>,
-    v: HashMap<ParamId, Tensor>,
+    m: BTreeMap<ParamId, Tensor>,
+    v: BTreeMap<ParamId, Tensor>,
 }
 
 impl Adam {
     /// Adam with standard hyper-parameters (β1=0.9, β2=0.999, ε=1e-8).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: HashMap::new(), v: HashMap::new() }
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: BTreeMap::new(), v: BTreeMap::new() }
     }
 
     /// Number of steps taken so far.

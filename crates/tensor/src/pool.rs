@@ -96,10 +96,14 @@ struct Job {
     done_cv: Condvar,
 }
 
-// SAFETY: `task` points at a `Sync` closure that outlives the job (the
+// SAFETY: `Job` is only non-auto-`Send` because of the raw `task`
+// pointer. It points at a `Sync` closure that outlives the job (the
 // caller blocks until `unfinished` reaches zero before returning), so
-// sharing the pointer across worker threads is sound.
+// moving the pointer to another thread cannot leave it dangling.
 unsafe impl Send for Job {}
+// SAFETY: shared access is sound for the same reason: the pointee is
+// `Sync` (so `&closure` may be used from any thread) and stays alive
+// until every task finished; all other fields are atomics/locks.
 unsafe impl Sync for Job {}
 
 impl Job {
@@ -220,10 +224,13 @@ pub fn parallel_for<F: Fn(usize) + Sync>(tasks: usize, f: F) {
     trace::count("pool.tasks", tasks as u64);
     ensure_workers(threads - 1);
     let task_ref: &(dyn Fn(usize) + Sync) = &f;
-    // SAFETY: the job never outlives this call — `job.wait()` below blocks
-    // until every task finished, after which no thread dereferences `task`.
-    let task: *const (dyn Fn(usize) + Sync) =
-        unsafe { std::mem::transmute(task_ref) };
+    // SAFETY: the transmute erases the borrow's lifetime, turning
+    // `&'a (dyn Fn(usize) + Sync)` into the `'static`-bounded raw pointer
+    // the `Job` field wants (layout-identical: wide pointer to the same
+    // trait object). The erasure is sound because the job never outlives
+    // this call — `job.wait()` below blocks until every task finished,
+    // after which no thread dereferences `task` again.
+    let task: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task_ref) };
     let job = Arc::new(Job {
         task,
         total: tasks,
@@ -245,7 +252,14 @@ pub fn parallel_for<F: Fn(usize) + Sync>(tasks: usize, f: F) {
 /// Raw-pointer wrapper that lets disjoint sub-slices be written from
 /// multiple workers. Kept private: all aliasing reasoning lives here.
 struct SendPtr<T>(*mut T);
+// SAFETY: `SendPtr` wraps the base pointer of a `&mut [T]` whose owner
+// is blocked inside `parallel_for_chunks` for the wrapper's whole
+// lifetime, so sending it to a worker cannot outlive the slice; `T: Send`
+// keeps the element type itself movable across threads.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` only exposes `get()`, and every user derives
+// pairwise-disjoint `[start, end)` sub-slices from it (see
+// `parallel_for_chunks`), so no two threads ever alias the same element.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {

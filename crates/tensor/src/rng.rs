@@ -262,7 +262,7 @@ mod tests {
         let mut state: u64 = 0;
         let inc = (initseq << 1) | 1;
         let mut out = Vec::new();
-        let mut step = |state: &mut u64| {
+        let step = |state: &mut u64| {
             let old = *state;
             *state = old.wrapping_mul(PCG_MULT).wrapping_add(inc);
             let xorshifted = (((old >> 18) ^ old) >> 27) as u32;

@@ -7,20 +7,25 @@
 //! space, so that synonyms land close together in embedding distance —
 //! the property GloVe provides in the original paper.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use nlidb_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::tokenize::tokenize;
 
 /// Synonym clusters plus per-column mention/describe phrase metadata.
+///
+/// The phrase maps are `BTreeMap` so that any future iteration over them
+/// (serialization, phrase matching sweeps) is key-ordered by construction;
+/// `word_to_group` stays a `HashMap` because it is only ever probed by
+/// key, never iterated.
 #[derive(Debug, Clone, Default)]
 pub struct Lexicon {
     groups: Vec<Vec<String>>,
     // Derived from `groups`; rebuilt after deserialization, never serialized.
     word_to_group: HashMap<String, usize>,
-    mention_phrases: HashMap<String, Vec<Vec<String>>>,
-    describe_phrases: HashMap<String, Vec<String>>,
+    mention_phrases: BTreeMap<String, Vec<Vec<String>>>,
+    describe_phrases: BTreeMap<String, Vec<String>>,
 }
 
 impl ToJson for Lexicon {

@@ -337,7 +337,11 @@ pub fn write_if_enabled(run: &str) {
         return;
     }
     match write(run) {
+        // lint:allow(no-print-in-lib): operator notice on stderr, reachable
+        // only when NLIDB_TRACE is set; never on the untraced path.
         Ok(path) => eprintln!("(wrote {})", path.display()),
+        // lint:allow(no-print-in-lib): failing to persist a trace must be
+        // visible but must not abort the experiment that produced it.
         Err(e) => eprintln!("trace: could not write report for {run}: {e}"),
     }
 }

@@ -8,7 +8,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Warnings are errors everywhere in verification. Exported once so every
+# cargo invocation below shares the same flags (and therefore the same
+# build fingerprints — no mid-script rebuilds).
+export RUSTFLAGS="-D warnings"
+
 cargo build --release --offline
+
+# Static analysis: the in-tree determinism & safety lint must report
+# zero unsuppressed diagnostics (DESIGN.md "Static analysis"). The same
+# bar runs as tests/lint_guard.rs; this surfaces file:line output.
+cargo run -q --release --offline -p nlidb-lint
 
 # The full suite twice: once pinned to the exact serial path, once with
 # the pool at its default width. The threading contract (DESIGN.md

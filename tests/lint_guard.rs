@@ -1,0 +1,222 @@
+//! Tier-1 guard for the `nlidb-lint` static-analysis pass.
+//!
+//! Two obligations, both load-bearing:
+//!
+//! 1. **The workspace is lint-clean.** `run_workspace` over the real
+//!    tree must return zero diagnostics — the same bar `cargo run -p
+//!    nlidb-lint` enforces in `scripts/verify.sh`, so a regression
+//!    fails the plain `cargo test` everyone runs.
+//! 2. **The lint still catches what it claims to.** Each rule is fed a
+//!    deliberately-violating fixture (must fire) and its closest
+//!    conforming twin (must stay silent). Without these, a refactor
+//!    that quietly lobotomises a rule would leave obligation 1 passing
+//!    vacuously.
+//!
+//! Fixtures live in `crates/lint/fixtures/` and are never compiled;
+//! they are checked through `nlidb_lint::check_source` under synthetic
+//! workspace-relative paths that put them in the scope each rule
+//! watches (e.g. a deterministic crate's `src/`).
+
+use std::path::{Path, PathBuf};
+
+fn root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn fixture(name: &str) -> String {
+    let path = root().join("crates/lint/fixtures").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+/// Runs `check_source` on a fixture under a synthetic path.
+fn check(fixture_name: &str, synthetic_path: &str) -> Vec<nlidb_lint::Diagnostic> {
+    nlidb_lint::check_source(synthetic_path, &fixture(fixture_name))
+}
+
+fn rules_fired(diags: &[nlidb_lint::Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule.as_str()).collect()
+}
+
+// ---------------------------------------------------------------------
+// Obligation 1: the real tree is clean, and the walker actually walked.
+// ---------------------------------------------------------------------
+
+#[test]
+fn workspace_is_lint_clean() {
+    let diags = nlidb_lint::run_workspace(root());
+    assert!(
+        diags.is_empty(),
+        "workspace has unsuppressed lint diagnostics:\n{}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn walker_covers_the_workspace() {
+    // A clean run over zero files proves nothing; pin the coverage.
+    let files = nlidb_lint::workspace_sources(root());
+    assert!(
+        files.len() >= 50,
+        "walker found only {} files; the walk roots have moved",
+        files.len()
+    );
+    for expected in [
+        "src/lib.rs",
+        "tests/lint_guard.rs",
+        "crates/tensor/src/pool.rs",
+        "crates/lint/src/lib.rs",
+        "crates/trace/src/lib.rs",
+    ] {
+        assert!(files.iter().any(|f| f == expected), "walker missed {expected}");
+    }
+    // Fixtures are data, not sources: they must stay out of the walk,
+    // otherwise the deliberate violations above would fail obligation 1.
+    assert!(
+        !files.iter().any(|f| f.contains("fixtures/")),
+        "fixture files leaked into the workspace walk"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Obligation 2: one firing and one silent fixture per rule.
+// ---------------------------------------------------------------------
+
+/// Asserts the fixture fires `rule` (and nothing else) under `path`.
+fn assert_fires(fixture_name: &str, path: &str, rule: &str) {
+    let diags = check(fixture_name, path);
+    assert!(
+        diags.iter().any(|d| d.rule == rule),
+        "{fixture_name}: expected `{rule}` to fire, got {:?}",
+        rules_fired(&diags)
+    );
+    assert!(
+        diags.iter().all(|d| d.rule == rule),
+        "{fixture_name}: unexpected extra rules fired: {:?}",
+        rules_fired(&diags)
+    );
+}
+
+/// Asserts the fixture produces zero diagnostics under `path`.
+fn assert_silent(fixture_name: &str, path: &str) {
+    let diags = check(fixture_name, path);
+    assert!(
+        diags.is_empty(),
+        "{fixture_name}: expected silence, got:\n{}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn hashmap_iteration_fixtures() {
+    let diags = check("hashmap_iteration_pos.rs", "crates/storage/src/fixture.rs");
+    assert!(
+        diags.iter().filter(|d| d.rule == "hashmap-iteration").count() >= 3,
+        "expected the field draw, the param draw, and the for-loop all flagged, got:\n{:?}",
+        rules_fired(&diags)
+    );
+    assert_silent("hashmap_iteration_neg.rs", "crates/storage/src/fixture.rs");
+    // Outside the deterministic crates the rule does not apply at all.
+    assert_silent("hashmap_iteration_pos.rs", "crates/bench/src/fixture.rs");
+}
+
+#[test]
+fn wall_clock_fixtures() {
+    assert_fires("wall_clock_pos.rs", "crates/core/src/fixture.rs", "wall-clock");
+    assert_silent("wall_clock_neg.rs", "crates/core/src/fixture.rs");
+    // The trace crate owns the clock; the same source is legal there.
+    assert_silent("wall_clock_pos.rs", "crates/trace/src/fixture.rs");
+}
+
+#[test]
+fn raw_spawn_fixtures() {
+    assert_fires("raw_spawn_pos.rs", "crates/core/src/fixture.rs", "raw-spawn");
+    assert_silent("raw_spawn_neg.rs", "crates/tensor/src/fixture.rs");
+    // The pool implementation is the one allowed spawn site.
+    assert_silent("raw_spawn_pos.rs", "crates/tensor/src/pool.rs");
+}
+
+#[test]
+fn unsafe_safety_fixtures() {
+    let diags = check("unsafe_safety_pos.rs", "crates/tensor/src/fixture.rs");
+    assert_eq!(
+        diags.iter().filter(|d| d.rule == "unsafe-needs-safety-comment").count(),
+        2,
+        "both the bare unsafe and the comment-with-a-gap must be flagged:\n{:?}",
+        rules_fired(&diags)
+    );
+    assert_silent("unsafe_safety_neg.rs", "crates/tensor/src/fixture.rs");
+}
+
+#[test]
+fn no_print_fixtures() {
+    let diags = check("no_print_pos.rs", "crates/text/src/fixture.rs");
+    assert_eq!(
+        diags.iter().filter(|d| d.rule == "no-print-in-lib").count(),
+        2,
+        "println! and eprintln! must both be flagged:\n{:?}",
+        rules_fired(&diags)
+    );
+    // The same prints are fine in a test target and in a #[cfg(test)] module.
+    assert_silent("no_print_pos.rs", "crates/text/tests/fixture.rs");
+    assert_silent("no_print_neg.rs", "crates/text/src/fixture.rs");
+}
+
+#[test]
+fn env_read_fixtures() {
+    assert_fires("env_read_pos.rs", "crates/data/src/fixture.rs", "env-read");
+    assert_silent("env_read_neg.rs", "crates/data/src/fixture.rs");
+    // Allowlisted site: the pool reads NLIDB_THREADS legitimately.
+    assert_silent("env_read_pos.rs", "crates/tensor/src/pool.rs");
+}
+
+#[test]
+fn scanner_ignores_comments_and_literals() {
+    // Trigger words for every rule, all inside comments / strings / raw
+    // strings / char and byte literals — under the strictest scope.
+    assert_silent("scanner_tricky_neg.rs", "crates/storage/src/fixture.rs");
+}
+
+#[test]
+fn lint_allow_fixtures() {
+    let diags = check("lint_allow_pos.rs", "crates/core/src/fixture.rs");
+    let fired = rules_fired(&diags);
+    // A reason-less allow suppresses nothing and is itself flagged.
+    assert!(fired.contains(&"raw-spawn"), "reason-less allow must not suppress: {fired:?}");
+    assert!(fired.contains(&"lint-allow-needs-reason"), "{fired:?}");
+    // An allow naming a nonexistent rule is a typo diagnostic.
+    assert!(fired.contains(&"lint-allow-unknown-rule"), "{fired:?}");
+
+    // Reasoned allows — above the site and trailing — fully suppress.
+    assert_silent("lint_allow_neg.rs", "crates/core/src/fixture.rs");
+}
+
+// ---------------------------------------------------------------------
+// dependency-policy fixtures run against synthetic temp workspaces.
+// ---------------------------------------------------------------------
+
+fn temp_workspace(tag: &str, crate_manifest: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nlidb-lint-guard-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("crates/x")).unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/*\"]\n").unwrap();
+    std::fs::write(dir.join("crates/x/Cargo.toml"), crate_manifest).unwrap();
+    dir
+}
+
+#[test]
+fn dependency_policy_fixtures() {
+    let pos = temp_workspace("pos", &fixture("dependency_policy_pos.toml"));
+    let diags = nlidb_lint::deps::check_manifests(&pos);
+    assert!(diags.iter().all(|d| d.rule == "dependency-policy"), "{diags:?}");
+    // libc (registry), git dep, and tempfile (registry) are non-hermetic;
+    // serde is hermetic by path but banned by name.
+    assert_eq!(diags.len(), 4, "{diags:?}");
+    assert!(diags.iter().any(|d| d.message.contains("banned registry crate `serde`")));
+
+    let neg = temp_workspace("neg", &fixture("dependency_policy_neg.toml"));
+    assert!(nlidb_lint::deps::check_manifests(&neg).is_empty());
+
+    let _ = std::fs::remove_dir_all(&pos);
+    let _ = std::fs::remove_dir_all(&neg);
+}
