@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use nlidb_core::mention::adversarial::influence;
 use nlidb_core::mention::classifier::{training_pairs, MentionClassifier};
+use nlidb_core::serve::{ServeEngine, ServeOptions, ServeRequest};
 use nlidb_core::vocab::build_input_vocab;
 use nlidb_core::{ModelConfig, Nlidb, NlidbOptions};
 use nlidb_data::wikisql::{generate, WikiSqlConfig};
@@ -196,6 +197,41 @@ fn bench_pipeline(records: &mut Vec<Record>) {
     });
 }
 
+/// Batched serving: a repeated-table workload (64 requests cycling over 8
+/// questions against a handful of tables). `batch_1_cold` is the
+/// per-example baseline through a cache-less engine; `batch_64_cold`
+/// shows the per-table context amortization and within-batch dedup;
+/// `batch_64_warm` serves the whole batch out of a warmed cache. The
+/// `serve_smoke` verify bin asserts the warm/cold throughput ratio; here
+/// we just record the numbers.
+fn bench_serve(records: &mut Vec<Record>) {
+    let mut gen_cfg = WikiSqlConfig::tiny(7);
+    gen_cfg.questions_per_table = 4;
+    let ds = generate(&gen_cfg);
+    let opts = NlidbOptions { model: ModelConfig::tiny(), ..NlidbOptions::default() };
+    let nlidb = Nlidb::train(&ds, opts);
+    let pool_size = ds.dev.len().min(8);
+    let reqs: Vec<ServeRequest<'_>> = (0..64)
+        .map(|i| {
+            let e = &ds.dev[i % pool_size];
+            ServeRequest { question: &e.question, table: &e.table }
+        })
+        .collect();
+    bench("serve/batch_1_cold", records, || {
+        let mut engine = ServeEngine::new(&nlidb, ServeOptions { cache_capacity: 0 });
+        black_box(engine.serve(black_box(&reqs[..1])));
+    });
+    bench("serve/batch_64_cold", records, || {
+        let mut engine = ServeEngine::new(&nlidb, ServeOptions { cache_capacity: 0 });
+        black_box(engine.serve(black_box(&reqs)));
+    });
+    let mut warm = ServeEngine::new(&nlidb, ServeOptions::default());
+    black_box(warm.serve(&reqs));
+    bench("serve/batch_64_warm", records, || {
+        black_box(warm.serve(black_box(&reqs)));
+    });
+}
+
 fn main() {
     println!("{:<32} {:>12} {:>10}", "benchmark", "median", "iters");
     println!("{}", "-".repeat(56));
@@ -205,6 +241,7 @@ fn main() {
     bench_models(&mut records);
     bench_threading(&mut records);
     bench_pipeline(&mut records);
+    bench_serve(&mut records);
     let rows: Vec<nlidb_json::Json> = records
         .iter()
         .map(|r| json!({"name": r.name, "median_ns": r.median_ns, "iters": r.iters}))

@@ -18,6 +18,9 @@
 //!   recover.
 //! - [`metrics`] — `Acc_lf` / `Acc_qm` / `Acc_ex` and §VII-A1 mention
 //!   accuracy.
+//! - [`serve`] — batched inference: per-table context sharing, pool
+//!   fan-out, and a deterministic bounded prediction cache, byte-identical
+//!   to the per-example path.
 //! - [`baselines`] — Seq2SQL-, SQLNet-, and TypeSQL-style comparators.
 
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@ pub mod mention;
 pub mod metrics;
 pub mod pipeline;
 pub mod seq2seq;
+pub mod serve;
 pub mod train;
 pub mod transformer;
 pub mod vocab;
@@ -39,4 +43,5 @@ pub use annotate::{AnnotateConfig, Annotation, SymbolEncoding};
 pub use config::ModelConfig;
 pub use mention::MentionDetector;
 pub use metrics::{cond_col_val_accuracy, evaluate, EvalResult};
-pub use pipeline::{Nlidb, NlidbOptions};
+pub use pipeline::{Nlidb, NlidbOptions, TableContext};
+pub use serve::{serve_batch, PredictionCache, ServeEngine, ServeOptions, ServeRequest};

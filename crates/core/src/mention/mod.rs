@@ -24,7 +24,7 @@ use adversarial::locate_mention;
 use classifier::{training_pairs, MentionClassifier};
 use matcher::{context_free_matches, ColumnCandidate, MatchSource, MatcherConfig};
 use resolve::resolve;
-use value::{content_matches, training_triples, ValueDetector};
+use value::{content_matches_indexed, training_triples, ValueDetector, ValueIndex};
 
 /// One detected mention slot, in question-appearance order.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +50,26 @@ impl DetectedSlot {
             (None, None) => usize::MAX,
         }
     }
+}
+
+/// Per-table detection state that is independent of the question: column
+/// names and their tokenizations, the §II statistics (`s_c` centroids),
+/// and the content-match [`ValueIndex`]. Detection over `k` questions
+/// against one table builds this once instead of `k` times — the
+/// amortization the batched serving engine (`nlidb_core::serve`) relies
+/// on. All fields are pure functions of the table and the detector's
+/// embedding space, so detection through a context is byte-identical to
+/// the direct [`MentionDetector::detect`] path.
+#[derive(Debug, Clone)]
+pub struct DetectContext {
+    /// Column names, schema order.
+    pub names: Vec<String>,
+    /// `tokenize(name)` per column, schema order.
+    pub name_tokens: Vec<Vec<String>>,
+    /// §II database statistics for the value detector.
+    pub stats: TableStats,
+    /// Content index for context-free value matching.
+    pub value_index: ValueIndex,
 }
 
 /// The full §IV mention-detection stack.
@@ -117,25 +137,50 @@ impl MentionDetector {
         &self.lexicon
     }
 
+    /// Builds the reusable per-table detection context (see
+    /// [`DetectContext`]). Pure in the table and the embedding space.
+    pub fn table_context(&self, table: &Table) -> DetectContext {
+        let names = table.column_names();
+        let name_tokens = names.iter().map(|n| nlidb_text::tokenize(n)).collect();
+        DetectContext {
+            names,
+            name_tokens,
+            stats: TableStats::compute(table, &self.space),
+            value_index: ValueIndex::build(table),
+        }
+    }
+
     /// Detects column-mention candidates: context-free tier first, then
     /// the neural classifier + adversarial localization for columns the
     /// context-free tier missed (§IV-A's two-stage strategy).
     pub fn detect_columns(&self, question: &[String], table: &Table) -> Vec<ColumnCandidate> {
+        self.detect_columns_in(question, &self.table_context(table))
+    }
+
+    /// [`Self::detect_columns`] against a prebuilt [`DetectContext`].
+    pub fn detect_columns_in(
+        &self,
+        question: &[String],
+        ctx: &DetectContext,
+    ) -> Vec<ColumnCandidate> {
         if question.is_empty() {
             return Vec::new();
         }
-        let names = table.column_names();
-        let mut found =
-            context_free_matches(question, &names, &self.space, &self.lexicon, &self.matcher_cfg);
+        let mut found = context_free_matches(
+            question,
+            &ctx.names,
+            &self.space,
+            &self.lexicon,
+            &self.matcher_cfg,
+        );
         let covered: Vec<usize> = found.iter().map(|c| c.column).collect();
-        for (ci, name) in names.iter().enumerate() {
+        for (ci, col_tokens) in ctx.name_tokens.iter().enumerate() {
             if covered.contains(&ci) {
                 continue;
             }
-            let col_tokens = nlidb_text::tokenize(name);
-            let p = self.classifier.predict(question, &col_tokens);
+            let p = self.classifier.predict(question, col_tokens);
             if p > 0.58 {
-                if let Some(span) = locate_mention(&self.classifier, question, &col_tokens, &self.cfg)
+                if let Some(span) = locate_mention(&self.classifier, question, col_tokens, &self.cfg)
                 {
                     // A context-free candidate already claiming the span is
                     // more precise than the gradient signal; skip overlaps.
@@ -160,14 +205,20 @@ impl MentionDetector {
     /// Runs the full detection + resolution, returning slots in
     /// appearance order (capped at the configured slot budget).
     pub fn detect(&self, question: &[String], table: &Table) -> Vec<DetectedSlot> {
-        let col_mentions = self.detect_columns(question, table);
-        let stats = TableStats::compute(table, &self.space);
+        self.detect_in(question, &self.table_context(table))
+    }
+
+    /// [`Self::detect`] against a prebuilt [`DetectContext`] — the batched
+    /// path; byte-identical to `detect` for a context built from the same
+    /// table.
+    pub fn detect_in(&self, question: &[String], ctx: &DetectContext) -> Vec<DetectedSlot> {
+        let col_mentions = self.detect_columns_in(question, ctx);
         // Content-matched values first (context-free tier), then the
         // statistical classifier for spans content matching missed —
         // counterfactual values (§III challenge 4) arrive through the
         // second path.
-        let mut val_mentions = content_matches(question, table);
-        for vm in self.value_detector.detect(question, &stats) {
+        let mut val_mentions = content_matches_indexed(question, &ctx.value_index);
+        for vm in self.value_detector.detect(question, &ctx.stats) {
             let overlaps = val_mentions
                 .iter()
                 .any(|k| vm.span.0 < k.span.1 && k.span.0 < vm.span.1);

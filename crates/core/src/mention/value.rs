@@ -164,6 +164,67 @@ impl ValueDetector {
     }
 }
 
+/// A prebuilt index of a table's cell contents for [`content_matches`].
+///
+/// A question span matches a cell when their canonical texts agree up to
+/// internal spacing (`canon == text || squeeze(canon) == squeeze(text)`;
+/// since equality implies squeezed equality, the condition reduces to
+/// squeezed equality). The index therefore buckets every cell by the
+/// *squeezed* canonical text, keeping — per bucket, per column — the
+/// canonical text of the first matching cell in column order, which is
+/// exactly what the linear scan reports. Building it is one pass over the
+/// table, after which each span lookup is `O(log cells)` instead of a
+/// full table scan — the per-table work the serving engine amortizes
+/// across a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueIndex {
+    /// squeezed canonical cell text -> (column -> first cell's canonical
+    /// text in that column). `BTreeMap` keeps column iteration in
+    /// ascending order, matching the scan's column loop.
+    buckets: std::collections::BTreeMap<String, std::collections::BTreeMap<usize, String>>,
+    ncols: usize,
+}
+
+fn squeeze(t: &str) -> String {
+    t.replace(' ', "")
+}
+
+impl ValueIndex {
+    /// Indexes every cell of a table.
+    pub fn build(table: &nlidb_storage::Table) -> ValueIndex {
+        let mut buckets: std::collections::BTreeMap<
+            String,
+            std::collections::BTreeMap<usize, String>,
+        > = std::collections::BTreeMap::new();
+        for c in 0..table.num_cols() {
+            for v in table.column_values(c) {
+                let canon = v.canonical_text();
+                // First cell per (bucket, column) wins, as in the scan.
+                buckets
+                    .entry(squeeze(&canon))
+                    .or_default()
+                    .entry(c)
+                    .or_insert(canon);
+            }
+        }
+        ValueIndex { buckets, ncols: table.num_cols() }
+    }
+
+    /// Number of columns in the indexed table.
+    pub fn num_cols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Columns whose cells match `span_text` (lowercased joined span),
+    /// with the first matching column's cell text — `None` when no cell
+    /// matches anywhere.
+    fn lookup(&self, span_text: &str) -> Option<(&std::collections::BTreeMap<usize, String>, &str)> {
+        let bucket = self.buckets.get(&squeeze(span_text))?;
+        let (_, first_text) = bucket.iter().next().expect("buckets are never empty");
+        Some((bucket, first_text))
+    }
+}
+
 /// Context-free value matching against table *content*: spans whose
 /// canonical text equals some cell of a column. High precision for the
 /// (majority of) values that do occur in the table; the statistical
@@ -171,11 +232,59 @@ impl ValueDetector {
 /// classifier candidates, content spans may contain stop words ("tide by
 /// the sea" is a legitimate title).
 pub fn content_matches(question: &[String], table: &nlidb_storage::Table) -> Vec<ValueMention> {
+    content_matches_indexed(question, &ValueIndex::build(table))
+}
+
+/// [`content_matches`] against a prebuilt [`ValueIndex`] — byte-identical
+/// output (pinned by `indexed_content_matches_equal_scan`), without the
+/// per-span table scan.
+pub fn content_matches_indexed(question: &[String], index: &ValueIndex) -> Vec<ValueMention> {
+    let n = question.len();
+    let ncols = index.ncols;
+    let mut out: Vec<ValueMention> = Vec::new();
+    let max_span = 6usize;
+    for a in 0..n {
+        for len in (1..=max_span.min(n - a)).rev() {
+            let b = a + len;
+            let text = question[a..b].join(" ").to_lowercase();
+            if let Some((cols, cell_text)) = index.lookup(&text) {
+                let mut scores = vec![0.0f32; ncols];
+                for (&c, _) in cols {
+                    scores[c] = 1.0;
+                }
+                let column = *cols.keys().next().expect("non-empty bucket");
+                out.push(ValueMention {
+                    span: (a, b),
+                    column,
+                    score: 1.0,
+                    column_scores: scores,
+                    text: Some(cell_text.to_string()),
+                });
+            }
+        }
+    }
+    // Prefer longer matches; drop spans contained in a longer chosen one.
+    out.sort_by(|x, y| {
+        (y.span.1 - y.span.0).cmp(&(x.span.1 - x.span.0)).then(x.span.0.cmp(&y.span.0))
+    });
+    let mut chosen: Vec<ValueMention> = Vec::new();
+    for c in out {
+        if chosen.iter().all(|k| c.span.1 <= k.span.0 || k.span.1 <= c.span.0) {
+            chosen.push(c);
+        }
+    }
+    chosen.sort_by_key(|c| c.span.0);
+    chosen
+}
+
+/// The original per-span linear scan, kept verbatim as the test oracle
+/// for `content_matches_indexed` (the production path).
+#[cfg(test)]
+fn scan_content_matches(question: &[String], table: &nlidb_storage::Table) -> Vec<ValueMention> {
     let n = question.len();
     let ncols = table.num_cols();
     let mut out: Vec<ValueMention> = Vec::new();
     let max_span = 6usize;
-    let squeeze = |t: &str| t.replace(' ', "");
     for a in 0..n {
         for len in (1..=max_span.min(n - a)).rev() {
             let b = a + len;
@@ -205,7 +314,6 @@ pub fn content_matches(question: &[String], table: &nlidb_storage::Table) -> Vec
             }
         }
     }
-    // Prefer longer matches; drop spans contained in a longer chosen one.
     out.sort_by(|x, y| {
         (y.span.1 - y.span.0).cmp(&(x.span.1 - x.span.0)).then(x.span.0.cmp(&y.span.0))
     });
@@ -379,5 +487,49 @@ mod tests {
         let (det, ds, space) = setup();
         let stats = TableStats::compute(&ds.train[0].table, &space);
         assert!(det.detect(&[], &stats).is_empty());
+    }
+
+    #[test]
+    fn indexed_content_matches_equal_scan() {
+        // The ValueIndex fast path must reproduce the linear scan exactly
+        // — same spans, same columns, same score vectors, same cell-text
+        // overrides — on every generated question, plus adversarial spans
+        // (values of *other* tables, shuffled subspans).
+        let ds = generate(&WikiSqlConfig::tiny(43));
+        let mut rng = nlidb_tensor::Rng::seed_from_u64(0x1DE);
+        let mut checked = 0;
+        for e in ds.train.iter().chain(&ds.dev).take(60) {
+            let index = ValueIndex::build(&e.table);
+            assert_eq!(index.num_cols(), e.table.num_cols());
+            let scan = super::scan_content_matches(&e.question, &e.table);
+            let fast = content_matches_indexed(&e.question, &index);
+            assert_eq!(scan, fast, "mismatch on {:?}", e.question);
+            // Cross-table question: values rarely present in this table.
+            let other = &ds.train[rng.gen_range(0..ds.train.len())];
+            let scan = super::scan_content_matches(&other.question, &e.table);
+            let fast = content_matches_indexed(&other.question, &index);
+            assert_eq!(scan, fast);
+            checked += 1;
+        }
+        assert!(checked >= 40);
+    }
+
+    #[test]
+    fn index_reports_first_matching_column_and_cell_text() {
+        use nlidb_storage::{Column, DataType, Schema, Value};
+        let schema = Schema::new(vec![
+            Column::new("A", DataType::Text),
+            Column::new("B", DataType::Text),
+        ]);
+        let mut t = nlidb_storage::Table::new("t", schema);
+        // "x y" appears in both columns with different surface forms; the
+        // scan reports column 0 and column 0's first cell's canonical text.
+        t.push_row(vec![Value::Text("X  Y".into()), Value::Text("xy".into())]);
+        let q: Vec<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+        let found = content_matches(&q, &t);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].column, 0);
+        assert_eq!(found[0].column_scores, vec![1.0, 1.0], "both columns match");
+        assert_eq!(found[0].text.as_deref(), Some("x y"));
     }
 }

@@ -14,7 +14,7 @@ use nlidb_text::{EmbeddingSpace, Lexicon, Vocab};
 
 use crate::annotate::{annotate, annotate_gold, gold_target, AnnotateConfig, Annotation};
 use crate::config::ModelConfig;
-use crate::mention::MentionDetector;
+use crate::mention::{DetectContext, MentionDetector};
 use crate::seq2seq::{Seq2Seq, Seq2SeqItem};
 use crate::transformer::TransformerSeq2Seq;
 use crate::vocab::{build_input_vocab, OutVocab};
@@ -71,6 +71,20 @@ impl Default for NlidbOptions {
             use_transformer: false,
         }
     }
+}
+
+/// Reusable per-table inference state (see [`Nlidb::table_context`]).
+///
+/// Everything here is a pure function of the table and the trained
+/// system, so one context can serve any number of questions against its
+/// table with predictions byte-identical to the context-free path.
+#[derive(Debug, Clone)]
+pub struct TableContext {
+    /// [`Table::fingerprint`] of the source table — the table half of the
+    /// serving cache key.
+    pub fingerprint: u64,
+    /// The mention-detection half of the context.
+    pub detect: DetectContext,
 }
 
 /// The trained end-to-end system.
@@ -175,17 +189,38 @@ impl Nlidb {
         self.out_vocab.decode(&ids)
     }
 
+    /// Builds the reusable per-table inference context: everything the
+    /// `q -> s` path derives from the table alone (column names and
+    /// tokens, §II statistics, the content-match value index, and the
+    /// table's content fingerprint). Prediction through a context is
+    /// byte-identical to the direct path — the context fields are pure
+    /// functions of the table — so the batched serving engine
+    /// ([`crate::serve`]) builds one context per distinct table and
+    /// amortizes it across every question in the batch.
+    pub fn table_context(&self, table: &Table) -> TableContext {
+        let _t = nlidb_trace::span("pipeline.table_context");
+        TableContext {
+            fingerprint: table.fingerprint(),
+            detect: self.detector.table_context(table),
+        }
+    }
+
     /// Runs annotation (step 1) on a question/table pair.
     pub fn annotate_question(&self, question: &[String], table: &Table) -> Annotation {
+        self.annotate_question_in(question, &self.table_context(table))
+    }
+
+    /// [`Self::annotate_question`] against a prebuilt [`TableContext`].
+    pub fn annotate_question_in(&self, question: &[String], ctx: &TableContext) -> Annotation {
         let _t = nlidb_trace::span("pipeline.annotate");
         let slots = {
             let _t = nlidb_trace::span("pipeline.mention_detect");
-            self.detector.detect(question, table)
+            self.detector.detect_in(question, &ctx.detect)
         };
         annotate(
             question,
             &slots,
-            &table.column_names(),
+            &ctx.detect.names,
             &self.opts.annotate,
             self.opts.model.max_headers,
         )
@@ -199,7 +234,14 @@ impl Nlidb {
     /// paper's pipeline so the interface always answers when mentions were
     /// found.
     pub fn predict(&self, question: &[String], table: &Table) -> Option<Query> {
-        let (sa, map) = self.predict_annotated(question, table);
+        self.predict_in(question, &self.table_context(table))
+    }
+
+    /// [`Self::predict`] against a prebuilt [`TableContext`] — the batched
+    /// path; byte-identical to `predict` for a context built from the
+    /// same table.
+    pub fn predict_in(&self, question: &[String], ctx: &TableContext) -> Option<Query> {
+        let (sa, map) = self.predict_annotated_in(question, ctx);
         let _t = nlidb_trace::span("pipeline.recover");
         recover(&sa, &map).ok().or_else(|| fallback_query(&map))
     }
@@ -210,7 +252,16 @@ impl Nlidb {
         question: &[String],
         table: &Table,
     ) -> (AnnotatedSql, AnnotationMap) {
-        let ann = self.annotate_question(question, table);
+        self.predict_annotated_in(question, &self.table_context(table))
+    }
+
+    /// [`Self::predict_annotated`] against a prebuilt [`TableContext`].
+    pub fn predict_annotated_in(
+        &self,
+        question: &[String],
+        ctx: &TableContext,
+    ) -> (AnnotatedSql, AnnotationMap) {
+        let ann = self.annotate_question_in(question, ctx);
         let sa = self.translate(&ann.tokens);
         (sa, ann.map)
     }

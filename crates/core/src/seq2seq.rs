@@ -296,9 +296,34 @@ impl Seq2Seq {
         (probs, g.value(d).clone(), g.value(att.context).clone())
     }
 
-    /// Greedy decoding.
+    /// Greedy decoding: equivalent to [`Self::decode_beam`] with width 1,
+    /// without carrying beam bookkeeping. Ties break to the lowest token
+    /// index (strict `>` keeps the first maximum), matching the beam
+    /// path's stable descending sort — `decode_beam1_matches_greedy` in
+    /// the regression suite pins this, including on exact score ties.
     pub fn decode_greedy(&self, src: &[usize], copy: &[Option<usize>]) -> Vec<usize> {
-        self.decode_beam(src, copy, 1)
+        let (h, mut d, mut beta) = self.encode_values(src);
+        let copy_m = if self.copy_enabled { Some(self.copy_matrix(copy)) } else { None };
+        let eos = self.out_vocab.eos();
+        let bos = self.out_vocab.bos();
+        let mut seq = Vec::new();
+        for _ in 0..MAX_DECODE_LEN {
+            let prev = *seq.last().unwrap_or(&bos);
+            let (probs, d_next, beta_next) = self.decode_step(&h, &d, &beta, prev, &copy_m);
+            let mut best = 0;
+            for (tok, &p) in probs.iter().enumerate() {
+                if p > probs[best] {
+                    best = tok;
+                }
+            }
+            if best == eos {
+                break;
+            }
+            seq.push(best);
+            d = d_next;
+            beta = beta_next;
+        }
+        seq
     }
 
     /// Beam-search decoding (paper: width 5). Returns the best token

@@ -84,6 +84,85 @@ impl Table {
     pub fn column_names(&self) -> Vec<String> {
         self.schema.column_names()
     }
+
+    /// Deterministic 64-bit content fingerprint of the table: FNV-1a over
+    /// the name, the schema (column names and types), and every cell in
+    /// column-major order, with length/variant framing so distinct
+    /// contents cannot collide by concatenation ambiguity. Two tables
+    /// fingerprint equal iff they have equal name, schema, and cells —
+    /// which is exactly when every pipeline stage treats them the same,
+    /// so the value is usable as a cache key for per-table work.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str(&self.name);
+        h.write_usize(self.schema.len());
+        for i in 0..self.schema.len() {
+            let col = self.schema.column(i);
+            h.write_str(&col.name);
+            h.write_u8(match col.dtype {
+                DataType::Text => 0,
+                DataType::Int => 1,
+                DataType::Float => 2,
+            });
+        }
+        h.write_usize(self.rows);
+        for col in &self.columns {
+            for v in col {
+                match v {
+                    Value::Null => h.write_u8(0),
+                    Value::Int(i) => {
+                        h.write_u8(1);
+                        h.write_bytes(&i.to_le_bytes());
+                    }
+                    Value::Float(f) => {
+                        h.write_u8(2);
+                        h.write_bytes(&f.to_bits().to_le_bytes());
+                    }
+                    Value::Text(t) => {
+                        h.write_u8(3);
+                        h.write_str(t);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a 64-bit hasher for [`Table::fingerprint`]. In-tree so
+/// the fingerprint is stable across Rust versions (unlike `DefaultHasher`,
+/// whose algorithm is unspecified).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.write_bytes(&[b]);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_bytes(&(n as u64).to_le_bytes());
+    }
+
+    /// Length-prefixed so `("ab","c")` and `("a","bc")` hash differently.
+    fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 impl ToJson for Table {
@@ -185,5 +264,53 @@ mod tests {
         let mut t = film_table();
         t.push_row(vec![Value::Null, Value::Null, Value::Null]);
         assert_eq!(t.num_rows(), 3);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_content_sensitive() {
+        let a = film_table();
+        let b = film_table();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal content, equal fingerprint");
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+
+        // Any content change moves the fingerprint.
+        let mut renamed = film_table();
+        renamed.name = "films2".into();
+        assert_ne!(a.fingerprint(), renamed.fingerprint());
+
+        let mut extra_row = film_table();
+        extra_row.push_row(vec![Value::Null, Value::Null, Value::Null]);
+        assert_ne!(a.fingerprint(), extra_row.fingerprint());
+
+        let schema = Schema::new(vec![
+            Column::new("Film Name", DataType::Text),
+            Column::new("Director", DataType::Text),
+            Column::new("Year", DataType::Float),
+        ]);
+        let retyped = Table::new("films", schema);
+        let base = Table::new("films", film_table().schema().clone());
+        assert_ne!(base.fingerprint(), retyped.fingerprint(), "dtype is part of the hash");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_value_variants_and_framing() {
+        // Int(2002) vs Text("2002"): same canonical text, different cells.
+        let schema = Schema::new(vec![Column::new("Year", DataType::Int)]);
+        let mut int_t = Table::new("t", schema.clone());
+        int_t.push_row(vec![Value::Int(2002)]);
+        let mut text_t = Table::new("t", schema);
+        text_t.push_row(vec![Value::Text("2002".into())]);
+        assert_ne!(int_t.fingerprint(), text_t.fingerprint());
+
+        // Length framing: ("ab","c") vs ("a","bc") column names differ.
+        let s1 = Schema::new(vec![
+            Column::new("ab", DataType::Text),
+            Column::new("c", DataType::Text),
+        ]);
+        let s2 = Schema::new(vec![
+            Column::new("a", DataType::Text),
+            Column::new("bc", DataType::Text),
+        ]);
+        assert_ne!(Table::new("t", s1).fingerprint(), Table::new("t", s2).fingerprint());
     }
 }

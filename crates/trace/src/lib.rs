@@ -229,6 +229,13 @@ pub fn series(name: &'static str, value: f64) {
     }
 }
 
+/// Reads the current value of a named counter (0 when absent or when
+/// tracing never recorded it). Lets tests and smoke binaries assert on
+/// counters (e.g. `serve.cache.hits`) without parsing a snapshot.
+pub fn counter(name: &str) -> u64 {
+    registry().counters.get(name).copied().unwrap_or(0)
+}
+
 /// Clears every aggregate in the registry (the gate is untouched).
 pub fn reset() {
     let mut r = registry();
@@ -458,6 +465,20 @@ mod tests {
             parsed.as_obj().unwrap().iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(top, vec!["run", "spans", "counters", "values", "series"]);
         set_enabled(false);
+    }
+
+    #[test]
+    fn counter_reads_current_value() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        assert_eq!(counter("c.read"), 0, "absent counter reads zero");
+        count("c.read", 3);
+        count("c.read", 4);
+        assert_eq!(counter("c.read"), 7);
+        set_enabled(false);
+        count("c.read", 100);
+        assert_eq!(counter("c.read"), 7, "disabled counts do not accumulate");
     }
 
     #[test]

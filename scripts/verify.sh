@@ -38,4 +38,11 @@ NLIDB_BENCH_SMOKE=1 cargo bench -q --offline -p nlidb-bench
 # carries every promised instrument family (DESIGN.md "Observability").
 NLIDB_TRACE=1 cargo run -q --release --offline -p nlidb-bench --bin trace_smoke
 
+# Serve smoke: batched serving on a tiny dataset must produce outputs
+# identical to the sequential per-example path (cache off / warm /
+# capacity-1), emit the serve.* trace families, and beat cold batch-1
+# serving by at least 2x per request on a repeated-table workload
+# (DESIGN.md "Serving & batching").
+NLIDB_TRACE=1 cargo run -q --release --offline -p nlidb-bench --bin serve_smoke
+
 echo "verify: OK"

@@ -2,6 +2,7 @@
 //! result` path, spanning data generation, mention detection, annotation,
 //! translation, recovery, and execution.
 
+use nlidb_core::serve::{ServeEngine, ServeOptions, ServeRequest};
 use nlidb_core::{evaluate, ModelConfig, Nlidb, NlidbOptions};
 use nlidb_data::wikisql::{generate, WikiSqlConfig};
 use nlidb_sqlir::{query_match, recover, Query};
@@ -68,6 +69,65 @@ fn gold_annotation_path_round_trips() {
             e.question_text()
         );
     }
+}
+
+#[test]
+fn batched_serving_matches_sequential_and_reports_cache_traffic() {
+    // The serving scenario: questions against two distinct tables,
+    // interleaved, with every question asked twice within the batch. The
+    // batch must reproduce the sequential per-example path exactly, and
+    // the cache traffic must show up in the trace store's counters.
+    let (nlidb, ds) = tiny_system(1006);
+    let by_table: Vec<&nlidb_data::Example> = ds.dev.iter().take(12).collect();
+    let table_a = &*by_table[0].table;
+    let table_b = ds
+        .dev
+        .iter()
+        .map(|e| &*e.table)
+        .find(|t| t.fingerprint() != table_a.fingerprint())
+        .expect("dev split must span at least two distinct tables");
+    // Interleave: each question asked against its own table, A/B/A/B...,
+    // then the whole stream repeated (within-batch duplicates).
+    let base: Vec<ServeRequest<'_>> = by_table
+        .iter()
+        .enumerate()
+        .map(|(i, e)| ServeRequest {
+            question: &e.question,
+            table: if i % 2 == 0 { table_a } else { table_b },
+        })
+        .collect();
+    let mut reqs = base.clone();
+    reqs.extend(&base);
+
+    nlidb_trace::set_enabled(true);
+    nlidb_trace::reset();
+    let mut engine = ServeEngine::new(&nlidb, ServeOptions { cache_capacity: 64 });
+    let first = engine.serve(&reqs);
+    let second = engine.serve(&reqs);
+    let hits = nlidb_trace::counter("serve.cache.hits");
+    let misses = nlidb_trace::counter("serve.cache.misses");
+    let requests_seen = nlidb_trace::counter("serve.requests");
+    nlidb_trace::set_enabled(false);
+
+    // Byte-identical to the sequential path, in request order.
+    let sequential: Vec<Option<Query>> = reqs
+        .iter()
+        .map(|r| nlidb.predict(r.question, r.table))
+        .collect();
+    assert_eq!(first, sequential, "first batch diverged from sequential predict");
+    assert_eq!(second, sequential, "cached batch diverged from sequential predict");
+
+    // Counter accounting: both serve calls are visible; the second call's
+    // requests are all cache hits, and within the first call the repeated
+    // half deduplicates rather than missing twice.
+    assert_eq!(requests_seen, 2 * reqs.len() as u64);
+    assert!(
+        hits >= reqs.len() as u64,
+        "expected at least one full batch of cache hits, saw {hits}"
+    );
+    assert!(misses >= 1, "first pass must record misses");
+    assert_eq!(engine.cache().hits(), hits, "engine and trace store disagree on hits");
+    assert_eq!(engine.cache().misses(), misses, "engine and trace store disagree on misses");
 }
 
 #[test]
