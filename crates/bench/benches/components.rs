@@ -232,6 +232,58 @@ fn bench_serve(records: &mut Vec<Record>) {
     });
 }
 
+/// The TCP serving layer end to end: one `ask` round trip over loopback
+/// against a warm cache (protocol encode + socket + micro-batch + cache
+/// hit + response decode), and a 16-deep pipelined burst amortizing the
+/// per-round-trip latency.
+fn bench_server(records: &mut Vec<Record>) {
+    use std::io::{BufRead, BufReader, Write};
+
+    let mut gen_cfg = WikiSqlConfig::tiny(7);
+    gen_cfg.questions_per_table = 4;
+    let ds = generate(&gen_cfg);
+    let opts = NlidbOptions { model: ModelConfig::tiny(), ..NlidbOptions::default() };
+    let nlidb = Nlidb::train(&ds, opts);
+    let server = nlidb_serve::Server::start(nlidb, nlidb_serve::ServerConfig::default())
+        .expect("start bench server");
+
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect bench server");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut roundtrip = |frames: &str, n: usize| {
+        stream.write_all(frames.as_bytes()).and_then(|()| stream.flush()).expect("write");
+        let mut line = String::new();
+        for _ in 0..n {
+            line.clear();
+            assert!(reader.read_line(&mut line).expect("read") > 0, "server closed");
+        }
+        black_box(line.len())
+    };
+
+    let e = &ds.dev[0];
+    let table = (*e.table).clone();
+    let fp = table.fingerprint();
+    let reg = nlidb_serve::Request::new(0, "bench", nlidb_serve::Op::RegisterTable { table });
+    roundtrip(&nlidb_json::encode_frame(&nlidb_json::ToJson::to_json(&reg)), 1);
+    let ask = nlidb_serve::Request::new(
+        1,
+        "bench",
+        nlidb_serve::Op::Ask(nlidb_serve::AskItem {
+            fingerprint: fp,
+            question: e.question.clone(),
+        }),
+    );
+    let ask_frame = nlidb_json::encode_frame(&nlidb_json::ToJson::to_json(&ask));
+    let burst: String = std::iter::repeat(ask_frame.as_str()).take(16).collect();
+
+    bench("server/ask_roundtrip_warm", records, || {
+        roundtrip(&ask_frame, 1);
+    });
+    bench("server/ask_pipelined_16", records, || {
+        roundtrip(&burst, 16);
+    });
+    server.shutdown();
+}
+
 fn main() {
     println!("{:<32} {:>12} {:>10}", "benchmark", "median", "iters");
     println!("{}", "-".repeat(56));
@@ -242,6 +294,7 @@ fn main() {
     bench_threading(&mut records);
     bench_pipeline(&mut records);
     bench_serve(&mut records);
+    bench_server(&mut records);
     let rows: Vec<nlidb_json::Json> = records
         .iter()
         .map(|r| json!({"name": r.name, "median_ns": r.median_ns, "iters": r.iters}))

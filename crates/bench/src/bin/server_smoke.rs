@@ -1,0 +1,272 @@
+//! CI smoke for the TCP serving layer (run by `scripts/verify.sh`).
+//!
+//! Trains a tiny system, saves a checkpoint, then enforces the wire
+//! contract end to end over real sockets:
+//!
+//! 1. **Replay identity**: a fixed request log — registrations, asks,
+//!    cache-hit repeats, a mixed batch with a per-item error, a
+//!    deterministically shed oversize batch, and a mid-log hot swap —
+//!    is replayed against two servers with different inference thread
+//!    counts, connection counts, and micro-batch timings. Every
+//!    response line must be byte-identical between the two runs.
+//! 2. **Observability**: all `server.*` span and counter families
+//!    appear in the emitted trace JSON.
+//!
+//! Exits non-zero on any violation.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use nlidb_core::{ModelConfig, Nlidb, NlidbOptions};
+use nlidb_data::wikisql::{generate, WikiSqlConfig};
+use nlidb_json::{encode_frame, json, Json, ToJson};
+use nlidb_serve::{AskItem, Op, Request, Server, ServerConfig};
+use nlidb_tensor::pool;
+
+fn check(failed: &mut bool, ok: bool, what: &str) {
+    println!("  [{}] {what}", if ok { "ok" } else { "FAIL" });
+    if !ok {
+        *failed = true;
+    }
+}
+
+/// The fixed request log; ids are log indices. The first two entries are
+/// registrations and must complete before the rest.
+fn build_log(tables: &[nlidb_storage::Table], questions: &[(usize, Vec<String>)], ckpt: &str) -> Vec<Request> {
+    let fps: Vec<u64> = tables.iter().map(|t| t.fingerprint()).collect();
+    let ask = |ti: usize, q: &[String]| Op::Ask(AskItem { fingerprint: fps[ti], question: q.to_vec() });
+    let mut log = vec![
+        Request::new(0, "acme", Op::RegisterTable { table: tables[0].clone() }),
+        Request::new(1, "acme", Op::RegisterTable { table: tables[1].clone() }),
+    ];
+    for (ti, q) in questions {
+        log.push(Request::new(log.len() as i64, "acme", ask(*ti, q)));
+    }
+    // Hot swap to the same checkpoint mid-log: answers must not change,
+    // whichever side of the swap an ask lands on.
+    log.push(Request::new(log.len() as i64, "ops", Op::SwapCheckpoint { path: ckpt.to_string() }));
+    // Cache-hit repeats (now against the post-swap, reset cache).
+    for (ti, q) in questions.iter().step_by(2) {
+        log.push(Request::new(log.len() as i64, "acme", ask(*ti, q)));
+    }
+    // A mixed batch with a per-item unknown-table error.
+    log.push(Request::new(
+        log.len() as i64,
+        "acme",
+        Op::Batch {
+            items: vec![
+                AskItem { fingerprint: fps[0], question: questions[0].1.clone() },
+                AskItem { fingerprint: 0xdead_beef, question: vec!["nothing".into()] },
+            ],
+        },
+    ));
+    // A batch larger than the per-tenant admission cap: always shed,
+    // with response bytes that are a function of id and tenant only.
+    log.push(Request::new(
+        log.len() as i64,
+        "flood",
+        Op::Batch {
+            items: (0..65)
+                .map(|_| AskItem { fingerprint: fps[0], question: questions[0].1.clone() })
+                .collect(),
+        },
+    ));
+    // A plain error response (bumps `server.errors`).
+    log.push(Request::new(log.len() as i64, "acme", Op::Ask(AskItem {
+        fingerprint: 1,
+        question: vec!["no".into(), "such".into(), "table".into()],
+    })));
+    log
+}
+
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect to smoke server");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Conn { stream, reader }
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> String {
+        self.stream
+            .write_all(encode_frame(&req.to_json()).as_bytes())
+            .and_then(|()| self.stream.flush())
+            .expect("write request");
+        let mut line = String::new();
+        assert!(self.reader.read_line(&mut line).expect("read response") > 0, "server closed");
+        line.trim_end_matches('\n').to_string()
+    }
+}
+
+/// Replays the log over `conns` concurrent connections (registrations
+/// first, rest round-robined); returns response lines in log order.
+fn run_replay(ckpt: &str, cfg: ServerConfig, conns: usize, log: &[Request]) -> Vec<String> {
+    let nlidb = Nlidb::load(ckpt).expect("load smoke checkpoint");
+    let server = Server::start(nlidb, cfg).expect("start smoke server");
+    let addr = server.addr();
+    let mut out = vec![String::new(); log.len()];
+    {
+        let mut setup = Conn::open(addr);
+        for (i, req) in log[..2].iter().enumerate() {
+            out[i] = setup.roundtrip(req);
+        }
+    }
+    let rest: Vec<(usize, &Request)> = log.iter().enumerate().skip(2).collect();
+    let results: Vec<(usize, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let mine: Vec<(usize, &Request)> =
+                    rest.iter().skip(c).step_by(conns).copied().collect();
+                // lint:allow(raw-spawn): replay clients must be independent OS
+                // threads blocking on their own sockets — the pool would serialize
+                // them and couple client concurrency to NLIDB_THREADS, which this
+                // smoke deliberately varies on the server side only.
+                s.spawn(move || {
+                    let mut conn = Conn::open(addr);
+                    mine.into_iter().map(|(i, r)| (i, conn.roundtrip(r))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("replay thread")).collect()
+    });
+    for (i, line) in results {
+        out[i] = line;
+    }
+    server.shutdown();
+    out
+}
+
+fn main() {
+    let mut gen_cfg = WikiSqlConfig::tiny(77);
+    gen_cfg.train_tables = 8;
+    gen_cfg.questions_per_table = 6;
+    let ds = generate(&gen_cfg);
+    eprintln!("server_smoke: training tiny system…");
+    nlidb_trace::set_enabled(false);
+    let opts = NlidbOptions { model: ModelConfig::tiny(), ..NlidbOptions::default() };
+    let nlidb = Nlidb::train(&ds, opts);
+    let ckpt_dir =
+        std::env::temp_dir().join(format!("nlidb-server-smoke-ckpt-{}", std::process::id()));
+    nlidb.save(&ckpt_dir).expect("save smoke checkpoint");
+    let ckpt = ckpt_dir.display().to_string();
+    drop(nlidb); // every server under test loads its own copy
+
+    // Two distinct tables and a dozen questions from the dev split.
+    let mut fps = Vec::new();
+    let mut tables = Vec::new();
+    let mut questions: Vec<(usize, Vec<String>)> = Vec::new();
+    for e in &ds.dev {
+        let fp = e.table.fingerprint();
+        let idx = match fps.iter().position(|&f| f == fp) {
+            Some(i) => i,
+            None if tables.len() < 2 => {
+                fps.push(fp);
+                tables.push((*e.table).clone());
+                tables.len() - 1
+            }
+            None => continue,
+        };
+        if questions.len() < 12 {
+            questions.push((idx, e.question.clone()));
+        }
+    }
+    let log = build_log(&tables, &questions, &ckpt);
+
+    let mut failed = false;
+    nlidb_trace::reset();
+    nlidb_trace::set_enabled(true);
+
+    println!("replay identity ({} requests):", log.len());
+    pool::set_threads(1);
+    let eager = run_replay(
+        &ckpt,
+        ServerConfig { max_batch_questions: 1, linger: Duration::ZERO, ..ServerConfig::default() },
+        1,
+        &log,
+    );
+    pool::set_threads(pool::default_threads());
+    let lingering = run_replay(
+        &ckpt,
+        ServerConfig {
+            max_batch_questions: 32,
+            linger: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+        3,
+        &log,
+    );
+    let divergent = eager.iter().zip(&lingering).filter(|(a, b)| a != b).count();
+    check(
+        &mut failed,
+        divergent == 0,
+        &format!(
+            "1 thread/1 conn/batch=1 vs N threads/3 conns/batch=32+linger: {divergent} divergent"
+        ),
+    );
+    let answers = eager.iter().filter(|l| l.contains("\"type\":\"answer\"")).count();
+    check(&mut failed, answers >= 8, &format!("log is meaningful ({answers} answers)"));
+    check(
+        &mut failed,
+        eager.iter().any(|l| l.contains("\"type\":\"swapped\"")),
+        "hot swap succeeded mid-log",
+    );
+    check(
+        &mut failed,
+        eager.iter().any(|l| l.contains("\"code\":\"overloaded\"")),
+        "oversize batch was shed",
+    );
+    check(
+        &mut failed,
+        eager.iter().any(|l| l.contains("\"error\":{\"code\":\"unknown_table\"")),
+        "batch carried its per-item error",
+    );
+
+    let path = nlidb_trace::write("server_smoke").expect("write trace JSON");
+    nlidb_trace::set_enabled(false);
+    println!("trace file {}:", path.display());
+    let text = std::fs::read_to_string(&path).expect("read trace JSON back");
+    let parsed = Json::parse(&text).expect("trace JSON parses");
+    let span_keys: Vec<&str> = match parsed.get("spans") {
+        Some(Json::Obj(entries)) => entries.iter().map(|(k, _)| k.as_str()).collect(),
+        _ => Vec::new(),
+    };
+    for name in ["server.batch", "server.request", "server.register", "server.swap"] {
+        check(&mut failed, span_keys.contains(&name), &format!("span {name}"));
+    }
+    let counters = parsed.get("counters");
+    for name in [
+        "server.connections",
+        "server.requests",
+        "server.questions",
+        "server.batches",
+        "server.shed",
+        "server.errors",
+        "server.registered",
+        "server.swaps",
+    ] {
+        check(
+            &mut failed,
+            counters.and_then(|c| c.get(name)).is_some(),
+            &format!("counter {name}"),
+        );
+    }
+
+    nlidb_bench::write_result(
+        "server_smoke",
+        &json!({
+            "requests": log.len() as f64,
+            "answers": answers as f64,
+            "divergent": divergent as f64,
+        }),
+    );
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    if failed {
+        std::process::exit(1);
+    }
+    println!("server_smoke: all checks passed");
+}

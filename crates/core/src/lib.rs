@@ -44,4 +44,6 @@ pub use config::ModelConfig;
 pub use mention::MentionDetector;
 pub use metrics::{cond_col_val_accuracy, evaluate, EvalResult};
 pub use pipeline::{Nlidb, NlidbOptions, TableContext};
-pub use serve::{serve_batch, PredictionCache, ServeEngine, ServeOptions, ServeRequest};
+pub use serve::{
+    serve_batch, CacheTableStats, PredictionCache, ServeEngine, ServeOptions, ServeRequest,
+};

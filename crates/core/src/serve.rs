@@ -87,6 +87,23 @@ pub struct CacheKey {
     pub question: Vec<String>,
 }
 
+/// Per-table-fingerprint cache accounting (the per-tenant view a
+/// multi-tenant server needs: every registered table belongs to a
+/// tenant, so attributing hits and misses to the table fingerprint
+/// grounds per-tenant `stats` responses and admission decisions in real
+/// counts instead of engine-global aggregates).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheTableStats {
+    /// Lookup hits against this fingerprint.
+    pub hits: u64,
+    /// Lookup misses against this fingerprint.
+    pub misses: u64,
+    /// Insertions of keys with this fingerprint.
+    pub insertions: u64,
+    /// Evictions of keys with this fingerprint.
+    pub evictions: u64,
+}
+
 /// A bounded, deterministic FIFO prediction cache.
 ///
 /// Entries are stored in a `BTreeMap` (order-free iteration — no
@@ -97,6 +114,11 @@ pub struct CacheKey {
 /// evicted — a pure function of the insertion history, independent of
 /// thread count, hash state, or iteration order. Re-inserting an existing
 /// key replaces its value but keeps its original insertion position.
+///
+/// Besides the engine-global counters, every hit/miss/insertion/eviction
+/// is also attributed to the key's table fingerprint
+/// ([`PredictionCache::table_stats`]), so a server fronting many tenants
+/// can report and act on per-tenant cache behavior.
 #[derive(Debug, Default)]
 pub struct PredictionCache {
     capacity: usize,
@@ -107,6 +129,7 @@ pub struct PredictionCache {
     misses: u64,
     insertions: u64,
     evictions: u64,
+    per_table: BTreeMap<u64, CacheTableStats>,
 }
 
 impl PredictionCache {
@@ -160,20 +183,36 @@ impl PredictionCache {
         self.order.values().collect()
     }
 
-    /// Looks up a prediction, counting the hit or miss. Disabled caches
-    /// see neither lookups nor counters.
+    /// Accounting attributed to one table fingerprint. A fingerprint the
+    /// cache never saw reads as all-zero.
+    pub fn table_stats(&self, fingerprint: u64) -> CacheTableStats {
+        self.per_table.get(&fingerprint).copied().unwrap_or_default()
+    }
+
+    /// Per-fingerprint accounting for every fingerprint the cache has
+    /// seen, in ascending fingerprint order.
+    pub fn per_table_stats(&self) -> &BTreeMap<u64, CacheTableStats> {
+        &self.per_table
+    }
+
+    /// Looks up a prediction, counting the hit or miss (globally and
+    /// against the key's table fingerprint). Disabled caches see neither
+    /// lookups nor counters.
     pub fn get(&mut self, key: &CacheKey) -> Option<&Option<Query>> {
         if !self.enabled() {
             return None;
         }
+        let per = self.per_table.entry(key.fingerprint).or_default();
         match self.entries.get(key) {
             Some((_, value)) => {
                 self.hits += 1;
+                per.hits += 1;
                 nlidb_trace::count("serve.cache.hits", 1);
                 Some(value)
             }
             None => {
                 self.misses += 1;
+                per.misses += 1;
                 nlidb_trace::count("serve.cache.misses", 1);
                 None
             }
@@ -194,12 +233,14 @@ impl PredictionCache {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.order.insert(seq, key.clone());
+        self.per_table.entry(key.fingerprint).or_default().insertions += 1;
         self.entries.insert(key, (seq, value));
         self.insertions += 1;
         nlidb_trace::count("serve.cache.insertions", 1);
         while self.entries.len() > self.capacity {
             let (&oldest, _) = self.order.iter().next().expect("len > capacity >= 1");
             let victim = self.order.remove(&oldest).expect("oldest key present");
+            self.per_table.entry(victim.fingerprint).or_default().evictions += 1;
             self.entries.remove(&victim).expect("entry and order stay in sync");
             self.evictions += 1;
             nlidb_trace::count("serve.cache.evictions", 1);
@@ -231,9 +272,29 @@ impl<'m> ServeEngine<'m> {
         ServeEngine { nlidb, cache: PredictionCache::new(opts.cache_capacity) }
     }
 
+    /// Builds an engine that adopts an existing cache. Long-lived servers
+    /// use this to keep cache contents and statistics across engine
+    /// reconstructions (the engine borrows the model, so a caller that
+    /// owns its `Nlidb` rebuilds the engine per batch and threads the
+    /// cache through with [`ServeEngine::into_cache`]).
+    ///
+    /// The cache must only be reused with the **same trained parameters**
+    /// it was filled under: entries map `(table, question)` to the
+    /// model's prediction, so swapping models invalidates every entry
+    /// (start from a fresh `PredictionCache` after a checkpoint swap).
+    pub fn with_cache(nlidb: &'m Nlidb, cache: PredictionCache) -> ServeEngine<'m> {
+        ServeEngine { nlidb, cache }
+    }
+
     /// The prediction cache (hit/miss/eviction statistics for callers).
     pub fn cache(&self) -> &PredictionCache {
         &self.cache
+    }
+
+    /// Consumes the engine, returning its cache (see
+    /// [`ServeEngine::with_cache`]).
+    pub fn into_cache(self) -> PredictionCache {
+        self.cache
     }
 
     /// Serves a batch of requests, returning predictions in request
@@ -404,6 +465,39 @@ mod tests {
         c.insert(key(1, "c"), q(2));
         assert!(c.get(&key(1, "a")).is_none());
         assert_eq!(c.get(&key(1, "b")), Some(&q(1)));
+    }
+
+    #[test]
+    fn per_table_stats_attribute_every_event_to_its_fingerprint() {
+        let mut c = PredictionCache::new(2);
+        assert!(c.get(&key(1, "a")).is_none()); // miss on fp 1
+        c.insert(key(1, "a"), q(0)); // insertion on fp 1
+        assert_eq!(c.get(&key(1, "a")), Some(&q(0))); // hit on fp 1
+        c.insert(key(2, "a"), q(1)); // insertion on fp 2
+        c.insert(key(2, "b"), q(2)); // insertion on fp 2, evicts fp 1's "a"
+        assert_eq!(
+            c.table_stats(1),
+            CacheTableStats { hits: 1, misses: 1, insertions: 1, evictions: 1 }
+        );
+        assert_eq!(
+            c.table_stats(2),
+            CacheTableStats { hits: 0, misses: 0, insertions: 2, evictions: 0 }
+        );
+        assert_eq!(c.table_stats(99), CacheTableStats::default(), "unseen fp reads zero");
+        // The per-fingerprint view partitions the global counters.
+        let sum = |f: fn(&CacheTableStats) -> u64| c.per_table_stats().values().map(f).sum::<u64>();
+        assert_eq!(sum(|s| s.hits), c.hits());
+        assert_eq!(sum(|s| s.misses), c.misses());
+        assert_eq!(sum(|s| s.insertions), c.insertions());
+        assert_eq!(sum(|s| s.evictions), c.evictions());
+    }
+
+    #[test]
+    fn disabled_cache_has_no_per_table_stats() {
+        let mut c = PredictionCache::new(0);
+        c.insert(key(1, "a"), q(0));
+        assert!(c.get(&key(1, "a")).is_none());
+        assert!(c.per_table_stats().is_empty());
     }
 
     /// A naive FIFO reference model: linear-scan vector ordered oldest

@@ -112,6 +112,58 @@ fn batched_predictions_are_byte_identical_to_sequential() {
 }
 
 #[test]
+fn cache_handoff_matches_a_persistent_engine_and_attributes_per_table() {
+    let _guard = pool_lock();
+    let (nlidb, ds) = tiny_system(3003);
+    let reqs = requests(&ds);
+    let serve_reqs: Vec<ServeRequest<'_>> = reqs
+        .iter()
+        .map(|&(question, table)| ServeRequest { question, table })
+        .collect();
+
+    // One engine kept alive across both passes…
+    let mut persistent = ServeEngine::new(&nlidb, ServeOptions { cache_capacity: 64 });
+    let persistent_out = [persistent.serve(&serve_reqs), persistent.serve(&serve_reqs)];
+
+    // …versus the server's usage pattern: a fresh engine per batch with
+    // the cache handed off through `with_cache`/`into_cache`.
+    let mut cache = nlidb_core::PredictionCache::new(64);
+    let mut handoff_out = Vec::new();
+    for _ in 0..2 {
+        let mut eng = ServeEngine::with_cache(&nlidb, cache);
+        handoff_out.push(eng.serve(&serve_reqs));
+        cache = eng.into_cache();
+    }
+    assert_eq!(handoff_out[0], persistent_out[0], "cold pass diverged under cache handoff");
+    assert_eq!(handoff_out[1], persistent_out[1], "warm pass diverged under cache handoff");
+    let p = persistent.cache();
+    assert_eq!(
+        (p.hits(), p.misses(), p.insertions(), p.evictions(), p.len()),
+        (cache.hits(), cache.misses(), cache.insertions(), cache.evictions(), cache.len()),
+        "handoff changed cache accounting"
+    );
+
+    // Per-fingerprint attribution: the per-table rows must sum exactly
+    // to the global counters, cover every table in the workload, and an
+    // unknown fingerprint must read as zero.
+    let per = cache.per_table_stats();
+    assert!(!per.is_empty());
+    let sum = |f: fn(&nlidb_core::CacheTableStats) -> u64| per.values().map(f).sum::<u64>();
+    assert_eq!(sum(|s| s.hits), cache.hits());
+    assert_eq!(sum(|s| s.misses), cache.misses());
+    assert_eq!(sum(|s| s.insertions), cache.insertions());
+    assert_eq!(sum(|s| s.evictions), cache.evictions());
+    for (_, table) in &reqs {
+        let fp = table.fingerprint();
+        let row = cache.table_stats(fp);
+        assert_eq!(row, *per.get(&fp).expect("workload table has a stats row"));
+        assert!(row.hits + row.misses > 0, "workload table saw no lookups");
+    }
+    let absent = cache.table_stats(u64::MAX);
+    assert_eq!((absent.hits, absent.misses, absent.insertions, absent.evictions), (0, 0, 0, 0));
+}
+
+#[test]
 fn engine_cache_state_is_thread_count_independent() {
     let _guard = pool_lock();
     let (nlidb, ds) = tiny_system(3002);

@@ -1,0 +1,139 @@
+//! Newline-delimited JSON framing (the NLIDB wire protocol's transport
+//! layer, `docs/PROTOCOL.md` §2).
+//!
+//! A *frame* is one JSON value serialized compactly, followed by a
+//! single `\n`. The compact serializer never emits a raw newline —
+//! control characters inside strings are escaped (`\n` → `\\n`) — so
+//! the terminator is unambiguous and a reader can recover frame
+//! boundaries with a plain line scan, no length prefixes or state.
+//!
+//! Both directions of the protocol share two hard rules enforced here:
+//!
+//! - **Bounded frames.** A frame longer than [`MAX_FRAME_BYTES`]
+//!   (terminator included) is invalid. Writers must not produce one;
+//!   readers may drop the connection or answer with the
+//!   `frame_too_long` error code without buffering the rest.
+//! - **One value per line.** Leading/trailing whitespace is tolerated
+//!   on decode (CRLF clients exist), but trailing non-whitespace after
+//!   the value is an error — two values on one line is a framing bug,
+//!   not two requests.
+
+use crate::value::{Json, JsonError};
+
+/// Maximum encoded frame length in bytes, terminating `\n` included.
+///
+/// Chosen to fit any plausible request — a `register_table` carrying a
+/// few thousand rows — while keeping the worst-case per-connection
+/// read buffer small enough that a malicious or buggy client cannot
+/// balloon server memory (`docs/PROTOCOL.md` §2).
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Frame-level decode errors ([`decode_frame`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame exceeds [`MAX_FRAME_BYTES`].
+    TooLong(usize),
+    /// The payload is not a single well-formed JSON value.
+    BadJson(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLong(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte limit")
+            }
+            FrameError::BadJson(m) => write!(f, "frame is not valid JSON: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<JsonError> for FrameError {
+    fn from(e: JsonError) -> Self {
+        FrameError::BadJson(e.message().to_string())
+    }
+}
+
+/// Encodes one value as a wire frame: compact JSON plus the `\n`
+/// terminator.
+///
+/// The output is deterministic (the compact serializer preserves object
+/// key order and renders floats with shortest round-trip formatting)
+/// and never contains an interior newline, so concatenated frames
+/// always split back apart on `\n`.
+///
+/// # Panics
+/// Panics if the encoded frame would exceed [`MAX_FRAME_BYTES`] — a
+/// writer-side bug (the protocol forbids emitting oversized frames;
+/// servers bound their payloads, e.g. by table size, before encoding).
+pub fn encode_frame(value: &Json) -> String {
+    let mut s = value.to_string();
+    s.push('\n');
+    assert!(
+        s.len() <= MAX_FRAME_BYTES,
+        "encoded frame of {} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})",
+        s.len()
+    );
+    s
+}
+
+/// Decodes one received line (terminator optional) into a JSON value.
+///
+/// Enforces the frame rules: the raw line must fit [`MAX_FRAME_BYTES`]
+/// and must hold exactly one JSON value surrounded by nothing but
+/// whitespace.
+pub fn decode_frame(line: &str) -> Result<Json, FrameError> {
+    if line.len() > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLong(line.len()));
+    }
+    Ok(Json::parse(line)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_newline_terminated_compact_json() {
+        let v = Json::obj([("op", Json::Str("ask".into())), ("id", Json::Int(1))]);
+        assert_eq!(encode_frame(&v), "{\"op\":\"ask\",\"id\":1}\n");
+    }
+
+    #[test]
+    fn interior_newlines_are_escaped_never_raw() {
+        let v = Json::obj([("s", Json::Str("a\nb".into()))]);
+        let frame = encode_frame(&v);
+        assert_eq!(frame.matches('\n').count(), 1, "only the terminator");
+        assert!(frame.ends_with('\n'));
+        assert_eq!(decode_frame(&frame), Ok(v));
+    }
+
+    #[test]
+    fn decode_tolerates_crlf_and_missing_terminator() {
+        let v = Json::obj([("x", Json::Int(3))]);
+        assert_eq!(decode_frame("{\"x\":3}\r\n"), Ok(v.clone()));
+        assert_eq!(decode_frame("{\"x\":3}"), Ok(v));
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage_and_bad_json() {
+        assert!(matches!(decode_frame("{\"x\":3} {\"y\":4}"), Err(FrameError::BadJson(_))));
+        assert!(matches!(decode_frame("{\"x\":"), Err(FrameError::BadJson(_))));
+        assert!(matches!(decode_frame("not json"), Err(FrameError::BadJson(_))));
+    }
+
+    #[test]
+    fn decode_rejects_oversized_frames() {
+        let big = format!("\"{}\"", "x".repeat(MAX_FRAME_BYTES));
+        assert_eq!(decode_frame(&big), Err(FrameError::TooLong(big.len())));
+    }
+
+    #[test]
+    fn roundtrip_is_identity_for_nested_values() {
+        let src = r#"{"a":[1,2.5,"x",null,true],"b":{"c":-3}}"#;
+        let v = Json::parse(src).unwrap();
+        assert_eq!(decode_frame(&encode_frame(&v)).unwrap(), v);
+    }
+}

@@ -23,12 +23,17 @@
 //!   and by each crate for its own types.
 //! - [`json!`] — a literal macro covering the object/array shapes the
 //!   experiment binaries emit.
+//! - [`frame`] — newline-delimited JSON framing for the NLIDB wire
+//!   protocol (`docs/PROTOCOL.md`): bounded, deterministic,
+//!   one-value-per-line frames.
 
 mod de;
+pub mod frame;
 mod ser;
 mod traits;
 mod value;
 
+pub use frame::{decode_frame, encode_frame, FrameError, MAX_FRAME_BYTES};
 pub use traits::{FromJson, ToJson};
 pub use value::{Json, JsonError};
 

@@ -1,0 +1,13 @@
+//! Fixture twin: the closest conforming code — socket-free library
+//! logic that merely *talks about* sockets in comments and strings,
+//! which the scanner must ignore.
+
+/// Formats a server address for clients (the TcpListener itself lives
+/// in `crates/serve`).
+pub fn format_addr(host: &str, port: u16) -> String {
+    format!("{host}:{port}")
+}
+
+pub fn describe() -> &'static str {
+    "connect with a TcpStream to the nlidb-serve port"
+}

@@ -1,0 +1,13 @@
+//! Fixture: socket types in library code outside the serving layer.
+//! Every mention below must be flagged by `net-io` when checked under a
+//! non-`serve` crate's `src/`.
+
+use std::net::{TcpListener, TcpStream};
+
+pub fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    TcpStream::connect(addr)
+}
+
+pub fn listen(addr: &str) -> std::io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}

@@ -83,6 +83,7 @@ pub const RULES: &[&str] = &[
     "unsafe-needs-safety-comment",
     "no-print-in-lib",
     "env-read",
+    "net-io",
 ];
 
 /// Every rule name a `lint:allow` may reference.
@@ -93,6 +94,7 @@ pub const ALL_RULE_NAMES: &[&str] = &[
     "unsafe-needs-safety-comment",
     "no-print-in-lib",
     "env-read",
+    "net-io",
     "dependency-policy",
 ];
 

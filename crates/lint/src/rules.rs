@@ -13,14 +13,36 @@ use crate::{Diagnostic, FileContext, Target};
 
 /// Crates whose outputs feed trained parameters, experiment records, or
 /// serialized artifacts — everywhere iteration order must be fixed.
-pub const DETERMINISTIC_CRATES: &[&str] = &["tensor", "core", "text", "storage", "data", "json"];
+/// `serve` is included because it produces wire bytes under a
+/// byte-determinism contract (`docs/PROTOCOL.md` §5).
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["tensor", "core", "text", "storage", "data", "json", "serve"];
 
 /// Files allowed to read process environment variables, and why:
 /// `pool.rs` owns `NLIDB_THREADS`, the trace crate owns `NLIDB_TRACE`.
 const ENV_ALLOWED_FILES: &[&str] = &["crates/tensor/src/pool.rs", "crates/trace/src/lib.rs"];
 
-/// The only file allowed to create OS threads.
-const SPAWN_ALLOWED_FILE: &str = "crates/tensor/src/pool.rs";
+/// Files allowed to create OS threads: the deterministic pool, and the
+/// server front end (acceptor / engine / connection threads — server
+/// concurrency lives entirely in this one file; inference fan-out still
+/// goes through the pool).
+const SPAWN_ALLOWED_FILES: &[&str] =
+    &["crates/tensor/src/pool.rs", "crates/serve/src/server.rs"];
+
+/// Files allowed to read wall clocks outside bench/trace: the serving
+/// layer's batching and shutdown timeouts. The exemption is scoped to
+/// the two files that own those timeouts — which must affect latency
+/// only, never response bytes (`crates/serve/tests/server_determinism.rs`
+/// replays a fixed request log under different timings to enforce it).
+const WALL_CLOCK_ALLOWED_FILES: &[&str] =
+    &["crates/serve/src/engine.rs", "crates/serve/src/server.rs"];
+
+/// The only crate allowed to touch sockets: the serving layer is the
+/// workspace's deliberate I/O boundary.
+const NET_ALLOWED_CRATE: &str = "serve";
+
+/// Socket type names whose appearance marks network I/O.
+const NET_TYPES: &[&str] = &["TcpListener", "TcpStream", "UdpSocket", "UnixListener", "UnixStream"];
 
 /// Iterator-producing methods whose order is the container's.
 const ITER_METHODS: &[&str] = &[
@@ -48,6 +70,7 @@ pub fn run_all(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
     out.extend(unsafe_needs_safety_comment(ctx));
     out.extend(no_print_in_lib(ctx));
     out.extend(env_read(ctx));
+    out.extend(net_io(ctx));
     out
 }
 
@@ -318,7 +341,10 @@ fn statement_is_order_free(toks: &[Token], idx: usize) -> bool {
 /// `trace` crates; elsewhere a read must sit on a line guarded by
 /// `nlidb_trace::enabled()` so the untraced path never touches a clock.
 fn wall_clock(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
-    if ctx.crate_name == "trace" || ctx.crate_name == "bench" {
+    if ctx.crate_name == "trace"
+        || ctx.crate_name == "bench"
+        || WALL_CLOCK_ALLOWED_FILES.contains(&ctx.rel_path)
+    {
         return Vec::new();
     }
     if !matches!(ctx.target, Target::Lib | Target::Bin) {
@@ -360,7 +386,9 @@ fn wall_clock(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
 /// `thread::spawn` anywhere else can reorder float accumulation or leak
 /// detached work past a test boundary.
 fn raw_spawn(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
-    if ctx.rel_path == SPAWN_ALLOWED_FILE || !matches!(ctx.target, Target::Lib | Target::Bin) {
+    if SPAWN_ALLOWED_FILES.contains(&ctx.rel_path)
+        || !matches!(ctx.target, Target::Lib | Target::Bin)
+    {
         return Vec::new();
     }
     let toks = &ctx.scanned.tokens;
@@ -371,7 +399,8 @@ fn raw_spawn(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
                 ctx,
                 t.line,
                 "raw-spawn",
-                "thread creation is reserved to `crates/tensor/src/pool.rs`; use \
+                "thread creation is reserved to `crates/tensor/src/pool.rs` and the server \
+                 front end (`crates/serve/src/server.rs`); use \
                  `nlidb_tensor::pool::parallel_for` instead"
                     .to_string(),
             ));
@@ -500,6 +529,43 @@ fn env_read(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
     out
 }
 
+/// ---------------------------------------------------------------- ///
+/// net-io                                                           ///
+/// ---------------------------------------------------------------- ///
+///
+/// Sockets in library code are a nondeterminism *and* hygiene hazard:
+/// network reads are hidden inputs, and every crate below the serving
+/// layer must stay runnable hermetically (tests, benches, airgapped
+/// builds). The `serve` crate is the workspace's one legitimate I/O
+/// boundary; binaries, tests, benches, and examples may of course talk
+/// to it. Anything else naming a socket type in library code is flagged.
+fn net_io(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    if ctx.crate_name == NET_ALLOWED_CRATE || ctx.target != Target::Lib {
+        return Vec::new();
+    }
+    let toks = &ctx.scanned.tokens;
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind == TokKind::Ident
+            && NET_TYPES.contains(&t.text.as_str())
+            && !ctx.in_test(t.line)
+        {
+            out.push(diag(
+                ctx,
+                t.line,
+                "net-io",
+                format!(
+                    "`{}` in library code outside the serving layer; network I/O is reserved \
+                     to `crates/serve` (the designated I/O boundary) — move the code there or \
+                     behind its protocol",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use crate::check_source;
@@ -611,6 +677,51 @@ mod tests {
         assert!(rules_fired("crates/core/tests/fixture.rs", src).is_empty());
         let in_test = format!("#[cfg(test)]\nmod tests {{\n{src}\n}}\n");
         assert!(rules_fired("crates/core/src/fixture.rs", &in_test).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_scoped_allow_covers_serve_timeout_files_only() {
+        let src = "fn f() { let t = std::time::Instant::now(); drop(t); }\n";
+        // The two files that own batching/shutdown timeouts are exempt…
+        assert!(rules_fired("crates/serve/src/engine.rs", src).is_empty());
+        assert!(rules_fired("crates/serve/src/server.rs", src).is_empty());
+        // …but the rest of the serve crate is not: a clock read in the
+        // protocol layer could leak timing into response bytes.
+        assert_eq!(rules_fired("crates/serve/src/protocol.rs", src), vec!["wall-clock"]);
+    }
+
+    #[test]
+    fn raw_spawn_allows_server_front_end_only() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert!(rules_fired("crates/serve/src/server.rs", src).is_empty());
+        assert_eq!(rules_fired("crates/serve/src/engine.rs", src), vec!["raw-spawn"]);
+    }
+
+    #[test]
+    fn net_io_reserved_to_serve_crate_libraries_exempt_elsewhere_targets() {
+        let src = "use std::net::TcpStream;\nfn f() { let _ = TcpStream::connect(\"x\"); }\n";
+        assert_eq!(rules_fired("crates/core/src/fixture.rs", src), vec!["net-io"]);
+        assert_eq!(rules_fired("crates/trace/src/fixture.rs", src), vec!["net-io"]);
+        // The serving layer is the designated I/O boundary.
+        assert!(rules_fired("crates/serve/src/client.rs", src).is_empty());
+        // Non-library targets may talk to the server.
+        assert!(rules_fired("crates/core/tests/fixture.rs", src).is_empty());
+        assert!(rules_fired("crates/bench/src/bin/fixture.rs", src).is_empty());
+        assert!(rules_fired("examples/fixture.rs", src).is_empty());
+    }
+
+    #[test]
+    fn net_io_flags_listeners_and_udp_too() {
+        for ty in ["TcpListener", "UdpSocket", "UnixStream"] {
+            let src = format!("fn f() {{ let _ = std::net::{ty}::bind(\"x\"); }}\n");
+            assert_eq!(rules_fired("crates/storage/src/fixture.rs", &src), vec!["net-io"]);
+        }
+    }
+
+    #[test]
+    fn serve_is_a_deterministic_crate_for_hash_iteration() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<String, u32>) -> Vec<u32> { m.values().cloned().collect() }\n";
+        assert_eq!(rules_fired("crates/serve/src/fixture.rs", src), vec!["hashmap-iteration"]);
     }
 
     #[test]

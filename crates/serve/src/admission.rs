@@ -1,0 +1,192 @@
+//! Per-tenant admission control with bounded queues.
+//!
+//! Every `ask`/`batch` request must take a [`Permit`] before it may
+//! enter the engine queue. A permit covers the request's *cost* — its
+//! question count — and is released when dropped (normally after the
+//! response is written), so the two bounds below are hard limits on
+//! queued-plus-executing work, which is what keeps server memory
+//! bounded under overload:
+//!
+//! - **per-tenant**: one tenant flooding the server cannot crowd out
+//!   the others beyond its own cap;
+//! - **global**: the sum over all tenants is capped too, so many
+//!   well-behaved tenants cannot jointly exhaust memory.
+//!
+//! Admission decisions are *load shedding*, never blocking: a request
+//! over either bound is refused immediately with the `overloaded`
+//! error code and has no effect on any server state. Whether a given
+//! request is shed depends on concurrent load (inherently racy); what
+//! is deterministic is the rule itself and the response bytes of every
+//! outcome — see `docs/PROTOCOL.md` §5.
+//!
+//! Control operations (`register_table`, `swap_checkpoint`, `stats`,
+//! `shutdown`) bypass admission: they are rare, cheap, and must work
+//! precisely when the server is saturated.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Admission bounds. The defaults are deliberately modest; operators
+/// size them to `max_batch_questions` × acceptable queue depth.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Maximum in-flight questions per tenant. `0` sheds everything —
+    /// useful to drain a tenant (and for deterministic shedding tests).
+    pub per_tenant: usize,
+    /// Maximum in-flight questions across all tenants.
+    pub total: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { per_tenant: 64, total: 256 }
+    }
+}
+
+/// Lifetime counters for one tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Questions currently admitted and not yet released.
+    pub in_flight: u64,
+    /// Questions ever admitted.
+    pub admitted: u64,
+    /// Questions ever shed.
+    pub shed: u64,
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    tenants: BTreeMap<String, TenantCounters>,
+    total_in_flight: usize,
+}
+
+/// The admission controller, shared by all connection threads.
+#[derive(Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    state: Mutex<AdmissionState>,
+}
+
+impl Admission {
+    /// A controller with the given bounds.
+    pub fn new(cfg: AdmissionConfig) -> Admission {
+        Admission { cfg, state: Mutex::new(AdmissionState::default()) }
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> AdmissionConfig {
+        self.cfg
+    }
+
+    /// Tries to admit `cost` questions for `tenant`. On refusal the
+    /// tenant's shed counter is bumped and nothing else changes.
+    ///
+    /// The rule: admit iff `tenant.in_flight + cost <= per_tenant` and
+    /// `total_in_flight + cost <= total`.
+    pub fn try_admit(self: &Arc<Self>, tenant: &str, cost: usize) -> Option<Permit> {
+        let cost = cost.max(1);
+        let mut st = self.state.lock().expect("admission lock poisoned");
+        let total_ok = st.total_in_flight + cost <= self.cfg.total;
+        let tc = st.tenants.entry(tenant.to_string()).or_default();
+        let tenant_ok = tc.in_flight as usize + cost <= self.cfg.per_tenant;
+        if !(tenant_ok && total_ok) {
+            tc.shed += cost as u64;
+            return None;
+        }
+        tc.in_flight += cost as u64;
+        tc.admitted += cost as u64;
+        st.total_in_flight += cost;
+        Some(Permit { admission: Arc::clone(self), tenant: tenant.to_string(), cost })
+    }
+
+    /// Per-tenant counters, sorted by tenant name (for `stats`).
+    pub fn snapshot(&self) -> Vec<(String, TenantCounters)> {
+        let st = self.state.lock().expect("admission lock poisoned");
+        st.tenants.iter().map(|(t, c)| (t.clone(), *c)).collect()
+    }
+
+    fn release(&self, tenant: &str, cost: usize) {
+        let mut st = self.state.lock().expect("admission lock poisoned");
+        if let Some(tc) = st.tenants.get_mut(tenant) {
+            tc.in_flight = tc.in_flight.saturating_sub(cost as u64);
+        }
+        st.total_in_flight = st.total_in_flight.saturating_sub(cost);
+    }
+}
+
+/// An admitted request's hold on queue capacity. Dropping it releases
+/// the capacity — on every path, including panics and disconnects —
+/// which is what makes the bounds leak-free.
+#[derive(Debug)]
+pub struct Permit {
+    admission: Arc<Admission>,
+    tenant: String,
+    cost: usize,
+}
+
+impl Permit {
+    /// The question count this permit covers.
+    pub fn cost(&self) -> usize {
+        self.cost
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.admission.release(&self.tenant, self.cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adm(per_tenant: usize, total: usize) -> Arc<Admission> {
+        Arc::new(Admission::new(AdmissionConfig { per_tenant, total }))
+    }
+
+    #[test]
+    fn per_tenant_bound_sheds_and_releases() {
+        let a = adm(2, 100);
+        let p1 = a.try_admit("t", 1).expect("first admitted");
+        let _p2 = a.try_admit("t", 1).expect("second admitted");
+        assert!(a.try_admit("t", 1).is_none(), "third shed");
+        drop(p1);
+        assert!(a.try_admit("t", 1).is_some(), "capacity returned on drop");
+        let counters = a.snapshot();
+        assert_eq!(counters[0].1.admitted, 3);
+        assert_eq!(counters[0].1.shed, 1);
+    }
+
+    #[test]
+    fn global_bound_spans_tenants() {
+        let a = adm(10, 3);
+        let _p1 = a.try_admit("x", 2).unwrap();
+        let _p2 = a.try_admit("y", 1).unwrap();
+        assert!(a.try_admit("z", 1).is_none(), "global cap reached");
+    }
+
+    #[test]
+    fn batch_cost_is_all_or_nothing() {
+        let a = adm(3, 100);
+        assert!(a.try_admit("t", 4).is_none(), "batch larger than cap shed whole");
+        let snap = a.snapshot();
+        assert_eq!(snap[0].1.in_flight, 0, "no partial admission");
+        assert_eq!(snap[0].1.shed, 4);
+        assert!(a.try_admit("t", 3).is_some());
+    }
+
+    #[test]
+    fn zero_cap_sheds_everything() {
+        let a = adm(0, 100);
+        assert!(a.try_admit("t", 1).is_none());
+        assert_eq!(a.snapshot()[0].1.shed, 1);
+    }
+
+    #[test]
+    fn zero_cost_counts_as_one() {
+        let a = adm(1, 1);
+        let _p = a.try_admit("t", 0).unwrap();
+        assert!(a.try_admit("t", 0).is_none());
+    }
+}

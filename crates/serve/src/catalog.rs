@@ -1,0 +1,135 @@
+//! The server-side table catalog: registered tables keyed by
+//! [`Table::fingerprint`], with the tenants allowed to query each one.
+//!
+//! Registration is **idempotent** — the fingerprint covers name, schema,
+//! and every cell, so registering byte-identical content twice (same or
+//! different tenant) lands on one entry. Tables are immutable once
+//! registered (an edited table has a new fingerprint and is a new
+//! entry), which is what lets prediction-cache entries keyed by
+//! fingerprint stay valid for the life of the model.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use nlidb_storage::Table;
+
+/// One registered table and the tenants that registered it.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// The table, shared with in-flight inference batches.
+    pub table: Arc<Table>,
+    /// Tenants that registered this fingerprint, sorted and deduplicated.
+    pub tenants: Vec<String>,
+}
+
+impl CatalogEntry {
+    /// Whether `tenant` may query this table.
+    pub fn authorizes(&self, tenant: &str) -> bool {
+        self.tenants.iter().any(|t| t == tenant)
+    }
+}
+
+/// The catalog. Iteration order is fingerprint order (deterministic for
+/// `stats` output).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    entries: BTreeMap<u64, CatalogEntry>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers `table` for `tenant` and returns its fingerprint.
+    /// Idempotent: an already-registered fingerprint gains the tenant
+    /// (if new) and the existing [`Arc`] is kept, so re-registration
+    /// never invalidates tables referenced by in-flight requests.
+    pub fn register(&mut self, tenant: &str, table: Table) -> u64 {
+        let fp = table.fingerprint();
+        let entry = self.entries.entry(fp).or_insert_with(|| CatalogEntry {
+            table: Arc::new(table),
+            tenants: Vec::new(),
+        });
+        if let Err(pos) = entry.tenants.binary_search_by(|t| t.as_str().cmp(tenant)) {
+            entry.tenants.insert(pos, tenant.to_string());
+        }
+        fp
+    }
+
+    /// Looks up a fingerprint regardless of tenant.
+    pub fn get(&self, fingerprint: u64) -> Option<&CatalogEntry> {
+        self.entries.get(&fingerprint)
+    }
+
+    /// Looks up a fingerprint *for a tenant*: `None` unless the table
+    /// exists **and** the tenant registered it. Tenancy is the
+    /// authorization boundary — a tenant cannot query another tenant's
+    /// table even by guessing its fingerprint.
+    pub fn get_for(&self, tenant: &str, fingerprint: u64) -> Option<&CatalogEntry> {
+        self.entries.get(&fingerprint).filter(|e| e.authorizes(tenant))
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries in fingerprint order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &CatalogEntry)> {
+        self.entries.iter().map(|(fp, e)| (*fp, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlidb_storage::{Column, DataType, Schema, Value};
+
+    fn table(name: &str) -> Table {
+        let mut t = Table::new(name, Schema::new(vec![Column::new("a", DataType::Int)]));
+        t.push_row(vec![Value::Int(1)]);
+        t
+    }
+
+    #[test]
+    fn register_is_idempotent_and_multi_tenant() {
+        let mut c = Catalog::new();
+        let fp1 = c.register("acme", table("t"));
+        let fp2 = c.register("acme", table("t"));
+        assert_eq!(fp1, fp2);
+        assert_eq!(c.len(), 1);
+        let fp3 = c.register("zeta", table("t"));
+        assert_eq!(fp1, fp3);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(fp1).unwrap().tenants, vec!["acme", "zeta"]);
+    }
+
+    #[test]
+    fn tenancy_bounds_lookup() {
+        let mut c = Catalog::new();
+        let fp = c.register("acme", table("t"));
+        assert!(c.get_for("acme", fp).is_some());
+        assert!(c.get_for("zeta", fp).is_none(), "unregistered tenant rejected");
+        assert!(c.get_for("acme", fp ^ 1).is_none(), "unknown fingerprint rejected");
+    }
+
+    #[test]
+    fn distinct_content_gets_distinct_entries() {
+        let mut c = Catalog::new();
+        let a = c.register("t", table("a"));
+        let b = c.register("t", table("b"));
+        assert_ne!(a, b);
+        assert_eq!(c.len(), 2);
+        let fps: Vec<u64> = c.iter().map(|(fp, _)| fp).collect();
+        let mut sorted = fps.clone();
+        sorted.sort_unstable();
+        assert_eq!(fps, sorted, "iteration is fingerprint-ordered");
+    }
+}

@@ -1,0 +1,112 @@
+//! Shared harness for the serve integration suites: one tiny trained
+//! system saved as a checkpoint (each test server loads its own copy),
+//! plus a raw line-level TCP client so tests compare exact wire bytes
+//! rather than decoded values.
+
+#![allow(dead_code)] // each test binary uses its own subset
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use nlidb_core::{ModelConfig, Nlidb, NlidbOptions};
+use nlidb_data::wikisql::{generate, WikiSqlConfig};
+use nlidb_json::{encode_frame, ToJson};
+use nlidb_storage::Table;
+
+/// The trained fixture every server under test serves with.
+pub struct TestSystem {
+    /// Checkpoint directory (`Nlidb::load` it per server under test, so
+    /// concurrent servers never share a model instance).
+    pub ckpt: PathBuf,
+    /// Two distinct dev-split tables.
+    pub tables: Vec<Table>,
+    /// `(table index, question)` pairs drawn from the dev split.
+    pub questions: Vec<(usize, Vec<String>)>,
+}
+
+/// Trains once per process, saves the checkpoint, and extracts a
+/// two-table workload from the dev split.
+pub fn system() -> &'static TestSystem {
+    static SYS: OnceLock<TestSystem> = OnceLock::new();
+    SYS.get_or_init(|| {
+        let mut cfg = WikiSqlConfig::tiny(4242);
+        cfg.train_tables = 8;
+        cfg.questions_per_table = 6;
+        let ds = generate(&cfg);
+        let opts = NlidbOptions { model: ModelConfig::tiny(), ..NlidbOptions::default() };
+        let nlidb = Nlidb::train(&ds, opts);
+        let ckpt =
+            std::env::temp_dir().join(format!("nlidb-serve-test-ckpt-{}", std::process::id()));
+        nlidb.save(&ckpt).expect("save test checkpoint");
+
+        let mut fps: Vec<u64> = Vec::new();
+        let mut tables: Vec<Table> = Vec::new();
+        let mut questions: Vec<(usize, Vec<String>)> = Vec::new();
+        for e in &ds.dev {
+            let fp = e.table.fingerprint();
+            let idx = match fps.iter().position(|&f| f == fp) {
+                Some(i) => i,
+                None if tables.len() < 2 => {
+                    fps.push(fp);
+                    tables.push((*e.table).clone());
+                    tables.len() - 1
+                }
+                None => continue,
+            };
+            if questions.len() < 12 {
+                questions.push((idx, e.question.clone()));
+            }
+        }
+        assert_eq!(tables.len(), 2, "dev split must yield two distinct tables");
+        assert!(questions.len() >= 6, "dev split must yield enough questions");
+        TestSystem { ckpt, tables, questions }
+    })
+}
+
+/// Serializes tests that flip the global inference pool size.
+pub fn pool_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A line-level client: writes raw bytes, reads raw response lines.
+pub struct RawClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RawClient {
+    pub fn connect(addr: impl ToSocketAddrs) -> RawClient {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        RawClient { stream, reader }
+    }
+
+    pub fn send_bytes(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write to test server");
+        self.stream.flush().expect("flush to test server");
+    }
+
+    /// Sends one request frame; returns the raw response line (without
+    /// its newline terminator).
+    pub fn roundtrip(&mut self, req: &impl ToJson) -> String {
+        self.send_bytes(encode_frame(&req.to_json()).as_bytes());
+        self.recv_line()
+    }
+
+    pub fn recv_line(&mut self) -> String {
+        self.try_recv_line().expect("server closed the connection unexpectedly")
+    }
+
+    /// Reads one response line; `None` on clean EOF.
+    pub fn try_recv_line(&mut self) -> Option<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response line");
+        if n == 0 {
+            return None;
+        }
+        Some(line.trim_end_matches('\n').to_string())
+    }
+}

@@ -1,0 +1,89 @@
+//! Serving quickstart: train a small model, start the multi-tenant TCP
+//! server in-process, and talk to it over the wire protocol
+//! (`docs/PROTOCOL.md`) — register a table, ask questions, batch, read
+//! stats, and shut down cleanly.
+//!
+//! ```bash
+//! cargo run --release --example serve_quickstart
+//! ```
+
+use nlidb_core::{ModelConfig, Nlidb, NlidbOptions};
+use nlidb_data::wikisql::{generate, WikiSqlConfig};
+use nlidb_serve::{AskItem, Client, Op, Reply, Request, Server, ServerConfig};
+
+fn main() {
+    // 1. Train a small model (any checkpoint from `Nlidb::save` works
+    //    too, via `Nlidb::load` — that is what production serving does).
+    let corpus = generate(&WikiSqlConfig {
+        seed: 42,
+        train_tables: 12,
+        questions_per_table: 8,
+        ..WikiSqlConfig::default()
+    });
+    println!("training (under a minute) ...");
+    let opts = NlidbOptions { model: ModelConfig::tiny(), ..NlidbOptions::default() };
+    let nlidb = Nlidb::train(&corpus, opts);
+
+    // 2. Start the server. Port 0 = OS-assigned; production configs pin
+    //    a port and size `admission` to their memory budget.
+    let server = Server::start(nlidb, ServerConfig::default()).expect("start server");
+    println!("serving on {}", server.addr());
+
+    // 3. Connect as a tenant and register a table. The fingerprint in
+    //    the response is the handle every question uses.
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let table = (*corpus.test[0].table).clone();
+    let reply = client
+        .request(&Request::new(1, "quickstart", Op::RegisterTable { table }))
+        .expect("register");
+    let fingerprint = match reply.result {
+        Ok(Reply::Registered { fingerprint }) => fingerprint,
+        other => panic!("unexpected register reply: {other:?}"),
+    };
+    println!("registered table as {}", nlidb_serve::fingerprint_to_hex(fingerprint));
+
+    // 4. Ask questions against it — singly, then as one batch.
+    for (i, e) in corpus.test.iter().take(3).enumerate() {
+        let reply = client
+            .request(&Request::new(
+                10 + i as i64,
+                "quickstart",
+                Op::Ask(AskItem { fingerprint, question: e.question.clone() }),
+            ))
+            .expect("ask");
+        match reply.result {
+            Ok(Reply::Answer(a)) => println!(
+                "Q: {}\n   SQL: {}",
+                e.question.join(" "),
+                a.sql.as_deref().unwrap_or("<no parse>")
+            ),
+            other => println!("Q: {} -> {other:?}", e.question.join(" ")),
+        }
+    }
+    let items: Vec<AskItem> = corpus
+        .test
+        .iter()
+        .take(4)
+        .map(|e| AskItem { fingerprint, question: e.question.clone() })
+        .collect();
+    let reply = client
+        .request(&Request::new(20, "quickstart", Op::Batch { items }))
+        .expect("batch");
+    if let Ok(Reply::Batch { results }) = reply.result {
+        println!("batch answered {} questions in one frame", results.len());
+    }
+
+    // 5. Stats, then a graceful protocol-level shutdown.
+    if let Ok(Reply::Stats(stats)) =
+        client.request(&Request::new(30, "ops", Op::Stats)).expect("stats").result
+    {
+        println!(
+            "stats: {} requests, {} questions, {} batches, cache {} hit / {} miss",
+            stats.requests, stats.questions, stats.batches, stats.cache.hits, stats.cache.misses
+        );
+    }
+    let bye = client.request(&Request::new(31, "ops", Op::Shutdown)).expect("shutdown");
+    assert!(matches!(bye.result, Ok(Reply::Bye)));
+    server.shutdown(); // joins the already-stopping threads
+    println!("server stopped");
+}

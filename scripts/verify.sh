@@ -15,6 +15,11 @@ export RUSTFLAGS="-D warnings"
 
 cargo build --release --offline
 
+# Documentation is part of the contract: every public item across the
+# workspace must have rustdoc, and rustdoc warnings (broken intra-doc
+# links, missing docs where denied) fail verification.
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline
+
 # Static analysis: the in-tree determinism & safety lint must report
 # zero unsuppressed diagnostics (DESIGN.md "Static analysis"). The same
 # bar runs as tests/lint_guard.rs; this surfaces file:line output.
@@ -44,5 +49,11 @@ NLIDB_TRACE=1 cargo run -q --release --offline -p nlidb-bench --bin trace_smoke
 # serving by at least 2x per request on a repeated-table workload
 # (DESIGN.md "Serving & batching").
 NLIDB_TRACE=1 cargo run -q --release --offline -p nlidb-bench --bin serve_smoke
+
+# Server smoke: replays a fixed request log against the TCP server under
+# different inference thread counts, connection counts, and micro-batch
+# timings — every response line must be byte-identical — and asserts the
+# server.* trace families (DESIGN.md "Multi-tenant serving").
+NLIDB_TRACE=1 cargo run -q --release --offline -p nlidb-bench --bin server_smoke
 
 echo "verify: OK"

@@ -171,6 +171,17 @@ fn env_read_fixtures() {
 }
 
 #[test]
+fn net_io_fixtures() {
+    assert_fires("net_io_pos.rs", "crates/core/src/fixture.rs", "net-io");
+    assert_silent("net_io_neg.rs", "crates/core/src/fixture.rs");
+    // The serving layer is the workspace's designated I/O boundary.
+    assert_silent("net_io_pos.rs", "crates/serve/src/fixture.rs");
+    // Non-library targets (tests, bins, examples) may talk to the server.
+    assert_silent("net_io_pos.rs", "crates/core/tests/fixture.rs");
+    assert_silent("net_io_pos.rs", "examples/fixture.rs");
+}
+
+#[test]
 fn scanner_ignores_comments_and_literals() {
     // Trigger words for every rule, all inside comments / strings / raw
     // strings / char and byte literals — under the strictest scope.
