@@ -1,0 +1,110 @@
+//! Bench-regression gate: compares a fresh `bench_components.json`
+//! against the committed baseline in `results/bench_baseline.json` and
+//! fails on performance regressions.
+//!
+//! ```text
+//! bench_gate <current.json> <baseline.json>
+//! ```
+//!
+//! Both paths are explicit because `cargo bench` runs benchmarks with the
+//! package directory as CWD (so the fresh numbers land under
+//! `crates/bench/results/`), while `cargo run` bins keep the invocation
+//! directory (where the committed baseline lives under `results/`).
+//!
+//! The gate compares `min_ns` — the fastest timed batch — because on a
+//! loaded host the minimum is far less sensitive to scheduler noise than
+//! the median of a handful of smoke batches. One rule per baseline row:
+//! the current `min_ns` may not exceed `baseline * limit`, where `limit`
+//! is the row's optional `floor_ratio` field if present, else the default
+//! [`REGRESSION_CEILING`] (1.25, i.e. a >25% slowdown fails). The
+//! committed baseline pins `tensor/matmul_256_parallel` at `floor_ratio`
+//! 0.5: the blocked kernel must stay at least 2x faster than the
+//! pre-blocked scalar numbers the baseline records.
+//!
+//! Only rows named in the baseline are gated; the baseline is the policy
+//! file. A baseline row missing from the current results is an error —
+//! a silently renamed benchmark must not pass vacuously.
+
+use nlidb_json::Json;
+
+/// Maximum tolerated `current/baseline` ratio for `min_ns` (a >25%
+/// slowdown on any gated row fails verification).
+const REGRESSION_CEILING: f64 = 1.25;
+
+struct Row {
+    min_ns: f64,
+    /// Improvement floor: current must be <= baseline * floor_ratio.
+    floor_ratio: Option<f64>,
+}
+
+fn load_rows(path: &str) -> Vec<(String, Row)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    let json =
+        Json::parse(&text).unwrap_or_else(|e| die(&format!("parse {path}: {e:?}")));
+    let rows = json
+        .get("rows")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| die(&format!("{path}: no `rows` array")));
+    rows.iter()
+        .map(|r| {
+            let name: String =
+                r.req("name").unwrap_or_else(|e| die(&format!("{path}: row name: {e:?}")));
+            let min_ns: f64 = r
+                .req("min_ns")
+                .unwrap_or_else(|e| die(&format!("{path}: {name}: min_ns: {e:?}")));
+            let floor_ratio = r.get("floor_ratio").and_then(Json::as_f64);
+            (name, Row { min_ns, floor_ratio })
+        })
+        .collect()
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_gate: {msg}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, current_path, baseline_path] = args.as_slice() else {
+        die("usage: bench_gate <current.json> <baseline.json>");
+    };
+    let current = load_rows(current_path);
+    let baseline = load_rows(baseline_path);
+
+    println!(
+        "{:<32} {:>14} {:>14} {:>8}  verdict",
+        "benchmark", "baseline min", "current min", "ratio"
+    );
+    println!("{}", "-".repeat(84));
+    let mut failures = Vec::new();
+    for (name, base) in &baseline {
+        let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
+            failures.push(format!("{name}: missing from {current_path}"));
+            println!("{name:<32} {:>14.0} {:>14} {:>8}  MISSING", base.min_ns, "-", "-");
+            continue;
+        };
+        let ratio = cur.min_ns / base.min_ns;
+        let ceiling = base.floor_ratio.unwrap_or(REGRESSION_CEILING);
+        let ok = ratio <= ceiling;
+        let verdict = if ok { "ok" } else { "FAIL" };
+        println!(
+            "{name:<32} {:>14.0} {:>14.0} {ratio:>8.3}  {verdict} (<= {ceiling})",
+            base.min_ns, cur.min_ns
+        );
+        if !ok {
+            failures.push(format!(
+                "{name}: min_ns {:.0} is {ratio:.3}x the baseline {:.0} (limit {ceiling})",
+                cur.min_ns, base.min_ns
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("bench_gate: {} gated benchmark(s) failed:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench_gate: all {} gated benchmarks within limits", baseline.len());
+}

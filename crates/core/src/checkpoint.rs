@@ -221,6 +221,51 @@ mod tests {
         }
     }
 
+    /// The kernel knob is a performance choice, not a semantic one: a
+    /// trained model checkpointed under the scalar `Reference` kernel must
+    /// reload and predict byte-identically under the blocked/fused `Auto`
+    /// kernels (and vice versa), at any thread count. This is the
+    /// end-to-end pin for the reduction-order invariant (DESIGN.md
+    /// "Kernel fast paths").
+    #[test]
+    fn kernel_swap_roundtrip_preserves_predictions() {
+        use nlidb_tensor::{pool, set_matmul_kernel, MatmulKernel};
+
+        let mut gen_cfg = WikiSqlConfig::tiny(77);
+        gen_cfg.train_tables = 5;
+        gen_cfg.questions_per_table = 5;
+        let ds = generate(&gen_cfg);
+        let opts = NlidbOptions { model: ModelConfig::tiny(), ..NlidbOptions::default() };
+
+        // Train and predict entirely on the scalar reference kernel.
+        set_matmul_kernel(MatmulKernel::Reference);
+        let nlidb = Nlidb::train(&ds, opts);
+        let reference: Vec<_> =
+            ds.dev.iter().take(8).map(|e| nlidb.predict(&e.question, &e.table)).collect();
+
+        let dir = std::env::temp_dir().join(format!("nlidb-kswap-{}", std::process::id()));
+        nlidb.save(&dir).expect("save");
+        let restored = Nlidb::load(&dir).expect("load");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Reload and predict on the blocked/fused fast path, serial and
+        // with the pool fanned out: every prediction must be identical.
+        set_matmul_kernel(MatmulKernel::Auto);
+        for threads in [1, pool::default_threads().max(2)] {
+            pool::set_threads(threads);
+            for (e, want) in ds.dev.iter().take(8).zip(&reference) {
+                let got = restored.predict(&e.question, &e.table);
+                assert_eq!(
+                    &got,
+                    want,
+                    "prediction drift after kernel swap ({threads} threads) for {:?}",
+                    e.question_text()
+                );
+            }
+        }
+        pool::set_threads(pool::default_threads());
+    }
+
     #[test]
     fn load_from_missing_directory_errors() {
         match Nlidb::load("/nonexistent/nlidb-checkpoint") {

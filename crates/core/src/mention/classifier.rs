@@ -201,7 +201,15 @@ impl MentionClassifier {
     /// Mention probability for `(question, column)`.
     pub fn predict(&self, question: &[String], column: &[String]) -> f32 {
         let mut g = Graph::new();
-        let out = self.forward(&mut g, question, column);
+        self.predict_in(&mut g, question, column)
+    }
+
+    /// [`Self::predict`] against a caller-provided graph. The graph is
+    /// reset first, so per-column serving loops reuse one tape's buffers
+    /// instead of reallocating a graph per prediction.
+    pub fn predict_in(&self, g: &mut Graph, question: &[String], column: &[String]) -> f32 {
+        g.reset();
+        let out = self.forward(g, question, column);
         let p = g.sigmoid(out.logit);
         g.value(p).scalar()
     }

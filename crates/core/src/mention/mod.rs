@@ -174,11 +174,13 @@ impl MentionDetector {
             &self.matcher_cfg,
         );
         let covered: Vec<usize> = found.iter().map(|c| c.column).collect();
+        // One reusable tape for every per-column prediction in this call.
+        let mut g = nlidb_tensor::Graph::new();
         for (ci, col_tokens) in ctx.name_tokens.iter().enumerate() {
             if covered.contains(&ci) {
                 continue;
             }
-            let p = self.classifier.predict(question, col_tokens);
+            let p = self.classifier.predict_in(&mut g, question, col_tokens);
             if p > 0.58 {
                 if let Some(span) = locate_mention(&self.classifier, question, col_tokens, &self.cfg)
                 {

@@ -232,12 +232,15 @@ impl Seq2Seq {
     }
 
     /// Encodes a source for inference, returning `(H, d0, β0)` values.
-    fn encode_values(&self, src: &[usize]) -> (Tensor, Tensor, Tensor) {
-        let mut g = Graph::new();
-        let src_emb = self.emb.forward(&mut g, &self.store, src);
-        let h = self.encoder.forward(&mut g, &self.store, src_emb);
-        let summary = self.encoder.final_summary(&mut g, h);
-        let d0_lin = self.d0_proj.forward(&mut g, &self.store, summary);
+    ///
+    /// The caller-provided graph is reset and reused, so decode loops
+    /// recycle one tape's buffers across the encode and every step.
+    fn encode_values(&self, g: &mut Graph, src: &[usize]) -> (Tensor, Tensor, Tensor) {
+        g.reset();
+        let src_emb = self.emb.forward(g, &self.store, src);
+        let h = self.encoder.forward(g, &self.store, src_emb);
+        let summary = self.encoder.final_summary(g, h);
+        let d0_lin = self.d0_proj.forward(g, &self.store, summary);
         let d0 = g.tanh(d0_lin);
         (
             g.value(h).clone(),
@@ -250,22 +253,23 @@ impl Seq2Seq {
     /// the next `(d, β)` state.
     fn decode_step(
         &self,
+        g: &mut Graph,
         h: &Tensor,
         d_prev: &Tensor,
         beta_prev: &Tensor,
         prev_tok: usize,
         copy_m: &Option<Tensor>,
     ) -> (Vec<f32>, Tensor, Tensor) {
-        let mut g = Graph::new();
+        g.reset();
         let h_node = g.leaf(h.clone());
         let d_node = g.leaf(d_prev.clone());
         let b_node = g.leaf(beta_prev.clone());
-        let prev_emb = self.out_emb.forward(&mut g, &self.store, &[prev_tok]);
+        let prev_emb = self.out_emb.forward(g, &self.store, &[prev_tok]);
         let dec_in = g.hcat(prev_emb, b_node);
-        let d = self.dec_cell.step(&mut g, &self.store, dec_in, d_node);
-        let att = self.attn.forward(&mut g, &self.store, h_node, d);
+        let d = self.dec_cell.step(g, &self.store, dec_in, d_node);
+        let att = self.attn.forward(g, &self.store, h_node, d);
         let feats = g.hcat(d, att.context);
-        let logits = self.u.forward(&mut g, &self.store, feats);
+        let logits = self.u.forward(g, &self.store, feats);
         let probs: Vec<f32> = match copy_m {
             None => {
                 let p = g.softmax_rows(logits);
@@ -302,14 +306,16 @@ impl Seq2Seq {
     /// path's stable descending sort — `decode_beam1_matches_greedy` in
     /// the regression suite pins this, including on exact score ties.
     pub fn decode_greedy(&self, src: &[usize], copy: &[Option<usize>]) -> Vec<usize> {
-        let (h, mut d, mut beta) = self.encode_values(src);
+        let mut g = Graph::new();
+        let (h, mut d, mut beta) = self.encode_values(&mut g, src);
         let copy_m = if self.copy_enabled { Some(self.copy_matrix(copy)) } else { None };
         let eos = self.out_vocab.eos();
         let bos = self.out_vocab.bos();
         let mut seq = Vec::new();
         for _ in 0..MAX_DECODE_LEN {
             let prev = *seq.last().unwrap_or(&bos);
-            let (probs, d_next, beta_next) = self.decode_step(&h, &d, &beta, prev, &copy_m);
+            let (probs, d_next, beta_next) =
+                self.decode_step(&mut g, &h, &d, &beta, prev, &copy_m);
             let mut best = 0;
             for (tok, &p) in probs.iter().enumerate() {
                 if p > probs[best] {
@@ -330,7 +336,8 @@ impl Seq2Seq {
     /// sequence (without EOS).
     pub fn decode_beam(&self, src: &[usize], copy: &[Option<usize>], width: usize) -> Vec<usize> {
         assert!(width >= 1);
-        let (h, d0, b0) = self.encode_values(src);
+        let mut g = Graph::new();
+        let (h, d0, b0) = self.encode_values(&mut g, src);
         let copy_m = if self.copy_enabled { Some(self.copy_matrix(copy)) } else { None };
         let eos = self.out_vocab.eos();
         let bos = self.out_vocab.bos();
@@ -361,7 +368,8 @@ impl Seq2Seq {
                     continue;
                 }
                 let prev = *b.seq.last().unwrap_or(&bos);
-                let (probs, d, beta) = self.decode_step(&h, &b.d, &b.beta, prev, &copy_m);
+                let (probs, d, beta) =
+                    self.decode_step(&mut g, &h, &b.d, &b.beta, prev, &copy_m);
                 // Top `width` continuations of this beam.
                 let mut idx: Vec<usize> = (0..probs.len()).collect();
                 idx.sort_by(|&x, &y| probs[y].partial_cmp(&probs[x]).expect("finite"));

@@ -9,3 +9,16 @@ fn read(p: *const u8) -> u8 {
 fn read_trailing(p: *const u8) -> u8 {
     unsafe { *p } // SAFETY: valid by the same caller contract as `read`.
 }
+
+// Conforming `#[target_feature]` wrapper: the `// SAFETY:` comment sits
+// immediately above the `unsafe` keyword, below the attribute lines.
+/// # Safety
+/// Callers must have verified `avx2` support on the running CPU.
+#[target_feature(enable = "avx2")]
+// SAFETY: unsafe only for the target-feature caller contract documented
+// above; the body performs no unsafe operations.
+unsafe fn kernel_avx2(x: &mut [f32]) {
+    for v in x {
+        *v += 1.0;
+    }
+}

@@ -9,3 +9,15 @@ fn read_with_gap(p: *const u8) -> u8 {
     let _unrelated = 1;
     unsafe { *p }
 }
+
+// A `#[target_feature]` wrapper is still an `unsafe` declaration: a
+// `# Safety` rustdoc section does not satisfy the rule when attribute
+// lines separate it from the `unsafe` keyword.
+/// # Safety
+/// Callers must have verified `avx2` support on the running CPU.
+#[target_feature(enable = "avx2")]
+unsafe fn kernel_avx2(x: &mut [f32]) {
+    for v in x {
+        *v += 1.0;
+    }
+}

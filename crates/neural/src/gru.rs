@@ -5,7 +5,7 @@
 //! attentive GRU. [`GruCell`] provides the step function; [`BiGru`] the
 //! encoder stack.
 
-use nlidb_tensor::{Graph, NodeId, ParamId, ParamStore, Tensor};
+use nlidb_tensor::{GateAct, Graph, NodeId, ParamId, ParamStore, Tensor};
 use nlidb_tensor::Rng;
 
 use crate::linear::Linear;
@@ -53,8 +53,38 @@ impl GruCell {
         self.in_dim
     }
 
-    /// One step: `h = GRU(x, h_prev)`.
+    /// One step: `h = GRU(x, h_prev)`, via the fused gate kernels.
+    ///
+    /// Uses [`Graph::fused_gate`] / [`Graph::fused_gru_combine`], which
+    /// are bitwise-identical (forward and backward) to the unfused
+    /// composition kept in [`GruCell::step_reference`]; the differential
+    /// test `fused_step_matches_reference_bitwise` pins the equivalence.
     pub fn step(&self, g: &mut Graph, store: &ParamStore, x: NodeId, h_prev: NodeId) -> NodeId {
+        let gate = |g: &mut Graph, idx: usize, h: NodeId, act: GateAct| {
+            let wx = g.param(store, self.wx[idx]);
+            let wh = g.param(store, self.wh[idx]);
+            let b = g.param(store, self.b[idx]);
+            g.fused_gate(x, wx, h, wh, b, act)
+        };
+        let r = gate(g, 0, h_prev, GateAct::Sigmoid);
+        let z = gate(g, 1, h_prev, GateAct::Sigmoid);
+        // Candidate uses the reset-gated previous state.
+        let rh = g.mul(r, h_prev);
+        let n = gate(g, 2, rh, GateAct::Tanh);
+        // h = (1 - z) * n + z * h_prev
+        g.fused_gru_combine(z, n, h_prev)
+    }
+
+    /// The unfused composition [`GruCell::step`] replaced: one tape node
+    /// per primitive op. Kept as the reference implementation for the
+    /// fused-kernel differential tests; not used on hot paths.
+    pub fn step_reference(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: NodeId,
+        h_prev: NodeId,
+    ) -> NodeId {
         let lin = |g: &mut Graph, idx: usize, h: NodeId| {
             let wx = g.param(store, self.wx[idx]);
             let wh = g.param(store, self.wh[idx]);
@@ -249,6 +279,52 @@ mod tests {
         let s = enc.final_summary(&mut g, encoded);
         // fwd of last row ++ bwd of first row
         assert_eq!(g.value(s).data(), &[5.0, 6.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn fused_step_matches_reference_bitwise() {
+        // The fused-kernel step must be bit-for-bit equal to the unfused
+        // composition: forward state, input gradient, previous-state
+        // gradient, and every parameter gradient. Runs a 3-step unrolled
+        // chain so cross-step accumulation order is covered too.
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, "g", 3, 5, &mut rng());
+        let run = |fused: bool| {
+            let mut g = Graph::new();
+            let xs = g.input(Tensor::xavier_seeded(3, 3, 77));
+            let mut h = g.input(Tensor::xavier_seeded(1, 5, 78));
+            let h0 = h;
+            for t in 0..3 {
+                let x = g.row(xs, t);
+                h = if fused {
+                    cell.step(&mut g, &store, x, h)
+                } else {
+                    cell.step_reference(&mut g, &store, x, h)
+                };
+            }
+            let loss = g.sum_all(h);
+            g.backward(loss);
+            let grads = g.param_grads();
+            (
+                g.value(h).clone(),
+                g.grad(xs).unwrap().clone(),
+                g.grad(h0).unwrap().clone(),
+                grads,
+            )
+        };
+        let (hf, gxf, ghf, gpf) = run(true);
+        let (hr, gxr, ghr, gpr) = run(false);
+        let bits = |a: &Tensor, b: &Tensor| {
+            a.data().iter().zip(b.data()).all(|(p, q)| p.to_bits() == q.to_bits())
+        };
+        assert!(bits(&hf, &hr), "forward state differs");
+        assert!(bits(&gxf, &gxr), "input gradient differs");
+        assert!(bits(&ghf, &ghr), "h0 gradient differs");
+        assert_eq!(gpf.len(), gpr.len());
+        for ((pa, ga), (pb, gb)) in gpf.iter().zip(&gpr) {
+            assert_eq!(pa, pb, "param order differs");
+            assert!(bits(ga, gb), "param grad differs");
+        }
     }
 
     #[test]

@@ -11,6 +11,17 @@
 //! (§IV-C): the Fast Gradient Method needs `dL/dE(w)` for each *input*
 //! embedding row, so word/char embeddings of the question are fed in as
 //! gradient-tracked inputs and their gradients read back after `backward`.
+//!
+//! ## Buffer arena
+//!
+//! Every forward value, backward temporary, and gradient buffer is drawn
+//! from an internal free-list arena keyed by element count, and
+//! [`Graph::reset`] recycles all of them for the next tape. Hot loops
+//! (decode steps, per-example training) reuse one `Graph` via `reset()`
+//! instead of constructing a fresh one, so steady-state forward/backward
+//! passes allocate (almost) nothing. Recycling never changes values: a
+//! recycled buffer is either fully overwritten or explicitly zeroed before
+//! use, so results are bitwise identical to a fresh graph.
 
 use nlidb_trace as trace;
 
@@ -26,6 +37,15 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0
     }
+}
+
+/// Activation applied by a fused GRU gate ([`Graph::fused_gate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateAct {
+    /// Logistic sigmoid (reset/update gates).
+    Sigmoid,
+    /// Hyperbolic tangent (candidate state).
+    Tanh,
 }
 
 /// The operation that produced a node, with the data needed for backward.
@@ -75,6 +95,10 @@ enum Op {
     PickNll(NodeId, Vec<usize>),
     /// Mean binary cross-entropy with logits against fixed targets.
     BceWithLogits(NodeId, Tensor),
+    /// Fused GRU gate: `act((x @ wx + h @ wh) + b)` in one tape node.
+    FusedGate { x: NodeId, wx: NodeId, h: NodeId, wh: NodeId, b: NodeId, act: GateAct },
+    /// Fused GRU state blend: `(1 - z) * n + z * h_prev` per cell.
+    FusedGruCombine { z: NodeId, n: NodeId, h_prev: NodeId },
 }
 
 struct Node {
@@ -83,18 +107,107 @@ struct Node {
     requires_grad: bool,
 }
 
+/// Free-list buffer recycler keyed by exact element count.
+///
+/// Buffers handed out by [`Arena::scratch`] have unspecified contents and
+/// must be fully overwritten by the caller; [`Arena::zeroed`] clears them
+/// first. Each size class is capped so pathological shape churn cannot
+/// grow the free lists without bound.
+#[derive(Default)]
+struct Arena {
+    free: std::collections::BTreeMap<usize, Vec<Vec<f32>>>,
+}
+
+/// Maximum recycled buffers retained per size class.
+const ARENA_MAX_PER_CLASS: usize = 64;
+
+impl Arena {
+    fn take(&mut self, len: usize) -> Option<Vec<f32>> {
+        self.free.get_mut(&len).and_then(Vec::pop)
+    }
+
+    /// A `[rows, cols]` tensor with unspecified contents; the caller must
+    /// overwrite every element before the value is observed.
+    fn scratch(&mut self, rows: usize, cols: usize) -> Tensor {
+        match self.take(rows * cols) {
+            Some(buf) => Tensor::from_vec(rows, cols, buf),
+            None => Tensor::zeros(rows, cols),
+        }
+    }
+
+    /// A `[rows, cols]` tensor of zeros (recycled buffers are cleared).
+    fn zeroed(&mut self, rows: usize, cols: usize) -> Tensor {
+        match self.take(rows * cols) {
+            Some(mut buf) => {
+                buf.fill(0.0);
+                Tensor::from_vec(rows, cols, buf)
+            }
+            None => Tensor::zeros(rows, cols),
+        }
+    }
+
+    /// An empty `Vec` with capacity for `len` elements, for
+    /// `extend_from_slice`-style builders.
+    fn empty(&mut self, len: usize) -> Vec<f32> {
+        match self.take(len) {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => Vec::with_capacity(len),
+        }
+    }
+
+    fn give(&mut self, t: Tensor) {
+        self.give_vec(t.into_vec());
+    }
+
+    fn give_vec(&mut self, v: Vec<f32>) {
+        if v.is_empty() {
+            return;
+        }
+        let class = self.free.entry(v.len()).or_default();
+        if class.len() < ARENA_MAX_PER_CLASS {
+            class.push(v);
+        }
+    }
+}
+
 /// A single forward/backward tape.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
     grads: Vec<Option<Tensor>>,
     param_bindings: Vec<(NodeId, ParamId)>,
+    arena: Arena,
 }
 
 impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clears the tape for reuse, recycling every node value and gradient
+    /// buffer into the internal arena.
+    ///
+    /// Hot loops (decode steps, per-example training) call this instead of
+    /// constructing a fresh `Graph` so that the next forward/backward pass
+    /// reuses this tape's buffers instead of reallocating them. All
+    /// `NodeId`s from before the reset are invalidated.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            if let Op::BceWithLogits(_, targets) = node.op {
+                self.arena.give(targets);
+            }
+            self.arena.give(node.value);
+        }
+        for slot in self.grads.drain(..) {
+            if let Some(t) = slot {
+                self.arena.give(t);
+            }
+        }
+        self.param_bindings.clear();
     }
 
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> NodeId {
@@ -139,7 +252,10 @@ impl Graph {
 
     /// Binds a stored parameter into this graph.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
-        let node = self.push(store.get(id).clone(), Op::Param, true);
+        let src = store.get(id);
+        let mut value = self.arena.scratch(src.rows(), src.cols());
+        value.data_mut().copy_from_slice(src.data());
+        let node = self.push(value, Op::Param, true);
         self.param_bindings.push((node, id));
         node
     }
@@ -147,7 +263,9 @@ impl Graph {
     /// Elementwise addition.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.add");
-        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        let mut v = self.arena.scratch(rows, cols);
+        self.nodes[a.0].value.zip_into(&self.nodes[b.0].value, |x, y| x + y, &mut v);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Add(a, b), rg)
     }
@@ -155,7 +273,9 @@ impl Graph {
     /// Elementwise subtraction `a - b`.
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.sub");
-        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        let mut v = self.arena.scratch(rows, cols);
+        self.nodes[a.0].value.zip_into(&self.nodes[b.0].value, |x, y| x - y, &mut v);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Sub(a, b), rg)
     }
@@ -163,7 +283,9 @@ impl Graph {
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.mul");
-        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        let mut v = self.arena.scratch(rows, cols);
+        self.nodes[a.0].value.zip_into(&self.nodes[b.0].value, |x, y| x * y, &mut v);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Mul(a, b), rg)
     }
@@ -171,21 +293,31 @@ impl Graph {
     /// Multiplication by a constant scalar.
     pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
         let _t = trace::span("graph.fwd.scale");
-        let v = self.value(a).map(|x| x * s);
+        let v = self.map_node(a, |x| x * s);
         let rg = self.rg(a);
         self.push(v, Op::Scale(a, s), rg)
+    }
+
+    /// Arena-backed elementwise map of a node's value.
+    fn map_node(&mut self, a: NodeId, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        let mut v = self.arena.scratch(rows, cols);
+        self.nodes[a.0].value.map_into(f, &mut v);
+        v
     }
 
     /// Adds a `[1, d]` row vector to every row of a `[n, d]` matrix.
     pub fn add_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.add_row");
-        let (m, r) = (self.value(a), self.value(row));
-        assert_eq!(r.rows(), 1, "add_row rhs must be [1, d]");
-        assert_eq!(m.cols(), r.cols(), "add_row width mismatch");
-        let mut v = m.clone();
-        for i in 0..v.rows() {
-            for (o, &b) in v.row_mut(i).iter_mut().zip(r.row(0)) {
-                *o += b;
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        assert_eq!(self.nodes[row.0].value.rows(), 1, "add_row rhs must be [1, d]");
+        assert_eq!(cols, self.nodes[row.0].value.cols(), "add_row width mismatch");
+        let mut v = self.arena.scratch(rows, cols);
+        for i in 0..rows {
+            let m = self.nodes[a.0].value.row(i);
+            let r = self.nodes[row.0].value.row(0);
+            for ((o, &x), &b) in v.row_mut(i).iter_mut().zip(m).zip(r) {
+                *o = x + b;
             }
         }
         let rg = self.rg(a) || self.rg(row);
@@ -195,13 +327,15 @@ impl Graph {
     /// Multiplies every row of a `[n, d]` matrix by a `[1, d]` row vector.
     pub fn mul_row(&mut self, a: NodeId, row: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.mul_row");
-        let (m, r) = (self.value(a), self.value(row));
-        assert_eq!(r.rows(), 1, "mul_row rhs must be [1, d]");
-        assert_eq!(m.cols(), r.cols(), "mul_row width mismatch");
-        let mut v = m.clone();
-        for i in 0..v.rows() {
-            for (o, &b) in v.row_mut(i).iter_mut().zip(r.row(0)) {
-                *o *= b;
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        assert_eq!(self.nodes[row.0].value.rows(), 1, "mul_row rhs must be [1, d]");
+        assert_eq!(cols, self.nodes[row.0].value.cols(), "mul_row width mismatch");
+        let mut v = self.arena.scratch(rows, cols);
+        for i in 0..rows {
+            let m = self.nodes[a.0].value.row(i);
+            let r = self.nodes[row.0].value.row(0);
+            for ((o, &x), &b) in v.row_mut(i).iter_mut().zip(m).zip(r) {
+                *o = x * b;
             }
         }
         let rg = self.rg(a) || self.rg(row);
@@ -211,7 +345,10 @@ impl Graph {
     /// Matrix product.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.matmul");
-        let v = self.value(a).matmul(self.value(b));
+        let rows = self.nodes[a.0].value.rows();
+        let cols = self.nodes[b.0].value.cols();
+        let mut v = self.arena.zeroed(rows, cols);
+        self.nodes[a.0].value.matmul_into(&self.nodes[b.0].value, &mut v);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Matmul(a, b), rg)
     }
@@ -219,7 +356,9 @@ impl Graph {
     /// Transpose.
     pub fn transpose(&mut self, a: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.transpose");
-        let v = self.value(a).transpose();
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        let mut v = self.arena.scratch(cols, rows);
+        self.nodes[a.0].value.transpose_into(&mut v);
         let rg = self.rg(a);
         self.push(v, Op::Transpose(a), rg)
     }
@@ -227,7 +366,7 @@ impl Graph {
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.sigmoid");
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self.map_node(a, |x| 1.0 / (1.0 + (-x).exp()));
         let rg = self.rg(a);
         self.push(v, Op::Sigmoid(a), rg)
     }
@@ -235,7 +374,7 @@ impl Graph {
     /// Elementwise tanh.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.tanh");
-        let v = self.value(a).map(f32::tanh);
+        let v = self.map_node(a, f32::tanh);
         let rg = self.rg(a);
         self.push(v, Op::Tanh(a), rg)
     }
@@ -243,7 +382,7 @@ impl Graph {
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.relu");
-        let v = self.value(a).map(|x| x.max(0.0));
+        let v = self.map_node(a, |x| x.max(0.0));
         let rg = self.rg(a);
         self.push(v, Op::Relu(a), rg)
     }
@@ -251,7 +390,7 @@ impl Graph {
     /// Elementwise exponential.
     pub fn exp(&mut self, a: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.exp");
-        let v = self.value(a).map(f32::exp);
+        let v = self.map_node(a, f32::exp);
         let rg = self.rg(a);
         self.push(v, Op::Exp(a), rg)
     }
@@ -259,7 +398,7 @@ impl Graph {
     /// Elementwise natural log (inputs must be positive).
     pub fn ln(&mut self, a: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.ln");
-        let v = self.value(a).map(f32::ln);
+        let v = self.map_node(a, f32::ln);
         let rg = self.rg(a);
         self.push(v, Op::Ln(a), rg)
     }
@@ -267,40 +406,141 @@ impl Graph {
     /// Adds a constant scalar to every element.
     pub fn add_scalar(&mut self, a: NodeId, s: f32) -> NodeId {
         let _t = trace::span("graph.fwd.add_scalar");
-        let v = self.value(a).map(|x| x + s);
+        let v = self.map_node(a, |x| x + s);
         let rg = self.rg(a);
         self.push(v, Op::AddScalar(a), rg)
     }
 
     /// Row-wise softmax.
+    ///
+    /// A fully-masked row (every entry `-inf`) yields the uniform
+    /// distribution `1/V` with zero gradient, instead of NaN-poisoning
+    /// the row; see [`Graph::log_softmax_rows`] for the rationale.
     pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.softmax_rows");
-        let v = softmax_rows_value(self.value(a));
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        let mut v = self.arena.scratch(rows, cols);
+        softmax_rows_into(&self.nodes[a.0].value, &mut v);
         let rg = self.rg(a);
         self.push(v, Op::SoftmaxRows(a), rg)
     }
 
     /// Row-wise log-softmax (numerically stable).
+    ///
+    /// A fully-masked row (every entry `-inf`, as attention masking
+    /// produces for an empty source) is pinned to the uniform log-prob
+    /// `-ln V` rather than NaN: the naive `e - max` rewrite turns
+    /// `-inf - -inf` into NaN, which then poisons every downstream value
+    /// *and* every upstream gradient. The pinned row is a constant, so
+    /// its backward contribution is zero.
     pub fn log_softmax_rows(&mut self, a: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.log_softmax_rows");
-        let x = self.value(a);
-        let mut v = x.clone();
-        for r in 0..v.rows() {
-            let row = v.row_mut(r);
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let lse = row.iter().map(|&e| (e - max).exp()).sum::<f32>().ln() + max;
-            for e in row.iter_mut() {
-                *e -= lse;
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        let mut v = self.arena.scratch(rows, cols);
+        for r in 0..rows {
+            let src = self.nodes[a.0].value.row(r);
+            let out = v.row_mut(r);
+            let max = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            if max == f32::NEG_INFINITY {
+                out.fill(-(cols as f32).ln());
+                continue;
+            }
+            let lse = src.iter().map(|&e| (e - max).exp()).sum::<f32>().ln() + max;
+            for (o, &e) in out.iter_mut().zip(src) {
+                *o = e - lse;
             }
         }
         let rg = self.rg(a);
         self.push(v, Op::LogSoftmaxRows(a), rg)
     }
 
+    /// Fused GRU gate: `act((x @ wx + h @ wh) + b)` as one tape node.
+    ///
+    /// Bitwise-identical (forward and backward) to the unfused
+    /// composition `act(add(add(matmul(x, wx), matmul(h, wh)), b))` for
+    /// single-row activations: the two matmuls run through the same
+    /// kernels into separate buffers, the sum keeps the
+    /// `(x@wx + h@wh) + b` association, and the backward pass accumulates
+    /// into `b`, then `h`/`wh`, then `x`/`wx` — the reverse-tape order of
+    /// the composition. `b` must be `[1, d]`; with multi-row activations
+    /// it broadcasts row-wise and its gradient is the column sum.
+    pub fn fused_gate(
+        &mut self,
+        x: NodeId,
+        wx: NodeId,
+        h: NodeId,
+        wh: NodeId,
+        b: NodeId,
+        act: GateAct,
+    ) -> NodeId {
+        let _t = trace::span("graph.fwd.fused_gate");
+        let rows = self.nodes[x.0].value.rows();
+        let cols = self.nodes[wx.0].value.cols();
+        assert_eq!(self.nodes[h.0].value.rows(), rows, "fused_gate row mismatch");
+        assert_eq!(self.nodes[wh.0].value.cols(), cols, "fused_gate width mismatch");
+        assert_eq!(self.nodes[b.0].value.shape(), (1, cols), "fused_gate bias must be [1, d]");
+        let mut m1 = self.arena.zeroed(rows, cols);
+        self.nodes[x.0].value.matmul_into(&self.nodes[wx.0].value, &mut m1);
+        let mut m2 = self.arena.zeroed(rows, cols);
+        self.nodes[h.0].value.matmul_into(&self.nodes[wh.0].value, &mut m2);
+        let mut v = self.arena.scratch(rows, cols);
+        for r in 0..rows {
+            let bias = self.nodes[b.0].value.row(0);
+            for (((o, &a1), &a2), &bj) in
+                v.row_mut(r).iter_mut().zip(m1.row(r)).zip(m2.row(r)).zip(bias)
+            {
+                let lin = (a1 + a2) + bj;
+                *o = match act {
+                    GateAct::Sigmoid => 1.0 / (1.0 + (-lin).exp()),
+                    GateAct::Tanh => lin.tanh(),
+                };
+            }
+        }
+        self.arena.give(m1);
+        self.arena.give(m2);
+        let rg = self.rg(x) || self.rg(wx) || self.rg(h) || self.rg(wh) || self.rg(b);
+        self.push(v, Op::FusedGate { x, wx, h, wh, b, act }, rg)
+    }
+
+    /// Fused GRU state blend: `(1 - z) * n + z * h_prev` per cell, as one
+    /// tape node.
+    ///
+    /// Bitwise-identical (forward and backward) to the unfused
+    /// composition `add(mul(sub(ones, z), n), mul(z, h_prev))`: the
+    /// forward expression keeps the same association, and the backward
+    /// pass lands the same per-slot accumulation order — `z` receives
+    /// `g ⊙ h_prev` then `-(g ⊙ n)`, `h_prev` receives `g ⊙ z`, and `n`
+    /// receives `g ⊙ (1 - z)`.
+    pub fn fused_gru_combine(&mut self, z: NodeId, n: NodeId, h_prev: NodeId) -> NodeId {
+        let _t = trace::span("graph.fwd.fused_gru_combine");
+        let (rows, cols) = self.nodes[z.0].value.shape();
+        assert_eq!(self.nodes[n.0].value.shape(), (rows, cols), "fused_gru_combine shape");
+        assert_eq!(self.nodes[h_prev.0].value.shape(), (rows, cols), "fused_gru_combine shape");
+        let mut v = self.arena.scratch(rows, cols);
+        {
+            let zv = self.nodes[z.0].value.data();
+            let nv = self.nodes[n.0].value.data();
+            let hv = self.nodes[h_prev.0].value.data();
+            for (((o, &zi), &ni), &hi) in v.data_mut().iter_mut().zip(zv).zip(nv).zip(hv) {
+                *o = ((1.0 - zi) * ni) + (zi * hi);
+            }
+        }
+        let rg = self.rg(z) || self.rg(n) || self.rg(h_prev);
+        self.push(v, Op::FusedGruCombine { z, n, h_prev }, rg)
+    }
+
     /// Horizontal concatenation.
     pub fn hcat(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.hcat");
-        let v = self.value(a).hcat(self.value(b));
+        let (rows, ac) = self.nodes[a.0].value.shape();
+        let bc = self.nodes[b.0].value.cols();
+        assert_eq!(rows, self.nodes[b.0].value.rows(), "hcat row mismatch");
+        let mut data = self.arena.empty(rows * (ac + bc));
+        for r in 0..rows {
+            data.extend_from_slice(self.nodes[a.0].value.row(r));
+            data.extend_from_slice(self.nodes[b.0].value.row(r));
+        }
+        let v = Tensor::from_vec(rows, ac + bc, data);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::HCat(a, b), rg)
     }
@@ -308,7 +548,13 @@ impl Graph {
     /// Vertical concatenation.
     pub fn vcat(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.vcat");
-        let v = self.value(a).vcat(self.value(b));
+        let (ar, cols) = self.nodes[a.0].value.shape();
+        let br = self.nodes[b.0].value.rows();
+        assert_eq!(cols, self.nodes[b.0].value.cols(), "vcat column mismatch");
+        let mut data = self.arena.empty((ar + br) * cols);
+        data.extend_from_slice(self.nodes[a.0].value.data());
+        data.extend_from_slice(self.nodes[b.0].value.data());
+        let v = Tensor::from_vec(ar + br, cols, data);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::VCat(a, b), rg)
     }
@@ -316,12 +562,11 @@ impl Graph {
     /// Rows `[from, to)` of the source node.
     pub fn row_slice(&mut self, a: NodeId, from: usize, to: usize) -> NodeId {
         let _t = trace::span("graph.fwd.row_slice");
-        let src = self.value(a);
-        assert!(from <= to && to <= src.rows(), "row_slice out of range");
-        let cols = src.cols();
-        let mut data = Vec::with_capacity((to - from) * cols);
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        assert!(from <= to && to <= rows, "row_slice out of range");
+        let mut data = self.arena.empty((to - from) * cols);
         for r in from..to {
-            data.extend_from_slice(src.row(r));
+            data.extend_from_slice(self.nodes[a.0].value.row(r));
         }
         let v = Tensor::from_vec(to - from, cols, data);
         let rg = self.rg(a);
@@ -336,12 +581,11 @@ impl Graph {
     /// Gathers rows by index (embedding lookup); indices may repeat.
     pub fn gather_rows(&mut self, a: NodeId, indices: Vec<usize>) -> NodeId {
         let _t = trace::span("graph.fwd.gather_rows");
-        let src = self.value(a);
-        let cols = src.cols();
-        let mut data = Vec::with_capacity(indices.len() * cols);
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        let mut data = self.arena.empty(indices.len() * cols);
         for &i in &indices {
-            assert!(i < src.rows(), "gather index {i} out of {} rows", src.rows());
-            data.extend_from_slice(src.row(i));
+            assert!(i < rows, "gather index {i} out of {rows} rows");
+            data.extend_from_slice(self.nodes[a.0].value.row(i));
         }
         let v = Tensor::from_vec(indices.len(), cols, data);
         let rg = self.rg(a);
@@ -351,13 +595,13 @@ impl Graph {
     /// Repeats a `[1, d]` row `n` times into `[n, d]`.
     pub fn repeat_rows(&mut self, a: NodeId, n: usize) -> NodeId {
         let _t = trace::span("graph.fwd.repeat_rows");
-        let src = self.value(a);
-        assert_eq!(src.rows(), 1, "repeat_rows source must be [1, d]");
-        let mut data = Vec::with_capacity(n * src.cols());
+        let cols = self.nodes[a.0].value.cols();
+        assert_eq!(self.nodes[a.0].value.rows(), 1, "repeat_rows source must be [1, d]");
+        let mut data = self.arena.empty(n * cols);
         for _ in 0..n {
-            data.extend_from_slice(src.row(0));
+            data.extend_from_slice(self.nodes[a.0].value.row(0));
         }
-        let v = Tensor::from_vec(n, src.cols(), data);
+        let v = Tensor::from_vec(n, cols, data);
         let rg = self.rg(a);
         self.push(v, Op::RepeatRows(a, n), rg)
     }
@@ -373,35 +617,33 @@ impl Graph {
     /// Column-wise mean over rows: `[n, d] -> [1, d]`.
     pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.mean_rows");
-        let src = self.value(a);
-        let n = src.rows().max(1) as f32;
-        let mut out = vec![0.0; src.cols()];
-        for r in 0..src.rows() {
-            for (o, &x) in out.iter_mut().zip(src.row(r)) {
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        let n = rows.max(1) as f32;
+        let mut out = self.arena.zeroed(1, cols);
+        for r in 0..rows {
+            for (o, &x) in out.row_mut(0).iter_mut().zip(self.nodes[a.0].value.row(r)) {
                 *o += x;
             }
         }
-        for o in &mut out {
+        for o in out.row_mut(0) {
             *o /= n;
         }
-        let cols = src.cols();
         let rg = self.rg(a);
-        self.push(Tensor::from_vec(1, cols, out), Op::MeanRows(a), rg)
+        self.push(out, Op::MeanRows(a), rg)
     }
 
     /// Column-wise sum over rows: `[n, d] -> [1, d]`.
     pub fn sum_rows(&mut self, a: NodeId) -> NodeId {
         let _t = trace::span("graph.fwd.sum_rows");
-        let src = self.value(a);
-        let mut out = vec![0.0; src.cols()];
-        for r in 0..src.rows() {
-            for (o, &x) in out.iter_mut().zip(src.row(r)) {
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        let mut out = self.arena.zeroed(1, cols);
+        for r in 0..rows {
+            for (o, &x) in out.row_mut(0).iter_mut().zip(self.nodes[a.0].value.row(r)) {
                 *o += x;
             }
         }
-        let cols = src.cols();
         let rg = self.rg(a);
-        self.push(Tensor::from_vec(1, cols, out), Op::SumRows(a), rg)
+        self.push(out, Op::SumRows(a), rg)
     }
 
     /// Sliding-window flatten used by the char-CNN: `[n, d] -> [n-k+1, k*d]`.
@@ -411,14 +653,13 @@ impl Graph {
     /// that at least one slice is available).
     pub fn unfold(&mut self, a: NodeId, k: usize) -> NodeId {
         let _t = trace::span("graph.fwd.unfold");
-        let src = self.value(a);
-        assert!(k >= 1 && src.rows() >= k, "unfold needs at least k={k} rows, got {}", src.rows());
-        let out_rows = src.rows() - k + 1;
-        let cols = src.cols();
-        let mut data = Vec::with_capacity(out_rows * k * cols);
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        assert!(k >= 1 && rows >= k, "unfold needs at least k={k} rows, got {rows}");
+        let out_rows = rows - k + 1;
+        let mut data = self.arena.empty(out_rows * k * cols);
         for r in 0..out_rows {
             for w in 0..k {
-                data.extend_from_slice(src.row(r + w));
+                data.extend_from_slice(self.nodes[a.0].value.row(r + w));
             }
         }
         let v = Tensor::from_vec(out_rows, k * cols, data);
@@ -468,253 +709,23 @@ impl Graph {
         trace::record("graph.nodes_per_backward", self.nodes.len() as f64);
         trace::record("graph.param_bindings_per_backward", self.param_bindings.len() as f64);
         assert_eq!(self.value(loss).shape(), (1, 1), "backward requires a scalar loss");
-        self.grads = (0..self.nodes.len()).map(|_| None).collect();
+        for slot in self.grads.drain(..) {
+            if let Some(t) = slot {
+                self.arena.give(t);
+            }
+        }
+        self.grads.resize_with(self.nodes.len(), || None);
         self.grads[loss.0] = Some(Tensor::from_vec(1, 1, vec![1.0]));
+        // Split the borrow so backprop can match on `&nodes[i].op` without
+        // cloning the op descriptor while mutating grads and the arena.
+        let Graph { nodes, grads, arena, .. } = self;
         for i in (0..=loss.0).rev() {
-            if self.grads[i].is_none() || !self.nodes[i].requires_grad {
+            if grads[i].is_none() || !nodes[i].requires_grad {
                 continue;
             }
-            let g = self.grads[i].take().expect("checked above");
-            self.backprop_node(i, &g);
-            self.grads[i] = Some(g);
-        }
-    }
-
-    fn accum(&mut self, id: NodeId, delta: &Tensor) {
-        if !self.nodes[id.0].requires_grad {
-            return;
-        }
-        match &mut self.grads[id.0] {
-            Some(g) => g.add_scaled(delta, 1.0),
-            slot @ None => *slot = Some(delta.clone()),
-        }
-    }
-
-    fn backprop_node(&mut self, i: usize, g: &Tensor) {
-        // Clone the op descriptor so we can call &mut self accumulation.
-        let op = self.nodes[i].op.clone();
-        let _t = trace::span(bwd_span_name(&op));
-        match op {
-            Op::Leaf | Op::Input | Op::Param => {}
-            Op::Add(a, b) => {
-                self.accum(a, g);
-                self.accum(b, g);
-            }
-            Op::Sub(a, b) => {
-                self.accum(a, g);
-                let neg = g.map(|x| -x);
-                self.accum(b, &neg);
-            }
-            Op::Mul(a, b) => {
-                let da = g.zip(self.value(b), |gi, bi| gi * bi);
-                let db = g.zip(self.value(a), |gi, ai| gi * ai);
-                self.accum(a, &da);
-                self.accum(b, &db);
-            }
-            Op::Scale(a, s) => {
-                let da = g.map(|x| x * s);
-                self.accum(a, &da);
-            }
-            Op::AddRow(a, row) => {
-                self.accum(a, g);
-                let mut dr = Tensor::zeros(1, g.cols());
-                for r in 0..g.rows() {
-                    for (o, &x) in dr.row_mut(0).iter_mut().zip(g.row(r)) {
-                        *o += x;
-                    }
-                }
-                self.accum(row, &dr);
-            }
-            Op::MulRow(a, row) => {
-                let rv = self.value(row).clone();
-                let av = self.value(a).clone();
-                let mut da = g.clone();
-                for r in 0..da.rows() {
-                    for (o, &m) in da.row_mut(r).iter_mut().zip(rv.row(0)) {
-                        *o *= m;
-                    }
-                }
-                self.accum(a, &da);
-                let mut dr = Tensor::zeros(1, g.cols());
-                for r in 0..g.rows() {
-                    for c in 0..g.cols() {
-                        dr.row_mut(0)[c] += g.get(r, c) * av.get(r, c);
-                    }
-                }
-                self.accum(row, &dr);
-            }
-            Op::Matmul(a, b) => {
-                let da = g.matmul(&self.value(b).transpose());
-                let db = self.value(a).transpose().matmul(g);
-                self.accum(a, &da);
-                self.accum(b, &db);
-            }
-            Op::Transpose(a) => {
-                let da = g.transpose();
-                self.accum(a, &da);
-            }
-            Op::Sigmoid(a) => {
-                let y = &self.nodes[i].value;
-                let da = g.zip(y, |gi, yi| gi * yi * (1.0 - yi));
-                self.accum(a, &da);
-            }
-            Op::Tanh(a) => {
-                let y = &self.nodes[i].value;
-                let da = g.zip(y, |gi, yi| gi * (1.0 - yi * yi));
-                self.accum(a, &da);
-            }
-            Op::Relu(a) => {
-                let y = &self.nodes[i].value;
-                let da = g.zip(y, |gi, yi| if yi > 0.0 { gi } else { 0.0 });
-                self.accum(a, &da);
-            }
-            Op::Exp(a) => {
-                let y = &self.nodes[i].value;
-                let da = g.zip(y, |gi, yi| gi * yi);
-                self.accum(a, &da);
-            }
-            Op::Ln(a) => {
-                let x = self.value(a);
-                let da = g.zip(x, |gi, xi| gi / xi);
-                self.accum(a, &da);
-            }
-            Op::AddScalar(a) => {
-                self.accum(a, g);
-            }
-            Op::SoftmaxRows(a) => {
-                let y = self.nodes[i].value.clone();
-                let mut da = Tensor::zeros(y.rows(), y.cols());
-                for r in 0..y.rows() {
-                    let dot: f32 =
-                        g.row(r).iter().zip(y.row(r)).map(|(&gi, &yi)| gi * yi).sum();
-                    for c in 0..y.cols() {
-                        da.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
-                    }
-                }
-                self.accum(a, &da);
-            }
-            Op::LogSoftmaxRows(a) => {
-                let logp = self.nodes[i].value.clone();
-                let mut da = Tensor::zeros(logp.rows(), logp.cols());
-                for r in 0..logp.rows() {
-                    let gsum: f32 = g.row(r).iter().sum();
-                    for c in 0..logp.cols() {
-                        da.set(r, c, g.get(r, c) - logp.get(r, c).exp() * gsum);
-                    }
-                }
-                self.accum(a, &da);
-            }
-            Op::HCat(a, b) => {
-                let ac = self.value(a).cols();
-                let rows = g.rows();
-                let mut da = Tensor::zeros(rows, ac);
-                let mut db = Tensor::zeros(rows, g.cols() - ac);
-                for r in 0..rows {
-                    da.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
-                    db.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
-                }
-                self.accum(a, &da);
-                self.accum(b, &db);
-            }
-            Op::VCat(a, b) => {
-                let ar = self.value(a).rows();
-                let cols = g.cols();
-                let mut da = Tensor::zeros(ar, cols);
-                let mut db = Tensor::zeros(g.rows() - ar, cols);
-                for r in 0..ar {
-                    da.row_mut(r).copy_from_slice(g.row(r));
-                }
-                for r in ar..g.rows() {
-                    db.row_mut(r - ar).copy_from_slice(g.row(r));
-                }
-                self.accum(a, &da);
-                self.accum(b, &db);
-            }
-            Op::RowSlice(a, from, _to) => {
-                let src = self.value(a);
-                let mut da = Tensor::zeros(src.rows(), src.cols());
-                for r in 0..g.rows() {
-                    da.row_mut(from + r).copy_from_slice(g.row(r));
-                }
-                self.accum(a, &da);
-            }
-            Op::GatherRows(a, indices) => {
-                let src = self.value(a);
-                let mut da = Tensor::zeros(src.rows(), src.cols());
-                for (r, &idx) in indices.iter().enumerate() {
-                    for (o, &x) in da.row_mut(idx).iter_mut().zip(g.row(r)) {
-                        *o += x;
-                    }
-                }
-                self.accum(a, &da);
-            }
-            Op::RepeatRows(a, _n) => {
-                let mut da = Tensor::zeros(1, g.cols());
-                for r in 0..g.rows() {
-                    for (o, &x) in da.row_mut(0).iter_mut().zip(g.row(r)) {
-                        *o += x;
-                    }
-                }
-                self.accum(a, &da);
-            }
-            Op::SumAll(a) => {
-                let src = self.value(a);
-                let da = Tensor::full(src.rows(), src.cols(), g.scalar());
-                self.accum(a, &da);
-            }
-            Op::MeanRows(a) => {
-                let src = self.value(a);
-                let n = src.rows().max(1) as f32;
-                let mut da = Tensor::zeros(src.rows(), src.cols());
-                for r in 0..src.rows() {
-                    for (o, &x) in da.row_mut(r).iter_mut().zip(g.row(0)) {
-                        *o = x / n;
-                    }
-                }
-                self.accum(a, &da);
-            }
-            Op::SumRows(a) => {
-                let src = self.value(a);
-                let mut da = Tensor::zeros(src.rows(), src.cols());
-                for r in 0..src.rows() {
-                    da.row_mut(r).copy_from_slice(g.row(0));
-                }
-                self.accum(a, &da);
-            }
-            Op::Unfold(a, k) => {
-                let src = self.value(a);
-                let d = src.cols();
-                let mut da = Tensor::zeros(src.rows(), d);
-                for r in 0..g.rows() {
-                    for w in 0..k {
-                        for c in 0..d {
-                            let v = g.get(r, w * d + c);
-                            da.set(r + w, c, da.get(r + w, c) + v);
-                        }
-                    }
-                }
-                self.accum(a, &da);
-            }
-            Op::PickNll(a, targets) => {
-                let src = self.value(a);
-                let n = targets.len().max(1) as f32;
-                let scale = g.scalar() / n;
-                let mut da = Tensor::zeros(src.rows(), src.cols());
-                for (r, &t) in targets.iter().enumerate() {
-                    da.set(r, t, -scale);
-                }
-                self.accum(a, &da);
-            }
-            Op::BceWithLogits(a, targets) => {
-                let x = self.value(a);
-                let n = x.len().max(1) as f32;
-                let scale = g.scalar() / n;
-                let da = x.zip(&targets, |xi, ti| {
-                    let s = 1.0 / (1.0 + (-xi).exp());
-                    scale * (s - ti)
-                });
-                self.accum(a, &da);
-            }
+            let g = grads[i].take().expect("checked above");
+            backprop_node(nodes, grads, arena, i, &g);
+            grads[i] = Some(g);
         }
     }
 
@@ -740,6 +751,385 @@ impl Graph {
         }
         merged
     }
+}
+
+/// Accumulates an owned `delta` into a node's gradient slot, recycling the
+/// buffer when the slot is already occupied.
+fn accum_owned(
+    nodes: &[Node],
+    grads: &mut [Option<Tensor>],
+    arena: &mut Arena,
+    id: NodeId,
+    delta: Tensor,
+) {
+    if !nodes[id.0].requires_grad {
+        arena.give(delta);
+        return;
+    }
+    match &mut grads[id.0] {
+        Some(g) => {
+            g.add_scaled(&delta, 1.0);
+            arena.give(delta);
+        }
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+/// Accumulates a borrowed `delta` into a node's gradient slot, copying into
+/// an arena buffer only when the slot is empty.
+fn accum_ref(
+    nodes: &[Node],
+    grads: &mut [Option<Tensor>],
+    arena: &mut Arena,
+    id: NodeId,
+    delta: &Tensor,
+) {
+    if !nodes[id.0].requires_grad {
+        return;
+    }
+    match &mut grads[id.0] {
+        Some(g) => g.add_scaled(delta, 1.0),
+        slot @ None => {
+            let mut copy = arena.scratch(delta.rows(), delta.cols());
+            copy.data_mut().copy_from_slice(delta.data());
+            *slot = Some(copy);
+        }
+    }
+}
+
+/// `out = a @ b^T` via an arena-recycled transpose buffer (same kernels,
+/// hence bitwise-identical to `a.matmul(&b.transpose())`).
+fn matmul_bt(arena: &mut Arena, a: &Tensor, b: &Tensor) -> Tensor {
+    let mut bt = arena.scratch(b.cols(), b.rows());
+    b.transpose_into(&mut bt);
+    let mut out = arena.zeroed(a.rows(), bt.cols());
+    a.matmul_into(&bt, &mut out);
+    arena.give(bt);
+    out
+}
+
+/// `out = a^T @ b` via an arena-recycled transpose buffer.
+fn matmul_at(arena: &mut Arena, a: &Tensor, b: &Tensor) -> Tensor {
+    let mut at = arena.scratch(a.cols(), a.rows());
+    a.transpose_into(&mut at);
+    let mut out = arena.zeroed(at.rows(), b.cols());
+    at.matmul_into(b, &mut out);
+    arena.give(at);
+    out
+}
+
+fn backprop_node(
+    nodes: &[Node],
+    grads: &mut [Option<Tensor>],
+    arena: &mut Arena,
+    i: usize,
+    g: &Tensor,
+) {
+    let op = &nodes[i].op;
+    let _t = trace::span(bwd_span_name(op));
+    match op {
+        Op::Leaf | Op::Input | Op::Param => {}
+        &Op::Add(a, b) => {
+            accum_ref(nodes, grads, arena, a, g);
+            accum_ref(nodes, grads, arena, b, g);
+        }
+        &Op::Sub(a, b) => {
+            accum_ref(nodes, grads, arena, a, g);
+            let mut neg = arena.scratch(g.rows(), g.cols());
+            g.map_into(|x| -x, &mut neg);
+            accum_owned(nodes, grads, arena, b, neg);
+        }
+        &Op::Mul(a, b) => {
+            let mut da = arena.scratch(g.rows(), g.cols());
+            g.zip_into(&nodes[b.0].value, |gi, bi| gi * bi, &mut da);
+            let mut db = arena.scratch(g.rows(), g.cols());
+            g.zip_into(&nodes[a.0].value, |gi, ai| gi * ai, &mut db);
+            accum_owned(nodes, grads, arena, a, da);
+            accum_owned(nodes, grads, arena, b, db);
+        }
+        &Op::Scale(a, s) => {
+            let mut da = arena.scratch(g.rows(), g.cols());
+            g.map_into(|x| x * s, &mut da);
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        &Op::AddRow(a, row) => {
+            accum_ref(nodes, grads, arena, a, g);
+            let mut dr = arena.zeroed(1, g.cols());
+            for r in 0..g.rows() {
+                for (o, &x) in dr.row_mut(0).iter_mut().zip(g.row(r)) {
+                    *o += x;
+                }
+            }
+            accum_owned(nodes, grads, arena, row, dr);
+        }
+        &Op::MulRow(a, row) => {
+            let mut da = arena.scratch(g.rows(), g.cols());
+            for r in 0..g.rows() {
+                let rv = nodes[row.0].value.row(0);
+                for ((o, &gi), &m) in da.row_mut(r).iter_mut().zip(g.row(r)).zip(rv) {
+                    *o = gi * m;
+                }
+            }
+            accum_owned(nodes, grads, arena, a, da);
+            let mut dr = arena.zeroed(1, g.cols());
+            for r in 0..g.rows() {
+                let av = nodes[a.0].value.row(r);
+                for ((o, &gi), &x) in dr.row_mut(0).iter_mut().zip(g.row(r)).zip(av) {
+                    *o += gi * x;
+                }
+            }
+            accum_owned(nodes, grads, arena, row, dr);
+        }
+        &Op::Matmul(a, b) => {
+            let da = matmul_bt(arena, g, &nodes[b.0].value);
+            let db = matmul_at(arena, &nodes[a.0].value, g);
+            accum_owned(nodes, grads, arena, a, da);
+            accum_owned(nodes, grads, arena, b, db);
+        }
+        &Op::Transpose(a) => {
+            let mut da = arena.scratch(g.cols(), g.rows());
+            g.transpose_into(&mut da);
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        &Op::Sigmoid(a) => {
+            let y = &nodes[i].value;
+            let mut da = arena.scratch(g.rows(), g.cols());
+            g.zip_into(y, |gi, yi| gi * yi * (1.0 - yi), &mut da);
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        &Op::Tanh(a) => {
+            let y = &nodes[i].value;
+            let mut da = arena.scratch(g.rows(), g.cols());
+            g.zip_into(y, |gi, yi| gi * (1.0 - yi * yi), &mut da);
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        &Op::Relu(a) => {
+            let y = &nodes[i].value;
+            let mut da = arena.scratch(g.rows(), g.cols());
+            g.zip_into(y, |gi, yi| if yi > 0.0 { gi } else { 0.0 }, &mut da);
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        &Op::Exp(a) => {
+            let y = &nodes[i].value;
+            let mut da = arena.scratch(g.rows(), g.cols());
+            g.zip_into(y, |gi, yi| gi * yi, &mut da);
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        &Op::Ln(a) => {
+            let mut da = arena.scratch(g.rows(), g.cols());
+            g.zip_into(&nodes[a.0].value, |gi, xi| gi / xi, &mut da);
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        &Op::AddScalar(a) => {
+            accum_ref(nodes, grads, arena, a, g);
+        }
+        &Op::SoftmaxRows(a) => {
+            let y = &nodes[i].value;
+            let mut da = arena.scratch(y.rows(), y.cols());
+            for r in 0..y.rows() {
+                // A fully-masked input row was pinned to the uniform
+                // constant in forward; its gradient is zero.
+                if row_fully_masked(&nodes[a.0].value, r) {
+                    da.row_mut(r).fill(0.0);
+                    continue;
+                }
+                let dot: f32 = g.row(r).iter().zip(y.row(r)).map(|(&gi, &yi)| gi * yi).sum();
+                for c in 0..y.cols() {
+                    da.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                }
+            }
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        &Op::LogSoftmaxRows(a) => {
+            let logp = &nodes[i].value;
+            let mut da = arena.scratch(logp.rows(), logp.cols());
+            for r in 0..logp.rows() {
+                // Pinned uniform rows (fully-masked input) are constants.
+                if row_fully_masked(&nodes[a.0].value, r) {
+                    da.row_mut(r).fill(0.0);
+                    continue;
+                }
+                let gsum: f32 = g.row(r).iter().sum();
+                for c in 0..logp.cols() {
+                    da.set(r, c, g.get(r, c) - logp.get(r, c).exp() * gsum);
+                }
+            }
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        &Op::HCat(a, b) => {
+            let ac = nodes[a.0].value.cols();
+            let rows = g.rows();
+            let mut da = arena.scratch(rows, ac);
+            let mut db = arena.scratch(rows, g.cols() - ac);
+            for r in 0..rows {
+                da.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
+                db.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
+            }
+            accum_owned(nodes, grads, arena, a, da);
+            accum_owned(nodes, grads, arena, b, db);
+        }
+        &Op::VCat(a, b) => {
+            let ar = nodes[a.0].value.rows();
+            let cols = g.cols();
+            let mut da = arena.scratch(ar, cols);
+            let mut db = arena.scratch(g.rows() - ar, cols);
+            for r in 0..ar {
+                da.row_mut(r).copy_from_slice(g.row(r));
+            }
+            for r in ar..g.rows() {
+                db.row_mut(r - ar).copy_from_slice(g.row(r));
+            }
+            accum_owned(nodes, grads, arena, a, da);
+            accum_owned(nodes, grads, arena, b, db);
+        }
+        &Op::RowSlice(a, from, _to) => {
+            let (rows, cols) = nodes[a.0].value.shape();
+            let mut da = arena.zeroed(rows, cols);
+            for r in 0..g.rows() {
+                da.row_mut(from + r).copy_from_slice(g.row(r));
+            }
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        Op::GatherRows(a, indices) => {
+            let a = *a;
+            let (rows, cols) = nodes[a.0].value.shape();
+            let mut da = arena.zeroed(rows, cols);
+            for (r, &idx) in indices.iter().enumerate() {
+                for (o, &x) in da.row_mut(idx).iter_mut().zip(g.row(r)) {
+                    *o += x;
+                }
+            }
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        &Op::RepeatRows(a, _n) => {
+            let mut da = arena.zeroed(1, g.cols());
+            for r in 0..g.rows() {
+                for (o, &x) in da.row_mut(0).iter_mut().zip(g.row(r)) {
+                    *o += x;
+                }
+            }
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        &Op::SumAll(a) => {
+            let (rows, cols) = nodes[a.0].value.shape();
+            let mut da = arena.scratch(rows, cols);
+            da.data_mut().fill(g.scalar());
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        &Op::MeanRows(a) => {
+            let (rows, cols) = nodes[a.0].value.shape();
+            let n = rows.max(1) as f32;
+            let mut da = arena.scratch(rows, cols);
+            for r in 0..rows {
+                for (o, &x) in da.row_mut(r).iter_mut().zip(g.row(0)) {
+                    *o = x / n;
+                }
+            }
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        &Op::SumRows(a) => {
+            let (rows, cols) = nodes[a.0].value.shape();
+            let mut da = arena.scratch(rows, cols);
+            for r in 0..rows {
+                da.row_mut(r).copy_from_slice(g.row(0));
+            }
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        &Op::Unfold(a, k) => {
+            let (rows, d) = nodes[a.0].value.shape();
+            let mut da = arena.zeroed(rows, d);
+            for r in 0..g.rows() {
+                for w in 0..k {
+                    for c in 0..d {
+                        let v = g.get(r, w * d + c);
+                        da.set(r + w, c, da.get(r + w, c) + v);
+                    }
+                }
+            }
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        Op::PickNll(a, targets) => {
+            let a = *a;
+            let (rows, cols) = nodes[a.0].value.shape();
+            let n = targets.len().max(1) as f32;
+            let scale = g.scalar() / n;
+            let mut da = arena.zeroed(rows, cols);
+            for (r, &t) in targets.iter().enumerate() {
+                da.set(r, t, -scale);
+            }
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        Op::BceWithLogits(a, targets) => {
+            let a = *a;
+            let x = &nodes[a.0].value;
+            let n = x.len().max(1) as f32;
+            let scale = g.scalar() / n;
+            let mut da = arena.scratch(x.rows(), x.cols());
+            x.zip_into(
+                targets,
+                |xi, ti| {
+                    let s = 1.0 / (1.0 + (-xi).exp());
+                    scale * (s - ti)
+                },
+                &mut da,
+            );
+            accum_owned(nodes, grads, arena, a, da);
+        }
+        &Op::FusedGate { x, wx, h, wh, b, act } => {
+            let y = &nodes[i].value;
+            // dlin = g ⊙ act'(y), the gradient at the pre-activation.
+            let mut dlin = arena.scratch(y.rows(), y.cols());
+            match act {
+                GateAct::Sigmoid => g.zip_into(y, |gi, yi| gi * yi * (1.0 - yi), &mut dlin),
+                GateAct::Tanh => g.zip_into(y, |gi, yi| gi * (1.0 - yi * yi), &mut dlin),
+            }
+            // Reverse-tape order of the unfused composition: bias first,
+            // then the h-branch matmul, then the x-branch matmul. The bias
+            // gradient copies row 0 and accumulates the rest, so at one
+            // row it is bit-for-bit the plain `add` gradient.
+            let mut db = arena.scratch(1, dlin.cols());
+            db.row_mut(0).copy_from_slice(dlin.row(0));
+            for r in 1..dlin.rows() {
+                for (o, &v) in db.row_mut(0).iter_mut().zip(dlin.row(r)) {
+                    *o += v;
+                }
+            }
+            accum_owned(nodes, grads, arena, b, db);
+            let dh = matmul_bt(arena, &dlin, &nodes[wh.0].value);
+            let dwh = matmul_at(arena, &nodes[h.0].value, &dlin);
+            accum_owned(nodes, grads, arena, h, dh);
+            accum_owned(nodes, grads, arena, wh, dwh);
+            let dx = matmul_bt(arena, &dlin, &nodes[wx.0].value);
+            let dwx = matmul_at(arena, &nodes[x.0].value, &dlin);
+            accum_owned(nodes, grads, arena, x, dx);
+            accum_owned(nodes, grads, arena, wx, dwx);
+            arena.give(dlin);
+        }
+        &Op::FusedGruCombine { z, n, h_prev } => {
+            // Same per-slot accumulation order as the unfused blend:
+            // z ← g⊙h_prev, h_prev ← g⊙z (from the z*h_prev product),
+            // n ← g⊙(1-z) (from (1-z)*n), then z ← -(g⊙n) (through the
+            // 1-z subtraction).
+            let mut dz = arena.scratch(g.rows(), g.cols());
+            g.zip_into(&nodes[h_prev.0].value, |gi, hi| gi * hi, &mut dz);
+            let mut dh = arena.scratch(g.rows(), g.cols());
+            g.zip_into(&nodes[z.0].value, |gi, zi| gi * zi, &mut dh);
+            accum_owned(nodes, grads, arena, z, dz);
+            accum_owned(nodes, grads, arena, h_prev, dh);
+            let mut dn = arena.scratch(g.rows(), g.cols());
+            g.zip_into(&nodes[z.0].value, |gi, zi| gi * (1.0 - zi), &mut dn);
+            accum_owned(nodes, grads, arena, n, dn);
+            let mut dz2 = arena.scratch(g.rows(), g.cols());
+            g.zip_into(&nodes[n.0].value, |gi, ni| -(gi * ni), &mut dz2);
+            accum_owned(nodes, grads, arena, z, dz2);
+        }
+    }
+}
+
+/// Whether row `r` of `x` is fully masked (every entry `-inf`), i.e. its
+/// softmax/log-softmax output was pinned to the uniform constant.
+fn row_fully_masked(x: &Tensor, r: usize) -> bool {
+    x.row(r).iter().cloned().fold(f32::NEG_INFINITY, f32::max) == f32::NEG_INFINITY
 }
 
 /// Backward-pass span name per op kind, for `Op`-level profiling.
@@ -775,25 +1165,41 @@ fn bwd_span_name(op: &Op) -> &'static str {
         Op::AddScalar(..) => "graph.bwd.add_scalar",
         Op::PickNll(..) => "graph.bwd.pick_nll",
         Op::BceWithLogits(..) => "graph.bwd.bce_with_logits",
+        Op::FusedGate { .. } => "graph.bwd.fused_gate",
+        Op::FusedGruCombine { .. } => "graph.bwd.fused_gru_combine",
     }
 }
 
 /// Row-wise softmax of a plain tensor (shared with inference-only paths).
+///
+/// Same fully-masked-row semantics as [`Graph::softmax_rows`]: an
+/// all-`-inf` row yields the uniform distribution `1/V` instead of the
+/// `0/0 = NaN` row the naive rewrite produces.
 pub fn softmax_rows_value(x: &Tensor) -> Tensor {
-    let mut v = x.clone();
-    for r in 0..v.rows() {
-        let row = v.row_mut(r);
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut v = Tensor::zeros(x.rows(), x.cols());
+    softmax_rows_into(x, &mut v);
+    v
+}
+
+/// Row-wise softmax into a caller-provided same-shape buffer.
+fn softmax_rows_into(x: &Tensor, out: &mut Tensor) {
+    for r in 0..x.rows() {
+        let src = x.row(r);
+        let row = out.row_mut(r);
+        let max = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        if max == f32::NEG_INFINITY {
+            row.fill(1.0 / src.len() as f32);
+            continue;
+        }
         let mut sum = 0.0;
-        for e in row.iter_mut() {
-            *e = (*e - max).exp();
-            sum += *e;
+        for (o, &e) in row.iter_mut().zip(src) {
+            *o = (e - max).exp();
+            sum += *o;
         }
         for e in row.iter_mut() {
             *e /= sum;
         }
     }
-    v
 }
 
 #[cfg(test)]
@@ -887,6 +1293,47 @@ mod tests {
         for c in 0..3 {
             let diff = g.value(s).get(0, c).ln() - g.value(l).get(0, c);
             assert!(diff.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fully_masked_softmax_rows_are_uniform_not_nan() {
+        // Regression: an all-`-inf` row used to produce `e - max = NaN`
+        // (log-softmax) or `0/0 = NaN` (softmax) and poison the tape.
+        let ninf = f32::NEG_INFINITY;
+        let x = Tensor::from_vec(2, 4, vec![ninf, ninf, ninf, ninf, 1.0, 2.0, 3.0, 4.0]);
+        let mut g = Graph::new();
+        let a = g.leaf(x.clone());
+        let s = g.softmax_rows(a);
+        assert_eq!(g.value(s).row(0), &[0.25; 4], "masked row pins to uniform");
+        assert!((g.value(s).row(1).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(g.value(s).data().iter().all(|v| v.is_finite()));
+
+        let b = g.leaf(x.clone());
+        let l = g.log_softmax_rows(b);
+        assert_eq!(g.value(l).row(0), &[-(4f32.ln()); 4], "masked row pins to -ln V");
+        assert!(g.value(l).data().iter().all(|v| v.is_finite()));
+
+        // The standalone value-path helper has the same pinned semantics.
+        let v = softmax_rows_value(&x);
+        assert_eq!(v.row(0), &[0.25; 4]);
+    }
+
+    #[test]
+    fn fully_masked_softmax_rows_have_zero_gradient() {
+        // The pinned uniform row is a constant: backward must not push
+        // NaN (or anything) into the masked row of the input.
+        let ninf = f32::NEG_INFINITY;
+        let x = Tensor::from_vec(2, 3, vec![ninf, ninf, ninf, 0.5, -1.0, 2.0]);
+        for log in [false, true] {
+            let mut g = Graph::new();
+            let a = g.input(x.clone());
+            let s = if log { g.log_softmax_rows(a) } else { g.softmax_rows(a) };
+            let loss = g.sum_all(s);
+            g.backward(loss);
+            let grad = g.grad(a).unwrap();
+            assert_eq!(grad.row(0), &[0.0; 3], "masked row gradient must be zero (log={log})");
+            assert!(grad.data().iter().all(|v| v.is_finite()), "log={log}");
         }
     }
 
@@ -1004,5 +1451,164 @@ mod tests {
         let loss = g.sum_all(s);
         g.backward(loss);
         assert_eq!(g.grad(a).unwrap().data(), &[0.0, 1.0, 0.0]);
+    }
+
+    /// Runs one forward/backward pass through a mixed-op tape and returns
+    /// (loss, input gradient, param gradients).
+    fn mixed_tape_pass(g: &mut Graph, store: &ParamStore, pids: &[ParamId]) -> (f32, Tensor, Vec<Tensor>) {
+        let x = g.input(Tensor::from_vec(3, 4, (0..12).map(|i| (i as f32) * 0.3 - 1.7).collect()));
+        let w = g.param(store, pids[0]);
+        let b = g.param(store, pids[1]);
+        let mm = g.matmul(x, w);
+        let biased = g.add_row(mm, b);
+        let act = g.tanh(biased);
+        let sm = g.softmax_rows(act);
+        let lsm = g.log_softmax_rows(act);
+        let gated = g.mul(sm, lsm);
+        let pooled = g.mean_rows(gated);
+        let loss = g.sum_all(pooled);
+        g.backward(loss);
+        let grads = g.param_grads();
+        (
+            g.value(loss).scalar(),
+            g.grad(x).unwrap().clone(),
+            grads.into_iter().map(|(_, t)| t).collect(),
+        )
+    }
+
+    #[test]
+    fn reset_reuses_tape_with_bitwise_identical_results() {
+        // A reused (reset) graph must produce bit-for-bit the same loss,
+        // input gradients, and param gradients as a fresh graph, even
+        // though every buffer now comes from the recycling arena.
+        let mut store = ParamStore::new();
+        let pids = vec![
+            store.add("w", Tensor::xavier_seeded(4, 5, 11)),
+            store.add("b", Tensor::xavier_seeded(1, 5, 12)),
+        ];
+        let mut fresh = Graph::new();
+        let (loss0, gx0, gp0) = mixed_tape_pass(&mut fresh, &store, &pids);
+
+        let mut reused = Graph::new();
+        for round in 0..5 {
+            reused.reset();
+            let (loss, gx, gp) = mixed_tape_pass(&mut reused, &store, &pids);
+            assert_eq!(loss.to_bits(), loss0.to_bits(), "round {round} loss");
+            assert_eq!(gx, gx0, "round {round} input grad");
+            assert_eq!(gp, gp0, "round {round} param grads");
+        }
+    }
+
+    #[test]
+    fn reset_invalidates_tape_but_keeps_graph_usable() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::row_vector(&[1.0, 2.0]));
+        let s = g.sum_all(a);
+        g.backward(s);
+        assert!(g.grad(a).is_some());
+        g.reset();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        let b = g.input(Tensor::row_vector(&[5.0]));
+        let s2 = g.sum_all(b);
+        g.backward(s2);
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0]);
+    }
+
+    /// Unfused reference for [`Graph::fused_gate`]: the exact composition
+    /// `GruCell::step` used before fusion.
+    fn unfused_gate(
+        g: &mut Graph,
+        x: NodeId,
+        wx: NodeId,
+        h: NodeId,
+        wh: NodeId,
+        b: NodeId,
+        act: GateAct,
+    ) -> NodeId {
+        let xw = g.matmul(x, wx);
+        let hw = g.matmul(h, wh);
+        let s = g.add(xw, hw);
+        let lin = g.add(s, b);
+        match act {
+            GateAct::Sigmoid => g.sigmoid(lin),
+            GateAct::Tanh => g.tanh(lin),
+        }
+    }
+
+    /// Unfused reference for [`Graph::fused_gru_combine`].
+    fn unfused_combine(g: &mut Graph, z: NodeId, n: NodeId, h_prev: NodeId) -> NodeId {
+        let (rows, cols) = g.value(z).shape();
+        let ones = g.leaf(Tensor::full(rows, cols, 1.0));
+        let omz = g.sub(ones, z);
+        let a = g.mul(omz, n);
+        let b = g.mul(z, h_prev);
+        g.add(a, b)
+    }
+
+    #[test]
+    fn fused_gate_matches_unfused_composition_bitwise() {
+        for act in [GateAct::Sigmoid, GateAct::Tanh] {
+            let build = |g: &mut Graph, fused: bool| {
+                let x = g.input(Tensor::xavier_seeded(1, 6, 21));
+                let wx = g.input(Tensor::xavier_seeded(6, 5, 22));
+                let h = g.input(Tensor::xavier_seeded(1, 7, 23));
+                let wh = g.input(Tensor::xavier_seeded(7, 5, 24));
+                let b = g.input(Tensor::xavier_seeded(1, 5, 25));
+                let y = if fused {
+                    g.fused_gate(x, wx, h, wh, b, act)
+                } else {
+                    unfused_gate(g, x, wx, h, wh, b, act)
+                };
+                let loss = g.sum_all(y);
+                g.backward(loss);
+                (
+                    g.value(y).clone(),
+                    [x, wx, h, wh, b].map(|n| g.grad(n).unwrap().clone()),
+                )
+            };
+            let mut gf = Graph::new();
+            let (yf, gradf) = build(&mut gf, true);
+            let mut gu = Graph::new();
+            let (yu, gradu) = build(&mut gu, false);
+            assert_eq!(yf, yu, "forward value ({act:?})");
+            for (i, (a, b)) in gradf.iter().zip(&gradu).enumerate() {
+                let bits_equal = a
+                    .data()
+                    .iter()
+                    .zip(b.data())
+                    .all(|(p, q)| p.to_bits() == q.to_bits());
+                assert!(bits_equal, "grad {i} differs ({act:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_gru_combine_matches_unfused_composition_bitwise() {
+        let build = |g: &mut Graph, fused: bool| {
+            let zl = g.input(Tensor::xavier_seeded(1, 8, 31));
+            let z = g.sigmoid(zl);
+            let nl = g.input(Tensor::xavier_seeded(1, 8, 32));
+            let n = g.tanh(nl);
+            let hp = g.input(Tensor::xavier_seeded(1, 8, 33));
+            let h = if fused {
+                g.fused_gru_combine(z, n, hp)
+            } else {
+                unfused_combine(g, z, n, hp)
+            };
+            let loss = g.sum_all(h);
+            g.backward(loss);
+            (g.value(h).clone(), [zl, nl, hp].map(|m| g.grad(m).unwrap().clone()))
+        };
+        let mut gf = Graph::new();
+        let (hf, gradf) = build(&mut gf, true);
+        let mut gu = Graph::new();
+        let (hu, gradu) = build(&mut gu, false);
+        assert_eq!(hf, hu, "forward value");
+        for (i, (a, b)) in gradf.iter().zip(&gradu).enumerate() {
+            let bits_equal =
+                a.data().iter().zip(b.data()).all(|(p, q)| p.to_bits() == q.to_bits());
+            assert!(bits_equal, "grad {i} differs");
+        }
     }
 }

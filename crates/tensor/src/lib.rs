@@ -14,6 +14,9 @@
 //!
 //! ## Layout
 //! - [`tensor`]: dense row-major `f32` matrices.
+//! - [`matmul`]: the matmul kernels behind [`Tensor::matmul`] — scalar
+//!   reference, column-chunked single-row, and cache-blocked packed-B
+//!   with runtime SIMD dispatch — all bitwise-identical per cell.
 //! - [`graph`]: the define-by-run tape ([`Graph`], [`NodeId`]) with forward
 //!   ops and reverse-mode [`Graph::backward`].
 //! - [`params`]: persistent named parameters ([`ParamStore`]).
@@ -53,13 +56,15 @@
 
 pub mod gradcheck;
 pub mod graph;
+pub mod matmul;
 pub mod optim;
 pub mod params;
 pub mod pool;
 pub mod rng;
 pub mod tensor;
 
-pub use graph::{softmax_rows_value, Graph, NodeId};
+pub use graph::{softmax_rows_value, GateAct, Graph, NodeId};
+pub use matmul::{matmul_kernel, set_matmul_kernel, MatmulKernel};
 pub use params::{ParamId, ParamStore};
 pub use rng::Rng;
 pub use tensor::Tensor;

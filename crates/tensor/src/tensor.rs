@@ -9,13 +9,9 @@
 
 use nlidb_json::{FromJson, Json, JsonError, ToJson};
 
+use crate::matmul;
 use crate::pool;
 use crate::rng::Rng;
-
-/// Minimum multiply-accumulate count (`rows * inner * cols`) before
-/// [`Tensor::matmul`] fans out across the pool; below this the fixed cost
-/// of a fan-out exceeds the arithmetic.
-const PAR_MATMUL_MIN_WORK: usize = 64 * 64 * 64;
 
 /// Minimum element count before [`Tensor::map`] / [`Tensor::zip`] fan out.
 const PAR_ELEMWISE_MIN_LEN: usize = 16 * 1024;
@@ -118,6 +114,13 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Consumes the tensor, returning its flat row-major buffer (used by
+    /// the graph arena to recycle allocations).
+    #[inline]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Element accessor.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
@@ -146,11 +149,12 @@ impl Tensor {
 
     /// Matrix product `self @ other`.
     ///
-    /// Uses an i-k-j loop order so the inner loop streams both the output
-    /// row and the right-hand-side row contiguously. Large products fan
-    /// out over row ranges of the output via [`crate::pool`]; because each
-    /// output row is computed by the same scalar loop either way, the
-    /// parallel result is bitwise identical to the serial one.
+    /// Dispatches through [`crate::matmul`]: a scalar i-k-j reference
+    /// loop, a column-chunked single-row path for `[1, K]` products, and
+    /// a cache-blocked packed-B kernel for larger shapes. All paths keep
+    /// the per-output-cell reduction order of the scalar loop, so the
+    /// result is bitwise identical regardless of kernel selection
+    /// ([`crate::matmul::set_matmul_kernel`]) or thread count.
     ///
     /// Note there is deliberately *no* skip of zero left-hand entries:
     /// `0 * NaN` and `0 * Inf` must produce `NaN` so that divergence in
@@ -160,57 +164,62 @@ impl Tensor {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Computes `self @ other` into a caller-provided (zeroed) output
+    /// tensor; [`Tensor::matmul`] over a reused buffer.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch or wrong `out` shape.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: [{}, {}] @ [{}, {}]",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Tensor::zeros(self.rows, other.cols);
-        let work = self.rows * self.cols * other.cols;
-        if work >= PAR_MATMUL_MIN_WORK && self.rows >= 2 && pool::num_threads() > 1 {
-            let cols = other.cols;
-            // About 4 chunks per thread so the work-sharing cursor can
-            // even out stragglers; chunk boundaries align to whole rows.
-            let rows_per = self.rows.div_ceil(4 * pool::num_threads()).max(1);
-            pool::parallel_for_chunks(&mut out.data, rows_per * cols, |offset, chunk| {
-                let first_row = offset / cols;
-                for (ri, out_row) in chunk.chunks_mut(cols).enumerate() {
-                    self.matmul_row_into(other, first_row + ri, out_row);
-                }
-            });
-        } else {
-            for i in 0..self.rows {
-                self.matmul_row_into(other, i, out.row_mut(i));
-            }
-        }
-        out
-    }
-
-    /// Accumulates row `i` of `self @ other` into `out_row` (assumed zeroed).
-    #[inline]
-    fn matmul_row_into(&self, other: &Tensor, i: usize, out_row: &mut [f32]) {
-        for (k, &a_ik) in self.row(i).iter().enumerate() {
-            let b_row = other.row(k);
-            for (o, &b) in out_row.iter_mut().zip(b_row) {
-                *o += a_ik * b;
-            }
-        }
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul_into output shape mismatch"
+        );
+        matmul::matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
     }
 
     /// Matrix product that skips zero entries of `self` (the left operand).
     ///
     /// This is the former fast path of [`Tensor::matmul`], now explicit:
-    /// it is only valid when `other` is known to be finite, because a
-    /// skipped `0 * NaN` / `0 * Inf` yields `0` instead of `NaN`. Use it
-    /// for genuinely sparse left operands (indicator/one-hot matrices).
+    /// it is only valid when `other` is known to be finite (checked by a
+    /// debug assertion), because a skipped `0 * NaN` / `0 * Inf` yields
+    /// `0` instead of `NaN`. Use it for genuinely sparse left operands
+    /// (indicator/one-hot matrices). On finite inputs the result is
+    /// bitwise identical to [`Tensor::matmul`]: a skipped term is a
+    /// `±0.0` product, and adding `±0.0` to a `+0.0`-initialized
+    /// accumulator (which IEEE-754 addition can never turn into `-0.0`)
+    /// leaves its bits unchanged.
     ///
     /// # Panics
-    /// Panics on inner-dimension mismatch.
+    /// Panics on inner-dimension mismatch. Debug builds panic when
+    /// `other` contains non-finite values.
     pub fn matmul_sparse_lhs(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: [{}, {}] @ [{}, {}]",
             self.rows, self.cols, other.rows, other.cols
+        );
+        debug_assert!(
+            other.all_finite(),
+            "matmul_sparse_lhs requires a finite right operand: skipped \
+             zero entries would silently turn 0 * NaN / 0 * Inf into 0"
         );
         let mut out = Tensor::zeros(self.rows, other.cols);
         for i in 0..self.rows {
@@ -231,12 +240,23 @@ impl Tensor {
     /// Transpose.
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose into a caller-provided `[cols, rows]` output tensor
+    /// ([`Tensor::transpose`] over a reused buffer). Every element of
+    /// `out` is overwritten.
+    ///
+    /// # Panics
+    /// Panics if `out` is not `[cols, rows]`.
+    pub fn transpose_into(&self, out: &mut Tensor) {
+        assert_eq!(out.shape(), (self.cols, self.rows), "transpose_into shape mismatch");
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.set(c, r, self.get(r, c));
             }
         }
-        out
     }
 
     /// Elementwise map. Large tensors fan out over disjoint chunks via
@@ -244,6 +264,19 @@ impl Tensor {
     /// the parallel output is bitwise identical to the serial one.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let mut out = Tensor::zeros(self.rows, self.cols);
+        self.map_into(f, &mut out);
+        out
+    }
+
+    /// [`Tensor::map`] into a caller-provided same-shape output tensor
+    /// (used by the graph arena to recycle buffers). Every element of
+    /// `out` is overwritten; same parallel dispatch and bitwise contract
+    /// as [`Tensor::map`].
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn map_into(&self, f: impl Fn(f32) -> f32 + Sync, out: &mut Tensor) {
+        assert_eq!(self.shape(), out.shape(), "map_into shape mismatch");
         if self.data.len() >= PAR_ELEMWISE_MIN_LEN && pool::num_threads() > 1 {
             let chunk = self.data.len().div_ceil(pool::num_threads());
             let src = &self.data;
@@ -257,14 +290,25 @@ impl Tensor {
                 *o = f(x);
             }
         }
-        out
     }
 
     /// Elementwise binary combination with shape assertion. Parallelized
     /// like [`Tensor::map`] with the same bitwise-determinism contract.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
-        assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
         let mut out = Tensor::zeros(self.rows, self.cols);
+        self.zip_into(other, f, &mut out);
+        out
+    }
+
+    /// [`Tensor::zip`] into a caller-provided same-shape output tensor
+    /// (used by the graph arena to recycle buffers). Every element of
+    /// `out` is overwritten.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip_into(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync, out: &mut Tensor) {
+        assert_eq!(self.shape(), other.shape(), "elementwise shape mismatch");
+        assert_eq!(self.shape(), out.shape(), "zip_into output shape mismatch");
         if self.data.len() >= PAR_ELEMWISE_MIN_LEN && pool::num_threads() > 1 {
             let chunk = self.data.len().div_ceil(pool::num_threads());
             let (a, b) = (&self.data, &other.data);
@@ -278,7 +322,6 @@ impl Tensor {
                 *o = f(a, b);
             }
         }
-        out
     }
 
     /// In-place `self += scale * other`.

@@ -6,7 +6,7 @@
 //! reproducible from the case index alone.
 
 use nlidb_tensor::gradcheck::check_input_gradient;
-use nlidb_tensor::{pool, Graph, Rng, Tensor};
+use nlidb_tensor::{pool, set_matmul_kernel, GateAct, Graph, MatmulKernel, NodeId, Rng, Tensor};
 
 const CASES: u64 = 64;
 
@@ -234,6 +234,222 @@ fn parallel_backward_is_bitwise_equal_to_serial() {
         }
     }
     pool::set_threads(pool::default_threads());
+}
+
+/// Restores the global kernel knob (and pool size) on drop so a failing
+/// assertion cannot leak `Reference` mode into sibling tests.
+struct KernelGuard {
+    _pool: std::sync::MutexGuard<'static, ()>,
+}
+
+impl KernelGuard {
+    fn new() -> Self {
+        KernelGuard { _pool: pool_lock() }
+    }
+}
+
+impl Drop for KernelGuard {
+    fn drop(&mut self) {
+        set_matmul_kernel(MatmulKernel::Auto);
+        pool::set_threads(pool::default_threads());
+    }
+}
+
+#[test]
+fn blocked_matmul_matches_reference_kernel_on_odd_shapes() {
+    let _guard = KernelGuard::new();
+    // Shapes chosen to hit every dispatch edge: single row (1×K), single
+    // column (K×1), inner dim 1, non-multiple-of-tile dims straddling the
+    // 4×16 microkernel, and sizes both below and above the blocked/parallel
+    // work thresholds.
+    let shapes: [(usize, usize, usize); 10] = [
+        (1, 300, 777),
+        (1, 512, 1024),
+        (64, 80, 1),
+        (97, 1, 33),
+        (3, 5, 7),
+        (4, 16, 16),
+        (13, 64, 130),
+        (37, 41, 129),
+        (65, 33, 47),
+        (96, 112, 80),
+    ];
+    for (case, &(m, k, n)) in shapes.iter().enumerate() {
+        let mut rng = case_rng(12, case as u64);
+        let a = arb_tensor(&mut rng, m, k);
+        let b = arb_tensor(&mut rng, k, n);
+        set_matmul_kernel(MatmulKernel::Reference);
+        pool::set_threads(1);
+        let reference = a.matmul(&b);
+        set_matmul_kernel(MatmulKernel::Auto);
+        for threads in [1, 2, 4, 7] {
+            pool::set_threads(threads);
+            let fast = a.matmul(&b);
+            assert!(
+                bitwise_eq(&reference, &fast),
+                "case {case} ({m}x{k} @ {k}x{n}): blocked kernel at {threads} \
+                 threads differs from the serial reference kernel"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_row_matmul_parallelizes_bitwise_identically() {
+    let _guard = KernelGuard::new();
+    // Regression for the old `rows >= 2` fan-out guard: a 1×K @ K×V
+    // product (the decoder's vocab projection — the hottest serving
+    // shape) must engage the column-chunked parallel path and still be
+    // bitwise equal to the serial reference.
+    for case in 0..4 {
+        let mut rng = case_rng(13, case);
+        let k = rng.gen_range(256..640usize);
+        let v = rng.gen_range(1024..2048usize);
+        let a = arb_tensor(&mut rng, 1, k);
+        let b = arb_tensor(&mut rng, k, v);
+        set_matmul_kernel(MatmulKernel::Reference);
+        pool::set_threads(1);
+        let serial = a.matmul(&b);
+        set_matmul_kernel(MatmulKernel::Auto);
+        for threads in [2, 3, 8] {
+            pool::set_threads(threads);
+            let parallel = a.matmul(&b);
+            assert!(
+                bitwise_eq(&serial, &parallel),
+                "case {case} (1x{k} @ {k}x{v}): {threads}-thread single-row \
+                 matmul differs from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn matmul_sparse_lhs_matches_dense_at_blocked_sizes() {
+    // The sparse-LHS path skips zero entries, which is only exact because
+    // dense accumulation of `0.0 * finite` terms is also exact; this must
+    // keep holding at sizes where the dense side takes the blocked kernel.
+    for case in 0..8 {
+        let mut rng = case_rng(14, case);
+        let m = rng.gen_range(33..96usize);
+        let k = rng.gen_range(33..96usize);
+        let n = rng.gen_range(33..96usize);
+        let data = (0..m * k)
+            .map(|_| {
+                if rng.gen_range(0.0f32..1.0) < 0.7 {
+                    0.0
+                } else {
+                    rng.gen_range(-2.0f32..2.0)
+                }
+            })
+            .collect();
+        let a = Tensor::from_vec(m, k, data);
+        let b = arb_tensor(&mut rng, k, n);
+        assert!(
+            bitwise_eq(&a.matmul_sparse_lhs(&b), &a.matmul(&b)),
+            "case {case} ({m}x{k} @ {k}x{n}): sparse-LHS differs from dense"
+        );
+    }
+}
+
+/// Unfused composition of [`Graph::fused_gate`] (same as the one the
+/// graph's own unit tests check against), usable at serving batch = 1.
+fn gate_reference(
+    g: &mut Graph,
+    x: NodeId,
+    wx: NodeId,
+    h: NodeId,
+    wh: NodeId,
+    b: NodeId,
+    act: GateAct,
+) -> NodeId {
+    let xw = g.matmul(x, wx);
+    let hw = g.matmul(h, wh);
+    let s = g.add(xw, hw);
+    let lin = g.add(s, b);
+    match act {
+        GateAct::Sigmoid => g.sigmoid(lin),
+        GateAct::Tanh => g.tanh(lin),
+    }
+}
+
+#[test]
+fn fused_gru_kernels_are_bitwise_stable_across_threads() {
+    let _guard = KernelGuard::new();
+    // Dims large enough that the gate matmuls cross the parallel-work
+    // threshold, so the fused path is exercised with real fan-out.
+    let (k, d) = (512, 640);
+    let mut rng = case_rng(15, 0);
+    let xs = arb_tensor(&mut rng, 1, k);
+    let wxs = arb_tensor(&mut rng, k, d);
+    let hs = arb_tensor(&mut rng, 1, d);
+    let whs = arb_tensor(&mut rng, d, d);
+    let bs = arb_tensor(&mut rng, 1, d);
+    let run = |fused: bool| {
+        let mut g = Graph::new();
+        let x = g.input(xs.clone());
+        let wx = g.input(wxs.clone());
+        let h = g.input(hs.clone());
+        let wh = g.input(whs.clone());
+        let b = g.input(bs.clone());
+        let z = if fused {
+            g.fused_gate(x, wx, h, wh, b, GateAct::Sigmoid)
+        } else {
+            gate_reference(&mut g, x, wx, h, wh, b, GateAct::Sigmoid)
+        };
+        let n = if fused {
+            g.fused_gate(x, wx, h, wh, b, GateAct::Tanh)
+        } else {
+            gate_reference(&mut g, x, wx, h, wh, b, GateAct::Tanh)
+        };
+        let out = if fused {
+            g.fused_gru_combine(z, n, h)
+        } else {
+            let (rows, cols) = g.value(z).shape();
+            let ones = g.leaf(Tensor::full(rows, cols, 1.0));
+            let omz = g.sub(ones, z);
+            let a = g.mul(omz, n);
+            let b2 = g.mul(z, h);
+            g.add(a, b2)
+        };
+        let loss = g.sum_all(out);
+        g.backward(loss);
+        (
+            g.value(out).clone(),
+            g.grad(x).unwrap().clone(),
+            g.grad(wx).unwrap().clone(),
+            g.grad(h).unwrap().clone(),
+            g.grad(wh).unwrap().clone(),
+            g.grad(b).unwrap().clone(),
+        )
+    };
+    pool::set_threads(1);
+    let fused_serial = run(true);
+    let naive_serial = run(false);
+    let tensors = |t: &(Tensor, Tensor, Tensor, Tensor, Tensor, Tensor)| {
+        [&t.0, &t.1, &t.2, &t.3, &t.4, &t.5].map(Clone::clone)
+    };
+    for (i, (f, n)) in
+        tensors(&fused_serial).iter().zip(tensors(&naive_serial).iter()).enumerate()
+    {
+        assert!(
+            bitwise_eq(f, n),
+            "tensor {i}: serial fused GRU kernel differs from the serial \
+             unfused reference"
+        );
+    }
+    for threads in [2, 4, 6] {
+        pool::set_threads(threads);
+        let fused_par = run(true);
+        for (i, (f, n)) in
+            tensors(&fused_par).iter().zip(tensors(&naive_serial).iter()).enumerate()
+        {
+            assert!(
+                bitwise_eq(f, n),
+                "tensor {i}: fused GRU kernel at {threads} threads differs \
+                 from the serial unfused reference"
+            );
+        }
+    }
 }
 
 #[test]

@@ -37,6 +37,15 @@ cargo test -q --offline --workspace
 # write results/bench_components.json.
 NLIDB_BENCH_SMOKE=1 cargo bench -q --offline -p nlidb-bench
 
+# Bench-regression gate: the fresh smoke numbers must stay within 25% of
+# the committed baseline's min_ns on every gated row, and the blocked
+# matmul kernel must hold its 2x improvement floor over the pre-blocked
+# baseline (DESIGN.md "Kernel fast paths"). `cargo bench` writes the
+# fresh results under the bench package dir; the baseline is committed
+# at results/bench_baseline.json.
+cargo run -q --release --offline -p nlidb-bench --bin bench_gate -- \
+    crates/bench/results/bench_components.json results/bench_baseline.json
+
 # Trace smoke: trains a tiny end-to-end system with NLIDB_TRACE off and
 # on, asserts byte-identical parameters/predictions either way, and
 # checks that results/trace_trace_smoke.json parses with nlidb-json and

@@ -141,8 +141,10 @@ fn unsafe_safety_fixtures() {
     let diags = check("unsafe_safety_pos.rs", "crates/tensor/src/fixture.rs");
     assert_eq!(
         diags.iter().filter(|d| d.rule == "unsafe-needs-safety-comment").count(),
-        2,
-        "both the bare unsafe and the comment-with-a-gap must be flagged:\n{:?}",
+        3,
+        "the bare unsafe, the comment-with-a-gap, and the target-feature \
+         wrapper whose `# Safety` doc is separated from the `unsafe` keyword \
+         by attribute lines must all be flagged:\n{:?}",
         rules_fired(&diags)
     );
     assert_silent("unsafe_safety_neg.rs", "crates/tensor/src/fixture.rs");
