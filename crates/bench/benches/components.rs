@@ -17,7 +17,9 @@ use nlidb_core::mention::classifier::{training_pairs, MentionClassifier};
 use nlidb_core::serve::{ServeEngine, ServeOptions, ServeRequest};
 use nlidb_core::vocab::build_input_vocab;
 use nlidb_core::{ModelConfig, Nlidb, NlidbOptions};
+use nlidb_data::stream::{write_corpus, CorpusReader};
 use nlidb_data::wikisql::{generate, WikiSqlConfig};
+use nlidb_data::{CorpusPlan, ShardedCorpusConfig};
 use nlidb_json::json;
 use nlidb_sqlir::{canonicalize, parse_sql, query_match};
 use nlidb_storage::{execute, TableStats};
@@ -126,6 +128,28 @@ fn bench_sql(records: &mut Vec<Record>) {
     bench("storage/column_stats", records, || {
         black_box(TableStats::compute(black_box(&e.table), &space));
     });
+}
+
+/// The sharded corpus plane: generating one 64-question shard from a
+/// compiled plan (the per-worker unit of the `write_corpus` fan-out), and
+/// streaming the same shard back from disk through the `CorpusReader`
+/// (JSONL parse + table-pool dedup — the out-of-core training read path).
+fn bench_data(records: &mut Vec<Record>) {
+    let mut cfg = ShardedCorpusConfig::tiny(7);
+    cfg.base.train_tables = 16;
+    cfg.base.questions_per_table = 8;
+    cfg.tables_per_shard = 8;
+    let plan = CorpusPlan::compile(cfg);
+    bench("data/gen_shard_64q", records, || {
+        black_box(plan.gen_shard(black_box(0)));
+    });
+    let dir = std::env::temp_dir().join(format!("nlidb-bench-corpus-{}", std::process::id()));
+    write_corpus(&plan, &dir).expect("write bench corpus");
+    let mut reader = CorpusReader::open(&dir).expect("open bench corpus");
+    bench("data/stream_read_64q", records, || {
+        black_box(reader.read_shard(black_box(0)).expect("read bench shard").len());
+    });
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 fn bench_models(records: &mut Vec<Record>) {
@@ -317,6 +341,7 @@ fn main() {
     let mut records = Vec::new();
     bench_text(&mut records);
     bench_sql(&mut records);
+    bench_data(&mut records);
     bench_models(&mut records);
     bench_threading(&mut records);
     bench_pipeline(&mut records);

@@ -18,8 +18,11 @@
 //! is the row's optional `floor_ratio` field if present, else the default
 //! [`REGRESSION_CEILING`] (1.25, i.e. a >25% slowdown fails). The
 //! committed baseline pins `tensor/matmul_256_parallel` at `floor_ratio`
-//! 0.5: the blocked kernel must stay at least 2x faster than the
-//! pre-blocked scalar numbers the baseline records.
+//! 0.75: the blocked kernel must stay at least 1.33x faster than the
+//! pre-blocked scalar numbers the baseline records (a kernel revert
+//! measures ~1.0x; the margin absorbs the ~1.7x run-to-run throughput
+//! drift of single-core CI hosts, which a tight cross-run floor cannot
+//! survive).
 //!
 //! Only rows named in the baseline are gated; the baseline is the policy
 //! file. A baseline row missing from the current results is an error —

@@ -1,0 +1,232 @@
+//! CI smoke for the sharded corpus plane (run by `scripts/verify.sh`).
+//!
+//! Enforces the dbgen-style generation contract from DESIGN.md "Sharded
+//! corpus plane" on a small corpus, then at scale:
+//!
+//! 1. **Thread-count identity**: writing the corpus with the pool pinned
+//!    to one thread and again at the default width produces byte-identical
+//!    shard files and manifest.
+//! 2. **Shard isolation**: every shard, regenerated alone from a freshly
+//!    compiled plan, serializes byte-identically to the file the full
+//!    fan-out wrote.
+//! 3. **Out-of-core training**: one training run streamed from disk
+//!    yields checkpoint files byte-identical to training from the
+//!    in-memory sharded source, with peak example residency bounded by
+//!    the largest train shard.
+//! 4. **Scale**: a ~1e5-question corpus generates shard-by-shard; one
+//!    mid-corpus shard regenerates byte-identically in isolation, and
+//!    streaming the whole train split back keeps peak residency bounded
+//!    by one shard rather than the full corpus.
+//!
+//! Exits non-zero on any violation.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use nlidb_core::{ModelConfig, Nlidb, NlidbOptions};
+use nlidb_data::stream::{write_corpus, CorpusReader, ExampleSource, InMemorySource};
+use nlidb_data::{to_jsonl, CorpusPlan, ShardedCorpusConfig, Split};
+use nlidb_json::json;
+use nlidb_tensor::pool;
+
+fn check(failed: &mut bool, ok: bool, what: &str) {
+    println!("  [{}] {what}", if ok { "ok" } else { "FAIL" });
+    if !ok {
+        *failed = true;
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nlidb-corpus-smoke-{name}-{}", std::process::id()))
+}
+
+fn small_cfg(seed: u64) -> ShardedCorpusConfig {
+    let mut cfg = ShardedCorpusConfig::tiny(seed);
+    cfg.base.train_tables = 6;
+    cfg.base.dev_tables = 2;
+    cfg.base.test_tables = 2;
+    cfg.base.questions_per_table = 5;
+    cfg.tables_per_shard = 2;
+    cfg
+}
+
+/// Sorted file names of a written corpus directory.
+fn corpus_files(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("read corpus dir")
+        .map(|e| e.expect("dir entry").file_name().into_string().expect("utf-8 file name"))
+        .collect();
+    names.sort();
+    names
+}
+
+/// True when both directories hold the same files with the same bytes.
+fn dirs_identical(a: &Path, b: &Path) -> bool {
+    let names = corpus_files(a);
+    if names != corpus_files(b) {
+        return false;
+    }
+    names.iter().all(|n| {
+        std::fs::read(a.join(n)).expect("read shard") == std::fs::read(b.join(n)).expect("read shard")
+    })
+}
+
+/// Checkpoints both systems and returns whether every file is byte-equal.
+fn checkpoints_identical(a: &Nlidb, b: &Nlidb) -> bool {
+    let da = temp_dir("ckpt-a");
+    let db = temp_dir("ckpt-b");
+    a.save(&da).expect("save checkpoint a");
+    b.save(&db).expect("save checkpoint b");
+    let same = dirs_identical(&da, &db);
+    std::fs::remove_dir_all(&da).ok();
+    std::fs::remove_dir_all(&db).ok();
+    same
+}
+
+/// Stages 1–3: the small-corpus contract.
+fn small_corpus_checks(failed: &mut bool) {
+    let cfg = small_cfg(91);
+    let plan = CorpusPlan::compile(cfg.clone());
+
+    // 1. Thread-count identity of the written corpus.
+    println!("small corpus ({} examples, {} shards):", plan.num_examples(), plan.shards().len());
+    let dir_serial = temp_dir("serial");
+    let dir_parallel = temp_dir("parallel");
+    pool::set_threads(1);
+    write_corpus(&plan, &dir_serial).expect("write corpus serially");
+    pool::set_threads(pool::default_threads().max(2));
+    write_corpus(&plan, &dir_parallel).expect("write corpus in parallel");
+    pool::set_threads(pool::default_threads());
+    check(
+        failed,
+        dirs_identical(&dir_serial, &dir_parallel),
+        "shard files byte-identical across thread counts",
+    );
+    std::fs::remove_dir_all(&dir_parallel).ok();
+
+    // 2. Shard isolation: every shard regenerated alone matches its file.
+    let reader = CorpusReader::open(&dir_serial).expect("open corpus");
+    let manifest = reader.manifest().clone();
+    let mut isolated_ok = true;
+    for (i, meta) in manifest.shards.iter().enumerate() {
+        let fresh = CorpusPlan::compile(cfg.clone());
+        let regenerated = to_jsonl(&fresh.gen_shard(i));
+        let on_disk = std::fs::read_to_string(dir_serial.join(&meta.file)).expect("read shard");
+        isolated_ok &= regenerated == on_disk;
+    }
+    check(failed, isolated_ok, "every shard regenerates byte-identically in isolation");
+
+    // 3. Streamed training: disk vs in-memory, plus the residency bound.
+    eprintln!("corpus_smoke: training tiny system twice (in-memory, from disk)…");
+    let opts = || NlidbOptions { model: ModelConfig::tiny(), ..NlidbOptions::default() };
+    let mut mem = InMemorySource::from_plan(&plan, Split::Train);
+    let trained_mem = Nlidb::train_streamed(&mut mem, opts()).expect("train from memory");
+    let mut reader = CorpusReader::open(&dir_serial).expect("reopen corpus");
+    let gauge = reader.gauge();
+    let max_shard = manifest
+        .shards
+        .iter()
+        .filter(|s| s.split == "train")
+        .map(|s| s.examples)
+        .max()
+        .expect("train shards");
+    let total: usize = mem.num_examples();
+    let mut src = reader.split_source(Split::Train);
+    let trained_disk = Nlidb::train_streamed(&mut src, opts()).expect("train from disk");
+    check(
+        failed,
+        checkpoints_identical(&trained_mem, &trained_disk),
+        "disk-streamed checkpoint byte-identical to in-memory checkpoint",
+    );
+    check(
+        failed,
+        gauge.peak() <= max_shard && gauge.peak() < total,
+        &format!(
+            "peak residency {} bounded by shard size {max_shard} (split total {total})",
+            gauge.peak()
+        ),
+    );
+    check(failed, gauge.current() == 0, "all shard leases released after training");
+    std::fs::remove_dir_all(&dir_serial).ok();
+}
+
+/// Stage 4: the ~1e5-question corpus.
+fn scale_checks(failed: &mut bool) -> (usize, f64, f64) {
+    let mut cfg = ShardedCorpusConfig::tiny(92);
+    cfg.base.train_tables = 5000;
+    cfg.base.dev_tables = 10;
+    cfg.base.test_tables = 10;
+    cfg.base.questions_per_table = 20;
+    cfg.tables_per_shard = 250;
+    let plan = CorpusPlan::compile(cfg.clone());
+    let questions = plan.num_examples();
+    println!("scale corpus ({questions} examples, {} shards):", plan.shards().len());
+    check(failed, questions >= 100_000, "corpus holds at least 1e5 questions");
+
+    let dir = temp_dir("scale");
+    let t = Instant::now();
+    let manifest = write_corpus(&plan, &dir).expect("write scale corpus");
+    let gen_secs = t.elapsed().as_secs_f64();
+    check(failed, manifest.examples == questions, "manifest example count matches the plan");
+
+    // One mid-corpus shard, regenerated alone from a fresh plan.
+    let probe = manifest.shards.len() / 2;
+    let fresh = CorpusPlan::compile(cfg);
+    let regenerated = to_jsonl(&fresh.gen_shard(probe));
+    let on_disk =
+        std::fs::read_to_string(dir.join(&manifest.shards[probe].file)).expect("read probe shard");
+    check(
+        failed,
+        regenerated == on_disk,
+        &format!("shard {probe} regenerates byte-identically in isolation"),
+    );
+
+    // Stream the train split back; residency must stay one-shard-bounded.
+    let mut reader = CorpusReader::open(&dir).expect("open scale corpus");
+    let gauge = reader.gauge();
+    let mut src = reader.split_source(Split::Train);
+    let (shards, split_total) = (src.num_shards(), src.num_examples());
+    let t = Instant::now();
+    let mut streamed = 0usize;
+    for s in 0..shards {
+        streamed += src.load_shard(s).expect("stream shard").len();
+    }
+    let read_secs = t.elapsed().as_secs_f64();
+    check(failed, streamed == split_total, "streamed every train example exactly once");
+    let max_shard = manifest
+        .shards
+        .iter()
+        .filter(|s| s.split == "train")
+        .map(|s| s.examples)
+        .max()
+        .expect("train shards");
+    check(
+        failed,
+        gauge.peak() <= max_shard && gauge.peak() < split_total,
+        &format!(
+            "peak residency {} bounded by shard size {max_shard} (split total {split_total})",
+            gauge.peak()
+        ),
+    );
+    println!("  generated in {gen_secs:.2}s, streamed back in {read_secs:.2}s");
+    std::fs::remove_dir_all(&dir).ok();
+    (questions, gen_secs, read_secs)
+}
+
+fn main() {
+    let mut failed = false;
+    small_corpus_checks(&mut failed);
+    let (questions, gen_secs, read_secs) = scale_checks(&mut failed);
+    nlidb_bench::write_result(
+        "corpus_smoke",
+        &json!({
+            "questions": questions as f64,
+            "gen_secs": gen_secs,
+            "read_secs": read_secs,
+        }),
+    );
+    if failed {
+        std::process::exit(1);
+    }
+    println!("corpus_smoke: all checks passed");
+}

@@ -270,6 +270,53 @@ impl MentionClassifier {
         }
         last
     }
+
+    /// Out-of-core [`Self::train`]: pulls `(question, column, label)`
+    /// pairs shard by shard from `load` and walks them in the
+    /// deterministic [`crate::train::sharded_epoch`] order, so at most
+    /// one shard's pairs are resident. Any two loaders serving the same
+    /// shards drive byte-identical training.
+    pub fn train_streamed<L>(
+        &mut self,
+        num_shards: usize,
+        mut load: L,
+        epochs: usize,
+    ) -> Result<f32, nlidb_data::stream::StreamError>
+    where
+        L: FnMut(usize) -> Result<Vec<(Vec<String>, Vec<String>, bool)>, nlidb_data::stream::StreamError>,
+    {
+        let mut opt = Adam::new(self.cfg.lr);
+        let salted = self.cfg.seed ^ 0x7EA1;
+        let batch_size = self.cfg.batch_size.max(1);
+        let mut last = f32::INFINITY;
+        for epoch in 0..epochs {
+            let mut step = |batch: &[(Vec<String>, Vec<String>, bool)]| {
+                let (loss_sum, mut grads) = crate::train::batch_grads(batch.len(), |bi| {
+                    let (q, c, label) = &batch[bi];
+                    let mut g = Graph::new();
+                    let out = self.forward(&mut g, q, c);
+                    let target = Tensor::row_vector(&[if *label { 1.0 } else { 0.0 }]);
+                    let loss = g.bce_with_logits(out.logit, target);
+                    let value = g.value(loss).scalar();
+                    g.backward(loss);
+                    (value, g.param_grads())
+                });
+                clip_global_norm(&mut grads, self.cfg.clip);
+                opt.step(&mut self.store, &grads);
+                loss_sum
+            };
+            let (total, count) = crate::train::sharded_epoch(
+                num_shards,
+                salted,
+                epoch,
+                batch_size,
+                &mut load,
+                &mut step,
+            )?;
+            last = total / count.max(1) as f32;
+        }
+        Ok(last)
+    }
 }
 
 /// Builds classifier training triples from a dataset: every

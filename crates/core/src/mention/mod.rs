@@ -110,6 +110,49 @@ impl MentionDetector {
         }
     }
 
+    /// Out-of-core [`Self::train`]: derives each model's training items
+    /// shard by shard from an [`ExampleSource`] — classifier pairs via
+    /// [`training_pairs`], value-detector triples via
+    /// [`value::training_triples_with_rng`] with a per-shard RNG stream
+    /// — so at most one shard of examples (plus its derived items) is
+    /// resident. Training from the disk reader is byte-identical to
+    /// training from the in-memory source over the same shards.
+    pub fn train_streamed<S: nlidb_data::stream::ExampleSource>(
+        cfg: &ModelConfig,
+        src: &mut S,
+        vocab: Vocab,
+        space: &EmbeddingSpace,
+        lexicon: Lexicon,
+    ) -> Result<Self, nlidb_data::stream::StreamError> {
+        use nlidb_tensor::Rng;
+        let num_shards = src.num_shards();
+        let mut classifier = MentionClassifier::new(cfg, vocab, space);
+        classifier.train_streamed(
+            num_shards,
+            |s| Ok(training_pairs(&src.load_shard(s)?)),
+            cfg.mention_epochs,
+        )?;
+        let mut value_detector = ValueDetector::new(cfg, space.clone());
+        let seed = cfg.seed;
+        value_detector.train_streamed(
+            num_shards,
+            |s| {
+                let shard = src.load_shard(s)?;
+                let mut rng = Rng::for_stream(seed ^ 0x7121, s as u64);
+                Ok(value::training_triples_with_rng(&shard, space, &mut rng))
+            },
+            cfg.mention_epochs.max(4),
+        )?;
+        Ok(MentionDetector {
+            classifier,
+            value_detector,
+            matcher_cfg: MatcherConfig::default(),
+            space: space.clone(),
+            lexicon,
+            cfg: cfg.clone(),
+        })
+    }
+
     /// Builds an untrained detector (for tests and warm starts).
     pub fn untrained(
         cfg: &ModelConfig,

@@ -111,6 +111,46 @@ impl ValueDetector {
         last
     }
 
+    /// Out-of-core [`Self::train`]: pulls `(span, centroid, label)`
+    /// triples shard by shard from `load` and walks them per-example in
+    /// the deterministic [`crate::train::sharded_epoch`] order (the
+    /// value detector trains with per-example updates). Any two loaders
+    /// serving the same shards drive byte-identical training.
+    pub fn train_streamed<L>(
+        &mut self,
+        num_shards: usize,
+        mut load: L,
+        epochs: usize,
+    ) -> Result<f32, nlidb_data::stream::StreamError>
+    where
+        L: FnMut(usize) -> Result<Vec<(Vec<String>, Vec<f32>, bool)>, nlidb_data::stream::StreamError>,
+    {
+        let mut opt = Adam::new(self.lr);
+        let salted = self.seed ^ 0xF00D;
+        let mut last = f32::INFINITY;
+        for epoch in 0..epochs {
+            let mut step = |batch: &[(Vec<String>, Vec<f32>, bool)]| {
+                let (span, s_c, label) = &batch[0];
+                let s_span = self.space.phrase_vector(span);
+                let mut g = Graph::new();
+                let x = g.leaf(self.features(s_c, &s_span));
+                let logit = self.mlp.forward(&mut g, &self.store, x);
+                let target = if *label { 1.0 } else { 0.0 };
+                let loss = g.bce_with_logits(logit, Tensor::row_vector(&[target]));
+                let value = g.value(loss).scalar();
+                g.backward(loss);
+                let mut grads = g.param_grads();
+                clip_global_norm(&mut grads, self.clip);
+                opt.step(&mut self.store, &grads);
+                value
+            };
+            let (total, count) =
+                crate::train::sharded_epoch(num_shards, salted, epoch, 1, &mut load, &mut step)?;
+            last = total / count.max(1) as f32;
+        }
+        Ok(last)
+    }
+
     /// Detects value mentions in a question against a table's statistics:
     /// scores every stop-word-free candidate span against every column,
     /// keeps spans whose best score crosses 0.5, and greedily selects
@@ -335,7 +375,17 @@ pub fn training_triples(
     space: &EmbeddingSpace,
     seed: u64,
 ) -> Vec<(Vec<String>, Vec<f32>, bool)> {
-    let mut rng = Rng::seed_from_u64(seed ^ 0x7121);
+    training_triples_with_rng(ds, space, &mut Rng::seed_from_u64(seed ^ 0x7121))
+}
+
+/// [`training_triples`] with a caller-supplied RNG — the streaming path
+/// derives one RNG per shard (`Rng::for_stream(seed ^ 0x7121, shard)`)
+/// so each shard's negative draws are reproducible in isolation.
+pub fn training_triples_with_rng(
+    ds: &[nlidb_data::Example],
+    space: &EmbeddingSpace,
+    rng: &mut Rng,
+) -> Vec<(Vec<String>, Vec<f32>, bool)> {
     let mut out = Vec::new();
     for e in ds {
         let stats = TableStats::compute(&e.table, space);

@@ -17,7 +17,7 @@ use crate::config::ModelConfig;
 use crate::mention::{DetectContext, MentionDetector};
 use crate::seq2seq::{Seq2Seq, Seq2SeqItem};
 use crate::transformer::TransformerSeq2Seq;
-use crate::vocab::{build_input_vocab, OutVocab};
+use crate::vocab::{add_examples, build_input_vocab, input_vocab_symbols, OutVocab};
 
 /// Which sequence model translates `q^a -> s^a`.
 pub enum Translator {
@@ -134,6 +134,80 @@ impl Nlidb {
             }
         };
         Nlidb { detector, translator, in_vocab, out_vocab, opts }
+    }
+
+    /// Out-of-core [`Nlidb::train`]: consumes the training split as an
+    /// [`ExampleSource`] stream instead of a materialized slice. At most
+    /// one shard of examples (plus its derived training items) is
+    /// resident at any point — the source's
+    /// [`ResidencyGauge`](nlidb_data::stream::ResidencyGauge) proves the
+    /// bound. Training over the disk reader is byte-identical to
+    /// training over the in-memory source for the same shards: the
+    /// vocabulary pass visits shards in index order, every item-deriving
+    /// RNG is a per-shard stream, and the epoch walk is the
+    /// deterministic [`crate::train::sharded_epoch`] order.
+    pub fn train_streamed<S: nlidb_data::stream::ExampleSource>(
+        src: &mut S,
+        opts: NlidbOptions,
+    ) -> Result<Nlidb, nlidb_data::stream::StreamError> {
+        let space = EmbeddingSpace::with_builtin_lexicon(opts.model.word_dim.max(8), 77);
+        Self::train_streamed_with_space(src, opts, space, Lexicon::builtin())
+    }
+
+    /// [`Self::train_streamed`] with an explicit embedding space and
+    /// lexicon.
+    pub fn train_streamed_with_space<S: nlidb_data::stream::ExampleSource>(
+        src: &mut S,
+        opts: NlidbOptions,
+        space: EmbeddingSpace,
+        lexicon: Lexicon,
+    ) -> Result<Nlidb, nlidb_data::stream::StreamError> {
+        use nlidb_tensor::Rng;
+        let cfg = &opts.model;
+        // Pass 1: the input vocabulary, shard by shard in index order —
+        // token-for-token the same additions a materialized pass makes.
+        let mut in_vocab = input_vocab_symbols(cfg);
+        for s in 0..src.num_shards() {
+            let shard = src.load_shard(s)?;
+            add_examples(&mut in_vocab, &shard);
+        }
+        let out_vocab = OutVocab::new(cfg);
+        let detector = {
+            let _t = nlidb_trace::span("pipeline.train.mention");
+            MentionDetector::train_streamed(cfg, src, in_vocab.clone(), &space, lexicon)?
+        };
+        let _t = nlidb_trace::span("pipeline.train.translator");
+        let num_shards = src.num_shards();
+        let item_seed = opts.model.seed ^ 0xD20F;
+        let translator = match opts.use_transformer {
+            false => {
+                let mut m = Seq2Seq::new(cfg, &in_vocab, out_vocab.clone(), &space, opts.copy);
+                m.train_streamed(
+                    num_shards,
+                    |s| {
+                        let shard = src.load_shard(s)?;
+                        let mut rng = Rng::for_stream(item_seed, s as u64);
+                        Ok(training_items_with_rng(&shard, &opts, &in_vocab, &out_vocab, &mut rng))
+                    },
+                    cfg.epochs,
+                )?;
+                Translator::Gru(m)
+            }
+            true => {
+                let mut m = TransformerSeq2Seq::new(cfg, &in_vocab, out_vocab.clone(), &space);
+                m.train_streamed(
+                    num_shards,
+                    |s| {
+                        let shard = src.load_shard(s)?;
+                        let mut rng = Rng::for_stream(item_seed, s as u64);
+                        Ok(training_items_with_rng(&shard, &opts, &in_vocab, &out_vocab, &mut rng))
+                    },
+                    cfg.epochs,
+                )?;
+                Translator::Transformer(m)
+            }
+        };
+        Ok(Nlidb { detector, translator, in_vocab, out_vocab, opts })
     }
 
     /// The input vocabulary.
@@ -316,43 +390,70 @@ pub fn training_items(
 ) -> Vec<Seq2SeqItem> {
     use nlidb_tensor::Rng;
     let mut rng = Rng::seed_from_u64(opts.model.seed ^ 0xD20F);
+    training_items_with_rng(examples, opts, in_vocab, out_vocab, &mut rng)
+}
+
+/// [`training_items`] with a caller-supplied RNG — the streaming path
+/// derives one RNG per shard (`Rng::for_stream(seed ^ 0xD20F, shard)`)
+/// so each shard's slot-dropout draws are reproducible in isolation.
+pub fn training_items_with_rng(
+    examples: &[Example],
+    opts: &NlidbOptions,
+    in_vocab: &Vocab,
+    out_vocab: &OutVocab,
+    rng: &mut nlidb_tensor::Rng,
+) -> Vec<Seq2SeqItem> {
     let mut items = Vec::with_capacity(examples.len());
     for e in examples {
-        let mut slots = crate::annotate::gold_slots(e);
-        if opts.annotate.header_encoding && rng.gen::<f32>() < 0.22 {
-            // Drop the slot that has no value (the select mention), if any.
-            if let Some(i) = slots.iter().position(|s| s.value.is_none()) {
-                slots.remove(i);
-            }
+        if let Some(item) = training_item_for(e, opts, in_vocab, out_vocab, rng) {
+            items.push(item);
         }
-        if rng.gen::<f32>() < 0.12 {
-            // Hide one condition slot's column span (implicit mention).
-            if let Some(s) = slots.iter_mut().find(|s| s.value.is_some() && s.col_span.is_some())
-            {
-                s.col_span = None;
-            }
-        }
-        let ann = crate::annotate::annotate(
-            &e.question,
-            &slots,
-            &e.table.column_names(),
-            &opts.annotate,
-            opts.model.max_headers,
-        );
-        let target = gold_target(e, &ann.map);
-        let Some(tgt) = out_vocab.try_encode(&target) else { continue };
-        let src: Vec<usize> = ann.tokens.iter().map(|t| in_vocab.id(t)).collect();
-        let copy: Vec<Option<usize>> = ann
-            .tokens
-            .iter()
-            .map(|t| out_vocab.copy_id_for_input_token(t))
-            .collect();
-        if src.is_empty() || tgt.is_empty() {
-            continue;
-        }
-        items.push(Seq2SeqItem { src, copy, tgt });
     }
     items
+}
+
+/// Builds the (slot-dropout-noised) training item for one example; `None`
+/// when the example exceeds the slot/header budget or annotates to an
+/// empty source.
+fn training_item_for(
+    e: &Example,
+    opts: &NlidbOptions,
+    in_vocab: &Vocab,
+    out_vocab: &OutVocab,
+    rng: &mut nlidb_tensor::Rng,
+) -> Option<Seq2SeqItem> {
+    let mut slots = crate::annotate::gold_slots(e);
+    if opts.annotate.header_encoding && rng.gen::<f32>() < 0.22 {
+        // Drop the slot that has no value (the select mention), if any.
+        if let Some(i) = slots.iter().position(|s| s.value.is_none()) {
+            slots.remove(i);
+        }
+    }
+    if rng.gen::<f32>() < 0.12 {
+        // Hide one condition slot's column span (implicit mention).
+        if let Some(s) = slots.iter_mut().find(|s| s.value.is_some() && s.col_span.is_some()) {
+            s.col_span = None;
+        }
+    }
+    let ann = crate::annotate::annotate(
+        &e.question,
+        &slots,
+        &e.table.column_names(),
+        &opts.annotate,
+        opts.model.max_headers,
+    );
+    let target = gold_target(e, &ann.map);
+    let tgt = out_vocab.try_encode(&target)?;
+    let src: Vec<usize> = ann.tokens.iter().map(|t| in_vocab.id(t)).collect();
+    let copy: Vec<Option<usize>> = ann
+        .tokens
+        .iter()
+        .map(|t| out_vocab.copy_id_for_input_token(t))
+        .collect();
+    if src.is_empty() || tgt.is_empty() {
+        return None;
+    }
+    Some(Seq2SeqItem { src, copy, tgt })
 }
 
 #[cfg(test)]

@@ -231,6 +231,50 @@ impl Seq2Seq {
         last
     }
 
+    /// Out-of-core [`Self::train`]: pulls [`Seq2SeqItem`]s shard by
+    /// shard from `load` and walks them in the deterministic
+    /// [`crate::train::sharded_epoch`] order — same minibatching and
+    /// optimizer steps, but at most one shard's items resident. Any two
+    /// loaders serving the same shards drive byte-identical training.
+    pub fn train_streamed<L>(
+        &mut self,
+        num_shards: usize,
+        mut load: L,
+        epochs: usize,
+    ) -> Result<f32, nlidb_data::stream::StreamError>
+    where
+        L: FnMut(usize) -> Result<Vec<Seq2SeqItem>, nlidb_data::stream::StreamError>,
+    {
+        let mut opt = Adam::new(self.cfg.lr);
+        let salted = self.cfg.seed ^ 0x7EAC4;
+        let batch_size = self.cfg.batch_size.max(1);
+        let mut last = f32::INFINITY;
+        for epoch in 0..epochs {
+            let mut step = |batch: &[Seq2SeqItem]| {
+                let (loss_sum, mut grads) = crate::train::batch_grads(batch.len(), |bi| {
+                    let mut g = Graph::new();
+                    let loss = self.forward_loss(&mut g, &batch[bi]);
+                    let value = g.value(loss).scalar();
+                    g.backward(loss);
+                    (value, g.param_grads())
+                });
+                clip_global_norm(&mut grads, self.cfg.clip);
+                opt.step(&mut self.store, &grads);
+                loss_sum
+            };
+            let (total, count) = crate::train::sharded_epoch(
+                num_shards,
+                salted,
+                epoch,
+                batch_size,
+                &mut load,
+                &mut step,
+            )?;
+            last = total / count.max(1) as f32;
+        }
+        Ok(last)
+    }
+
     /// Encodes a source for inference, returning `(H, d0, β0)` values.
     ///
     /// The caller-provided graph is reset and reused, so decode loops

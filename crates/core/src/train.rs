@@ -18,7 +18,9 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
-use nlidb_tensor::{pool, ParamId, Tensor};
+use nlidb_data::stream::StreamError;
+use nlidb_tensor::rng::derive_stream;
+use nlidb_tensor::{pool, ParamId, Rng, Tensor};
 
 /// Per-example result of a forward/backward pass: the scalar loss and the
 /// parameter gradients from [`nlidb_tensor::Graph::param_grads`].
@@ -59,6 +61,80 @@ where
         }
     }
     (total_loss, merged)
+}
+
+fn fisher_yates(n: usize, rng: &mut Rng) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    order
+}
+
+/// The order shards are visited in `epoch` — a Fisher–Yates permutation
+/// drawn from the stream `(derive_stream(salted_seed, epoch), u64::MAX)`.
+/// The `u64::MAX` stream index cannot collide with any shard's
+/// within-shard stream (shard indices are small), so the shard-order
+/// draws and the item-order draws are independent.
+pub fn epoch_shard_order(salted_seed: u64, epoch: usize, num_shards: usize) -> Vec<usize> {
+    let epoch_key = derive_stream(salted_seed, epoch as u64);
+    fisher_yates(num_shards, &mut Rng::for_stream(epoch_key, u64::MAX))
+}
+
+/// The within-shard item permutation for `(epoch, shard)` — drawn from
+/// the stream `(derive_stream(salted_seed, epoch), shard)`, so it
+/// depends only on the shard's identity, never on the order shards
+/// happen to be visited in.
+pub fn shard_item_order(salted_seed: u64, epoch: usize, shard: usize, n: usize) -> Vec<usize> {
+    let epoch_key = derive_stream(salted_seed, epoch as u64);
+    fisher_yates(n, &mut Rng::for_stream(epoch_key, shard as u64))
+}
+
+/// Runs one out-of-core training epoch: visits the shards in the
+/// [`epoch_shard_order`] permutation, loads each shard's items through
+/// `load` (at most one shard's items resident at a time, plus one
+/// in-flight batch), permutes them by [`shard_item_order`], and feeds
+/// batches of `batch_size` to `step`. Batches may straddle shard
+/// boundaries; the final short batch is flushed at the end.
+///
+/// The item sequence — and therefore every batch and every optimizer
+/// step — is a pure function of `(salted_seed, epoch, shard layout,
+/// shard contents)`. Two sources that serve the same shards (e.g. the
+/// disk reader and the in-memory generator) drive byte-identical
+/// training.
+///
+/// Returns `(sum of step losses, items consumed)`.
+pub fn sharded_epoch<T, L>(
+    num_shards: usize,
+    salted_seed: u64,
+    epoch: usize,
+    batch_size: usize,
+    load: &mut L,
+    step: &mut dyn FnMut(&[T]) -> f32,
+) -> Result<(f32, usize), StreamError>
+where
+    L: FnMut(usize) -> Result<Vec<T>, StreamError>,
+{
+    let batch_size = batch_size.max(1);
+    let mut buf: Vec<T> = Vec::new();
+    let mut total = 0.0;
+    let mut count = 0;
+    for &s in &epoch_shard_order(salted_seed, epoch, num_shards) {
+        let mut items: Vec<Option<T>> = load(s)?.into_iter().map(Some).collect();
+        count += items.len();
+        for &i in &shard_item_order(salted_seed, epoch, s, items.len()) {
+            buf.push(items[i].take().expect("permutation visits each item once"));
+        }
+        while buf.len() >= batch_size {
+            let batch: Vec<T> = buf.drain(..batch_size).collect();
+            total += step(&batch);
+        }
+    }
+    if !buf.is_empty() {
+        total += step(&buf);
+    }
+    Ok((total, count))
 }
 
 #[cfg(test)]
@@ -115,5 +191,62 @@ mod tests {
                 .map(|x| x.to_bits())
                 .eq(gb.data().iter().map(|x| x.to_bits())));
         }
+    }
+
+    /// Four shards of unequal sizes; items are (shard, index) pairs.
+    fn toy_shards() -> Vec<Vec<(usize, usize)>> {
+        [3usize, 5, 1, 4]
+            .iter()
+            .enumerate()
+            .map(|(s, &n)| (0..n).map(|i| (s, i)).collect())
+            .collect()
+    }
+
+    fn run_epoch(epoch: usize, batch_size: usize) -> Vec<Vec<(usize, usize)>> {
+        let shards = toy_shards();
+        let mut batches = Vec::new();
+        let mut load = |s: usize| Ok(shards[s].clone());
+        let mut step = |b: &[(usize, usize)]| {
+            batches.push(b.to_vec());
+            b.len() as f32
+        };
+        let (total, count) =
+            sharded_epoch(shards.len(), 99, epoch, batch_size, &mut load, &mut step).unwrap();
+        assert_eq!(count, 13);
+        assert_eq!(total, 13.0);
+        batches
+    }
+
+    #[test]
+    fn sharded_epoch_covers_every_item_once_and_is_deterministic() {
+        let a = run_epoch(0, 4);
+        let b = run_epoch(0, 4);
+        assert_eq!(a, b, "same epoch twice must replay the same batches");
+        let mut seen: Vec<(usize, usize)> = a.iter().flatten().copied().collect();
+        assert_eq!(seen.len(), 13);
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 13, "every item exactly once");
+        // 13 items in batches of 4: three full batches + a short flush.
+        let sizes: Vec<usize> = a.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![4, 4, 4, 1]);
+    }
+
+    #[test]
+    fn sharded_epoch_orders_differ_across_epochs() {
+        let a: Vec<_> = run_epoch(0, 4).into_iter().flatten().collect();
+        let b: Vec<_> = run_epoch(1, 4).into_iter().flatten().collect();
+        assert_ne!(a, b, "epochs should reshuffle");
+    }
+
+    #[test]
+    fn item_order_is_independent_of_shard_visit_order() {
+        // The same shard's permutation must not change across epochs'
+        // *shard* orders — it only depends on (seed, epoch, shard, n).
+        let p1 = shard_item_order(7, 2, 3, 10);
+        let p2 = shard_item_order(7, 2, 3, 10);
+        assert_eq!(p1, p2);
+        assert_ne!(shard_item_order(7, 2, 4, 10), p1, "different shards differ");
+        assert_ne!(shard_item_order(7, 3, 3, 10), p1, "different epochs differ");
     }
 }

@@ -254,6 +254,42 @@ impl TransformerSeq2Seq {
         last
     }
 
+    /// Out-of-core [`Self::train`]: pulls items shard by shard from
+    /// `load` and walks them per-example in the deterministic
+    /// [`crate::train::sharded_epoch`] order (the transformer trains
+    /// with per-example updates, so the stream batch size is 1). Any
+    /// two loaders serving the same shards drive byte-identical
+    /// training.
+    pub fn train_streamed<L>(
+        &mut self,
+        num_shards: usize,
+        mut load: L,
+        epochs: usize,
+    ) -> Result<f32, nlidb_data::stream::StreamError>
+    where
+        L: FnMut(usize) -> Result<Vec<Seq2SeqItem>, nlidb_data::stream::StreamError>,
+    {
+        let mut opt = Adam::new(self.cfg.lr);
+        let salted = self.cfg.seed ^ 0x7F7F;
+        let mut last = f32::INFINITY;
+        for epoch in 0..epochs {
+            let mut step = |batch: &[Seq2SeqItem]| {
+                let mut g = Graph::new();
+                let loss = self.forward_loss(&mut g, &batch[0]);
+                let value = g.value(loss).scalar();
+                g.backward(loss);
+                let mut grads = g.param_grads();
+                clip_global_norm(&mut grads, self.cfg.clip);
+                opt.step(&mut self.store, &grads);
+                value
+            };
+            let (total, count) =
+                crate::train::sharded_epoch(num_shards, salted, epoch, 1, &mut load, &mut step)?;
+            last = total / count.max(1) as f32;
+        }
+        Ok(last)
+    }
+
     /// Greedy decoding (re-runs the decoder per step). The copy alignment
     /// is accepted for interface parity but unused — the stock transformer
     /// baseline has no copy mechanism.

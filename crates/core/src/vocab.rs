@@ -16,11 +16,10 @@ use nlidb_text::{special, Vocab};
 
 use crate::config::ModelConfig;
 
-/// Builds the input word vocabulary from a dataset (questions + column
-/// names) plus placeholder symbols.
-pub fn build_input_vocab(ds: &Dataset, cfg: &ModelConfig) -> Vocab {
+/// The input vocabulary's fixed prefix: the placeholder symbols, added
+/// first so their ids are stable across corpora.
+pub fn input_vocab_symbols(cfg: &ModelConfig) -> Vocab {
     let mut v = Vocab::new();
-    // Placeholder symbols first so their ids are stable across corpora.
     for i in 0..cfg.max_slots {
         v.add(&AnnTok::C(i).to_string());
         v.add(&AnnTok::V(i).to_string());
@@ -28,7 +27,16 @@ pub fn build_input_vocab(ds: &Dataset, cfg: &ModelConfig) -> Vocab {
     for k in 0..cfg.max_headers {
         v.add(&AnnTok::G(k).to_string());
     }
-    for e in &ds.train {
+    v
+}
+
+/// Adds one batch of examples (question tokens + tokenized column names)
+/// to an input vocabulary. Feeding the same examples in the same order —
+/// whether as one slice or shard by shard — yields the same vocabulary,
+/// which is what keeps the streaming vocabulary pass equivalent to the
+/// in-memory one.
+pub fn add_examples(v: &mut Vocab, examples: &[nlidb_data::Example]) {
+    for e in examples {
         for t in &e.question {
             v.add(t);
         }
@@ -38,6 +46,13 @@ pub fn build_input_vocab(ds: &Dataset, cfg: &ModelConfig) -> Vocab {
             }
         }
     }
+}
+
+/// Builds the input word vocabulary from a dataset (questions + column
+/// names) plus placeholder symbols.
+pub fn build_input_vocab(ds: &Dataset, cfg: &ModelConfig) -> Vocab {
+    let mut v = input_vocab_symbols(cfg);
+    add_examples(&mut v, &ds.train);
     v
 }
 

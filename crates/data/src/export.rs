@@ -108,7 +108,8 @@ impl FromJson for ExportSlot {
     }
 }
 
-fn record(e: &Example) -> ExportRecord {
+/// Builds the export record for one example.
+pub fn export_record(e: &Example) -> ExportRecord {
     ExportRecord {
         id: e.id,
         table: e.table.name.clone(),
@@ -150,10 +151,80 @@ fn record(e: &Example) -> ExportRecord {
 pub fn to_jsonl(examples: &[Example]) -> String {
     let mut out = String::new();
     for e in examples {
-        out.push_str(&record(e).to_json().to_string());
+        out.push_str(&export_record(e).to_json().to_string());
         out.push('\n');
     }
     out
+}
+
+/// A bounded-buffer JSONL writer: serializes one record at a time into an
+/// in-memory buffer and flushes it to the sink whenever it crosses the
+/// configured bound — so writing a shard of any size keeps memory at
+/// O(bound + one record) instead of materializing the whole corpus
+/// string (which is what [`to_jsonl`] does, and what capped corpus size
+/// before the sharded pipeline).
+pub struct JsonlWriter<W: std::io::Write> {
+    sink: W,
+    buf: String,
+    bound: usize,
+    records: usize,
+    bytes: u64,
+}
+
+/// Default flush bound for [`JsonlWriter`] (64 KiB).
+pub const JSONL_WRITER_BOUND: usize = 64 * 1024;
+
+impl<W: std::io::Write> JsonlWriter<W> {
+    /// A writer over `sink` with the default buffer bound.
+    pub fn new(sink: W) -> Self {
+        Self::with_bound(sink, JSONL_WRITER_BOUND)
+    }
+
+    /// A writer over `sink` flushing whenever the buffer exceeds `bound`
+    /// bytes (a bound of 0 flushes after every record).
+    pub fn with_bound(sink: W, bound: usize) -> Self {
+        JsonlWriter { sink, buf: String::new(), bound, records: 0, bytes: 0 }
+    }
+
+    /// Appends one record (one output line).
+    pub fn write_record(&mut self, r: &ExportRecord) -> std::io::Result<()> {
+        self.buf.push_str(&r.to_json().to_string());
+        self.buf.push('\n');
+        self.records += 1;
+        if self.buf.len() > self.bound {
+            self.flush_buf()?;
+        }
+        Ok(())
+    }
+
+    /// Appends one example (see [`export_record`]).
+    pub fn write_example(&mut self, e: &Example) -> std::io::Result<()> {
+        self.write_record(&export_record(e))
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Bytes pushed to the sink so far (excludes the unflushed buffer).
+    pub fn bytes_flushed(&self) -> u64 {
+        self.bytes
+    }
+
+    fn flush_buf(&mut self) -> std::io::Result<()> {
+        self.sink.write_all(self.buf.as_bytes())?;
+        self.bytes += self.buf.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flushes the remaining buffer and returns the sink.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.flush_buf()?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
 }
 
 /// Parses records back from JSONL (for diffing/inspection round trips;
@@ -199,6 +270,20 @@ mod tests {
     fn empty_input_is_empty_output() {
         assert_eq!(to_jsonl(&[]), "");
         assert!(from_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn bounded_writer_output_matches_to_jsonl() {
+        let ds = generate(&WikiSqlConfig::tiny(6));
+        let want = to_jsonl(&ds.train);
+        // A tiny bound forces many flushes; the bytes must be identical.
+        let mut w = JsonlWriter::with_bound(Vec::new(), 32);
+        for e in &ds.train {
+            w.write_example(e).unwrap();
+        }
+        assert_eq!(w.records(), ds.train.len());
+        let sink = w.finish().unwrap();
+        assert_eq!(String::from_utf8(sink).unwrap(), want);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! - [`example`] — the [`example::Example`] record with gold mention-span
 //!   annotations used to train and evaluate mention detection.
 //! - [`question`] — the span-tracking question realization engine.
+//! - [`shard`] / [`stream`] — dbgen-style sharded corpus generation
+//!   (each shard a pure function of `(seed, shard_index)`) and the
+//!   bounded-memory disk pipeline: parallel shard writers and the
+//!   shard-at-a-time [`stream::CorpusReader`] for out-of-core training.
 //!
 //! Every corpus is a pure function of a `u64` seed.
 
@@ -27,12 +31,19 @@ pub mod export;
 pub mod overnight;
 pub mod paraphrase;
 pub mod question;
+pub mod shard;
 pub mod stats;
+pub mod stream;
 pub mod values;
 pub mod wikisql;
 
 pub use example::{Dataset, Example, GoldSlot, SlotRole};
-pub use question::NoiseConfig;
-pub use export::{from_jsonl, to_jsonl, ExportRecord};
+pub use question::{NoiseConfig, TemplatePlan};
+pub use export::{from_jsonl, to_jsonl, ExportRecord, JsonlWriter};
+pub use shard::{CorpusPlan, ShardSpec, ShardedCorpusConfig, Split};
 pub use stats::{corpus_stats, CorpusStats};
+pub use stream::{
+    example_from_record, load_split, write_corpus, CorpusManifest, CorpusReader,
+    ExampleSource, InMemorySource, ResidencyGauge, ShardLease, SplitSource, StreamError,
+};
 pub use wikisql::{GenTable, WikiSqlConfig};

@@ -60,19 +60,92 @@ impl NoiseConfig {
     }
 }
 
-struct QBuilder {
-    toks: Vec<String>,
+/// A compiled question-template plan: the tokenization of every static
+/// surface phrase the realizer can emit — connector words, operator
+/// phrases, aggregate openers, and the domain archetypes' schema-name
+/// variants, mentions, and paraphrases.
+///
+/// Compiling once and sharing the plan read-only across shard workers
+/// removes the per-question re-tokenization of the same fixed phrases —
+/// the dbgen-style "compile templates once" step of the sharded corpus
+/// pipeline. A plan lookup miss (dynamic text: values, inflected words)
+/// falls back to [`nlidb_text::tokenize`], so realization through a plan
+/// is byte-identical to realization without one.
+#[derive(Debug, Clone, Default)]
+pub struct TemplatePlan {
+    tokens: std::collections::BTreeMap<String, Vec<String>>,
 }
 
-impl QBuilder {
-    fn new() -> Self {
-        QBuilder { toks: Vec::new() }
+/// Static connector/operator/opener phrases used by the realizer.
+const STATIC_PHRASES: &[&str] = &[
+    "in", "by", "of", "from", "is", "being", "over", "above", "more than",
+    "greater than", "under", "below", "less than", "fewer than", "at least",
+    "no less than", "at most", "no more than", "not", "other than", "for",
+    "with", "given", "in the case of", ",", "which", "what", "what is the",
+    "tell me the", "how many", "what is the number of", "what is the highest",
+    "what is the maximum", "which is the largest", "what is the lowest",
+    "what is the minimum", "which is the smallest", "what is the total",
+    "what is the combined", "what is the average", "what is the mean", "and",
+    "and with", "and whose", "where", "whose", "?",
+];
+
+impl TemplatePlan {
+    /// Compiles the plan over the static phrases and the built-in domain
+    /// archetype library.
+    pub fn compile() -> Self {
+        let mut tokens = std::collections::BTreeMap::new();
+        let mut add = |phrase: &str| {
+            if !tokens.contains_key(phrase) {
+                tokens.insert(phrase.to_string(), tokenize(phrase));
+            }
+        };
+        for phrase in STATIC_PHRASES {
+            add(phrase);
+        }
+        for d in crate::domains::DOMAINS {
+            for col in d.columns {
+                for n in col.names {
+                    add(&n.to_lowercase());
+                }
+                for m in col.mentions {
+                    add(m);
+                }
+                for p in col.paraphrases {
+                    add(p);
+                }
+            }
+        }
+        TemplatePlan { tokens }
     }
 
+    /// Number of compiled phrases.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the plan is empty (only true for `Default`).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    fn get(&self, phrase: &str) -> Option<&[String]> {
+        self.tokens.get(phrase).map(Vec::as_slice)
+    }
+}
+
+struct QBuilder<'p> {
+    toks: Vec<String>,
+    plan: Option<&'p TemplatePlan>,
+}
+
+impl QBuilder<'_> {
     /// Appends a phrase, returning its token span `[a, b)`.
     fn push(&mut self, phrase: &str) -> (usize, usize) {
         let a = self.toks.len();
-        self.toks.extend(tokenize(phrase));
+        match self.plan.and_then(|p| p.get(phrase)) {
+            Some(toks) => self.toks.extend_from_slice(toks),
+            None => self.toks.extend(tokenize(phrase)),
+        }
         (a, self.toks.len())
     }
 }
@@ -208,7 +281,32 @@ pub fn realize_question(
     noise: &NoiseConfig,
     rng: &mut Rng,
 ) -> (Vec<String>, Vec<GoldSlot>) {
-    let mut b = QBuilder::new();
+    realize_impl(None, archetypes, column_names, query, noise, rng)
+}
+
+/// [`realize_question`] through a compiled [`TemplatePlan`]: identical
+/// output, but static phrases reuse the plan's token cache instead of
+/// re-tokenizing — the hot path for sharded corpus generation.
+pub fn realize_question_with(
+    plan: &TemplatePlan,
+    archetypes: &[ColumnArchetype],
+    column_names: &[String],
+    query: &Query,
+    noise: &NoiseConfig,
+    rng: &mut Rng,
+) -> (Vec<String>, Vec<GoldSlot>) {
+    realize_impl(Some(plan), archetypes, column_names, query, noise, rng)
+}
+
+fn realize_impl(
+    plan: Option<&TemplatePlan>,
+    archetypes: &[ColumnArchetype],
+    column_names: &[String],
+    query: &Query,
+    noise: &NoiseConfig,
+    rng: &mut Rng,
+) -> (Vec<String>, Vec<GoldSlot>) {
+    let mut b = QBuilder { toks: Vec::new(), plan };
     let mut slots = Vec::new();
 
     // --- Optionally inverted clause order (first condition leads) ---
@@ -444,6 +542,34 @@ mod tests {
             realize_question(arch, &names, &q, &NoiseConfig::default(), &mut rng).0
         };
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn plan_realization_matches_plain_realization() {
+        let plan = TemplatePlan::compile();
+        assert!(!plan.is_empty());
+        for d in DOMAINS {
+            let names: Vec<String> =
+                d.columns.iter().map(|c| c.names[0].to_string()).collect();
+            let q = Query::select(0)
+                .and_where(1, CmpOp::Eq, Literal::Text("ada lovelace".into()))
+                .and_where(2, CmpOp::Eq, Literal::Text("42nd street".into()));
+            for seed in 0..64 {
+                let mut r1 = Rng::seed_from_u64(seed);
+                let mut r2 = Rng::seed_from_u64(seed);
+                let plain =
+                    realize_question(d.columns, &names, &q, &NoiseConfig::default(), &mut r1);
+                let planned = realize_question_with(
+                    &plan,
+                    d.columns,
+                    &names,
+                    &q,
+                    &NoiseConfig::default(),
+                    &mut r2,
+                );
+                assert_eq!(plain, planned, "domain {} seed {seed}", d.name);
+            }
+        }
     }
 
     #[test]

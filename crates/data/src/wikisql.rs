@@ -207,16 +207,23 @@ pub fn gen_query(gt: &GenTable, counterfactual_rate: f32, rng: &mut Rng) -> Quer
             CmpOp::Eq
         };
         let existing = gt.table.column_values(col);
-        let value = if rng.gen::<f32>() < counterfactual_rate {
+        // Never sample a NULL as a condition literal: NULL matches no
+        // operator, so the gold condition would be unsatisfiable and its
+        // value mention would render as an empty string. All-NULL columns
+        // fall back to the counterfactual channel (which synthesizes a
+        // plausible out-of-table value of the column's kind).
+        let non_null: Vec<&Value> =
+            existing.iter().filter(|v| !matches!(v, Value::Null)).collect();
+        let value = if non_null.is_empty() || rng.gen::<f32>() < counterfactual_rate {
             gt.archetypes[col].kind.generate_counterfactual(rng, existing)
         } else {
-            existing[rng.gen_range(0..existing.len())].clone()
+            non_null[rng.gen_range(0..non_null.len())].clone()
         };
         let lit = match value {
             Value::Int(i) => Literal::Number(i as f64),
             Value::Float(f) => Literal::Number(f),
             Value::Text(t) => Literal::Text(t),
-            Value::Null => Literal::Text(String::new()),
+            Value::Null => unreachable!("condition values are sampled from non-NULL cells"),
         };
         conds.push(Cond { col, op, value: lit });
     }
@@ -390,6 +397,62 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A NULL cell must never surface as a condition literal: NULL
+    /// matches no operator, so the gold condition would be unsatisfiable
+    /// and its question mention would be an empty string. Columns that
+    /// are entirely NULL fall back to the counterfactual channel.
+    #[test]
+    fn null_cells_never_become_condition_literals() {
+        let d = &DOMAINS[0]; // films
+        let archetypes: Vec<ColumnArchetype> = d.columns[..3].to_vec();
+        let columns: Vec<Column> = archetypes
+            .iter()
+            .map(|a| Column::new(a.names[0], a.kind.dtype()))
+            .collect();
+        let mut table = Table::new("nulls", Schema::new(columns));
+        let mut seed_rng = Rng::seed_from_u64(100);
+        for r in 0..6 {
+            let row: Vec<Value> = archetypes
+                .iter()
+                .enumerate()
+                .map(|(c, a)| {
+                    if c == 1 || (c == 2 && r % 2 == 0) {
+                        Value::Null // column 1 all-NULL, column 2 half-NULL
+                    } else {
+                        a.kind.generate(&mut seed_rng)
+                    }
+                })
+                .collect();
+            table.push_row(row);
+        }
+        let gt = GenTable { table: Arc::new(table), archetypes };
+        let mut conds_seen = 0;
+        let mut in_table = 0;
+        for seed in 0..300u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let q = gen_query(&gt, 0.15, &mut rng);
+            for cond in &q.conds {
+                conds_seen += 1;
+                let canon = cond.value.canonical_text();
+                assert!(
+                    !canon.is_empty(),
+                    "NULL-derived condition literal in {}",
+                    q.to_sql(&gt.table.column_names())
+                );
+                if gt
+                    .table
+                    .column_values(cond.col)
+                    .iter()
+                    .any(|v| !matches!(v, Value::Null) && v.canonical_text() == canon)
+                {
+                    in_table += 1;
+                }
+            }
+        }
+        assert!(conds_seen > 100, "too few conditions sampled: {conds_seen}");
+        assert!(in_table > 0, "non-NULL cells should still be sampled");
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //!
 //! Format: first row is the header; a column may carry an explicit type
 //! suffix (`Population:int`, `Price:float`, `Name:text`), otherwise the
-//! type is inferred from the data (all-numeric ⇒ int/float). Quoted
-//! fields with embedded commas and doubled quotes are supported.
+//! type is inferred from the data (all-numeric ⇒ int/float; only finite
+//! numbers count — `NaN`/`inf` tokens stay text). Quoted fields with
+//! embedded commas, doubled quotes, and embedded newlines are supported.
 
 use crate::schema::{Column, DataType, Schema};
 use crate::table::Table;
@@ -27,12 +28,34 @@ impl std::fmt::Display for CsvError {
 
 impl std::error::Error for CsvError {}
 
-/// Splits one CSV record into fields (RFC-4180-style quoting).
-fn split_record(line: &str) -> Vec<String> {
-    let mut fields = Vec::new();
+/// Splits full CSV text into records with RFC-4180-style quoting,
+/// tagging each record with the 1-based line it starts on.
+///
+/// Unlike a line-by-line pass, the scanner tracks quote state across the
+/// whole text, so a quoted field may contain commas, doubled quotes, and
+/// embedded newlines (including blank lines). Record boundaries are
+/// newlines *outside* quotes; blank records outside quotes are skipped.
+/// An unterminated quote is closed by end of input.
+fn split_records(csv: &str) -> Vec<(usize, Vec<String>)> {
+    let mut records = Vec::new();
+    let mut fields: Vec<String> = Vec::new();
     let mut field = String::new();
-    let mut chars = line.chars().peekable();
     let mut in_quotes = false;
+    // Whether any field of the current record was quoted — a record of
+    // one quoted empty field (`""`) is real data, not a blank line.
+    let mut saw_quote = false;
+    let mut line = 1usize;
+    let mut record_line = 1usize;
+    let mut chars = csv.chars().peekable();
+    let mut flush = |fields: &mut Vec<String>, field: &mut String, saw_quote: bool, at: usize| {
+        fields.push(std::mem::take(field));
+        let blank = !saw_quote && fields.len() == 1 && fields[0].trim().is_empty();
+        if blank {
+            fields.clear();
+        } else {
+            records.push((at, std::mem::take(fields)));
+        }
+    };
     while let Some(c) = chars.next() {
         match c {
             '"' if in_quotes => {
@@ -43,13 +66,29 @@ fn split_record(line: &str) -> Vec<String> {
                     in_quotes = false;
                 }
             }
-            '"' if field.is_empty() => in_quotes = true,
+            '"' if field.is_empty() => {
+                in_quotes = true;
+                saw_quote = true;
+            }
             ',' if !in_quotes => fields.push(std::mem::take(&mut field)),
+            '\r' if !in_quotes && chars.peek() == Some(&'\n') => {} // CRLF: handled at '\n'
+            '\n' => {
+                line += 1;
+                if in_quotes {
+                    field.push('\n');
+                } else {
+                    flush(&mut fields, &mut field, saw_quote, record_line);
+                    saw_quote = false;
+                    record_line = line;
+                }
+            }
             c => field.push(c),
         }
     }
-    fields.push(field);
-    fields
+    if !fields.is_empty() || !field.is_empty() || saw_quote {
+        flush(&mut fields, &mut field, saw_quote, record_line);
+    }
+    records
 }
 
 fn parse_header(cell: &str) -> (String, Option<DataType>) {
@@ -81,8 +120,12 @@ fn infer_type(cells: &[&str]) -> DataType {
         if c.parse::<i64>().is_err() {
             all_int = false;
         }
-        if c.parse::<f64>().is_err() {
-            all_num = false;
+        // Only *finite* parses count as numeric: "NaN"/"inf" tokens are
+        // text, never Float cells — non-finite cells would poison the
+        // aggregate executor and the embedding-space table statistics.
+        match c.parse::<f64>() {
+            Ok(v) if v.is_finite() => {}
+            _ => all_num = false,
         }
     }
     match (any, all_int, all_num) {
@@ -95,17 +138,15 @@ fn infer_type(cells: &[&str]) -> DataType {
 
 /// Parses CSV text into a table.
 pub fn table_from_csv(name: &str, csv: &str) -> Result<Table, CsvError> {
-    let mut lines = csv.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
-    let (_, header) = lines
-        .next()
-        .ok_or(CsvError { line: 1, message: "empty input".into() })?;
+    let mut all = split_records(csv).into_iter();
+    let (header_line, header) =
+        all.next().ok_or(CsvError { line: 1, message: "empty input".into() })?;
     let headers: Vec<(String, Option<DataType>)> =
-        split_record(header).iter().map(|h| parse_header(h)).collect();
+        header.iter().map(|h| parse_header(h)).collect();
     if headers.iter().any(|(n, _)| n.is_empty()) {
-        return Err(CsvError { line: 1, message: "empty column name".into() });
+        return Err(CsvError { line: header_line, message: "empty column name".into() });
     }
-    let records: Vec<(usize, Vec<String>)> =
-        lines.map(|(i, l)| (i + 1, split_record(l))).collect();
+    let records: Vec<(usize, Vec<String>)> = all.collect();
     for (line, r) in &records {
         if r.len() != headers.len() {
             return Err(CsvError {
@@ -141,12 +182,15 @@ pub fn table_from_csv(name: &str, csv: &str) -> Result<Table, CsvError> {
                         line: *line,
                         message: format!("'{cell}' is not an integer (column {c})"),
                     })?,
-                    DataType::Float => {
-                        cell.parse::<f64>().map(Value::Float).map_err(|_| CsvError {
+                    DataType::Float => cell
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|v| v.is_finite())
+                        .map(Value::Float)
+                        .ok_or_else(|| CsvError {
                             line: *line,
-                            message: format!("'{cell}' is not a number (column {c})"),
-                        })?
-                    }
+                            message: format!("'{cell}' is not a finite number (column {c})"),
+                        })?,
                     DataType::Text => Value::Text(cell.to_string()),
                 }
             };
@@ -247,6 +291,71 @@ Galway,\"Aran Islands\",1225,79%
     fn blank_lines_are_skipped() {
         let t = table_from_csv("t", "A\n\nx\n\ny\n").unwrap();
         assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn quoted_fields_may_contain_newlines() {
+        let csv = "Title,Notes\n\"a, b\",\"line one\nline two\"\nplain,ok\n";
+        let t = table_from_csv("t", csv).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(0, 0), &Value::Text("a, b".into()));
+        assert_eq!(t.cell(0, 1), &Value::Text("line one\nline two".into()));
+        assert_eq!(t.cell(1, 1), &Value::Text("ok".into()));
+    }
+
+    #[test]
+    fn blank_lines_inside_quotes_are_preserved() {
+        let csv = "A\n\"x\n\ny\"\n";
+        let t = table_from_csv("t", csv).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.cell(0, 0), &Value::Text("x\n\ny".into()));
+    }
+
+    #[test]
+    fn line_numbers_stay_correct_after_multiline_fields() {
+        // The quoted record spans lines 2-3, so the short record is on
+        // line 4 and the error must say so.
+        let err = table_from_csv("t", "A,B\n\"x\ny\",1\nz\n").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("expected 2 fields"));
+    }
+
+    #[test]
+    fn crlf_input_parses_like_lf() {
+        let t = table_from_csv("t", "A,B\r\n1,x\r\n2,y\r\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(1, 0), &Value::Int(2));
+    }
+
+    #[test]
+    fn quoted_empty_field_row_is_not_a_blank_line() {
+        let t = table_from_csv("t", "A\n\"\"\nx\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(0, 0), &Value::Null, "quoted empty cell is empty");
+    }
+
+    #[test]
+    fn nan_and_inf_tokens_stay_text() {
+        let t = table_from_csv("t", "A,B\nNaN,1\ninf,2\n").unwrap();
+        assert_eq!(t.schema().column(0).dtype, DataType::Text);
+        assert_eq!(t.schema().column(1).dtype, DataType::Int);
+        assert_eq!(t.cell(0, 0), &Value::Text("NaN".into()));
+        assert_eq!(t.cell(1, 0), &Value::Text("inf".into()));
+    }
+
+    #[test]
+    fn non_finite_spoils_float_inference() {
+        // A finite float plus a NaN: the column must fall back to Text,
+        // never materialize a non-finite Float cell.
+        let t = table_from_csv("t", "A\n1.5\nNaN\n").unwrap();
+        assert_eq!(t.schema().column(0).dtype, DataType::Text);
+    }
+
+    #[test]
+    fn explicit_float_column_rejects_non_finite() {
+        let err = table_from_csv("t", "A:float\n1.5\ninf\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("finite"));
     }
 
     #[test]

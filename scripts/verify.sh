@@ -39,7 +39,7 @@ NLIDB_BENCH_SMOKE=1 cargo bench -q --offline -p nlidb-bench
 
 # Bench-regression gate: the fresh smoke numbers must stay within 25% of
 # the committed baseline's min_ns on every gated row, and the blocked
-# matmul kernel must hold its 2x improvement floor over the pre-blocked
+# matmul kernel must hold its improvement floor over the pre-blocked
 # baseline (DESIGN.md "Kernel fast paths"). `cargo bench` writes the
 # fresh results under the bench package dir; the baseline is committed
 # at results/bench_baseline.json.
@@ -64,5 +64,14 @@ NLIDB_TRACE=1 cargo run -q --release --offline -p nlidb-bench --bin serve_smoke
 # timings — every response line must be byte-identical — and asserts the
 # server.* trace families (DESIGN.md "Multi-tenant serving").
 NLIDB_TRACE=1 cargo run -q --release --offline -p nlidb-bench --bin server_smoke
+
+# Corpus smoke: the sharded corpus plane end to end. Writes a small
+# corpus at two pool widths (byte-identical files), regenerates every
+# shard in isolation (byte-identical to the fan-out's output), trains
+# once streamed from disk (checkpoint byte-identical to the in-memory
+# sharded source, peak example residency bounded by one shard), then
+# repeats the isolation/residency checks on a ~1e5-question corpus
+# (DESIGN.md "Sharded corpus plane").
+cargo run -q --release --offline -p nlidb-bench --bin corpus_smoke
 
 echo "verify: OK"
