@@ -90,7 +90,7 @@ pub fn influential_span(
     let peak = scores
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite influence"))?
+        .max_by(|a, b| a.1.total_cmp(b.1))?
         .0;
     if scores[peak] <= 0.0 {
         return None;

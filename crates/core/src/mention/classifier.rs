@@ -194,6 +194,7 @@ impl MentionClassifier {
                 Some(acc) => g.hcat(acc, d_t),
             });
         }
+        // lint:allow(panic-path): `MAX_COL_WORDS` is a nonzero constant, so the fold above always assigns `feat`.
         let logit = self.head.forward(g, &self.store, feat.expect("nonzero columns"));
         ClassifierOutput { logit, word_nodes: q_words, char_nodes: q_chars }
     }

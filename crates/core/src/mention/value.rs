@@ -170,11 +170,15 @@ impl ValueDetector {
                     .iter()
                     .map(|cs| self.score(span, &cs.centroid))
                     .collect();
-                let (column, &score) = column_scores
+                // `total_cmp` keeps the comparison panic-free; a table
+                // with zero columns simply yields no candidates.
+                let Some((column, &score)) = column_scores
                     .iter()
                     .enumerate()
-                    .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite score"))
-                    .expect("at least one column");
+                    .max_by(|x, y| x.1.total_cmp(y.1))
+                else {
+                    continue;
+                };
                 if score > 0.62 {
                     candidates.push(ValueMention {
                         span: (a, b),
@@ -189,8 +193,7 @@ impl ValueDetector {
         // Greedy non-overlap selection: higher score first, longer first.
         candidates.sort_by(|x, y| {
             y.score
-                .partial_cmp(&x.score)
-                .expect("finite")
+                .total_cmp(&x.score)
                 .then((y.span.1 - y.span.0).cmp(&(x.span.1 - x.span.0)))
         });
         let mut chosen: Vec<ValueMention> = Vec::new();
@@ -256,12 +259,17 @@ impl ValueIndex {
     }
 
     /// Columns whose cells match `span_text` (lowercased joined span),
-    /// with the first matching column's cell text — `None` when no cell
-    /// matches anywhere.
-    fn lookup(&self, span_text: &str) -> Option<(&std::collections::BTreeMap<usize, String>, &str)> {
+    /// with the first matching column and its cell text — `None` when no
+    /// cell matches anywhere.
+    fn lookup(
+        &self,
+        span_text: &str,
+    ) -> Option<(&std::collections::BTreeMap<usize, String>, usize, &str)> {
         let bucket = self.buckets.get(&squeeze(span_text))?;
-        let (_, first_text) = bucket.iter().next().expect("buckets are never empty");
-        Some((bucket, first_text))
+        // Buckets are created non-empty in `build`; treat an empty one
+        // as "no match" rather than panicking in the serving path.
+        let (&first_col, first_text) = bucket.iter().next()?;
+        Some((bucket, first_col, first_text))
     }
 }
 
@@ -287,12 +295,11 @@ pub fn content_matches_indexed(question: &[String], index: &ValueIndex) -> Vec<V
         for len in (1..=max_span.min(n - a)).rev() {
             let b = a + len;
             let text = question[a..b].join(" ").to_lowercase();
-            if let Some((cols, cell_text)) = index.lookup(&text) {
+            if let Some((cols, column, cell_text)) = index.lookup(&text) {
                 let mut scores = vec![0.0f32; ncols];
                 for (&c, _) in cols {
                     scores[c] = 1.0;
                 }
-                let column = *cols.keys().next().expect("non-empty bucket");
                 out.push(ValueMention {
                     span: (a, b),
                     column,

@@ -238,10 +238,11 @@ impl PredictionCache {
         self.insertions += 1;
         nlidb_trace::count("serve.cache.insertions", 1);
         while self.entries.len() > self.capacity {
-            let (&oldest, _) = self.order.iter().next().expect("len > capacity >= 1");
-            let victim = self.order.remove(&oldest).expect("oldest key present");
+            // `order` mirrors `entries`; should it ever run dry the loop
+            // stops (over-full cache) rather than panic mid-serve.
+            let Some((_, victim)) = self.order.pop_first() else { break };
             self.per_table.entry(victim.fingerprint).or_default().evictions += 1;
-            self.entries.remove(&victim).expect("entry and order stay in sync");
+            self.entries.remove(&victim);
             self.evictions += 1;
             nlidb_trace::count("serve.cache.evictions", 1);
         }
@@ -322,10 +323,11 @@ impl<'m> ServeEngine<'m> {
             let _g = nlidb_trace::span("serve.group");
             self.serve_group(requests, group, &mut results);
         }
-        results
-            .into_iter()
-            .map(|r| r.expect("every request answered"))
-            .collect()
+        // Every slot is filled by `serve_group`; an unfilled slot would
+        // be an engine bug, and degrades to "no prediction" instead of
+        // crashing the caller (the TCP server maps that to a typed
+        // `internal` error, not a dropped connection).
+        results.into_iter().map(|r| r.flatten()).collect()
     }
 
     /// Serves one table group: sequential cache/dedup pass, parallel
@@ -391,7 +393,9 @@ impl<'m> ServeEngine<'m> {
         // Phase 3 (calling thread, question order): publish to every
         // waiter and insert into the cache.
         for ((key, waiters), computed) in unique.into_iter().zip(computed) {
-            let value = computed.expect("every unique question computed");
+            // The fan-out writes every slot; an unwritten one (a bug)
+            // degrades to "no prediction" rather than a panic here.
+            let value = computed.flatten();
             for i in waiters {
                 results[i] = Some(value.clone());
             }

@@ -48,6 +48,7 @@ where
     let mut merged: Vec<(ParamId, Tensor)> = Vec::new();
     let mut slot_of: HashMap<ParamId, usize> = HashMap::new();
     for r in results {
+        // lint:allow(panic-path): training-only reduction; `parallel_for_chunks` writes every fixed-sharded slot before returning.
         let (loss, grads) = r.expect("every batch index computed");
         total_loss += loss;
         for (pid, g) in grads {

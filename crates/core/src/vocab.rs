@@ -116,8 +116,13 @@ impl OutVocab {
     }
 
     /// Id of a token.
+    ///
+    /// Panics when the token is unrepresentable — training-time misuse;
+    /// decoding paths only emit ids drawn from this vocabulary, and the
+    /// serving encoder goes through [`OutVocab::id_opt`].
     pub fn id(&self, tok: OutTok) -> usize {
         self.id_opt(tok)
+            // lint:allow(panic-path): construction-time invariant; serving code uses `id_opt` and never reaches this.
             .unwrap_or_else(|| panic!("token {tok:?} not in output vocabulary"))
     }
 

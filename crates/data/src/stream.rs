@@ -210,20 +210,25 @@ impl ResidencyGauge {
 
     /// Examples currently resident under leases on this gauge.
     pub fn current(&self) -> usize {
+        // lint:allow(atomic-ordering): residency gauge; counters guard no other memory, and the residency tests read them after joining the workers.
         self.inner.current.load(Ordering::Relaxed)
     }
 
     /// High-water mark of [`Self::current`].
     pub fn peak(&self) -> usize {
+        // lint:allow(atomic-ordering): same gauge argument as `current` above.
         self.inner.peak.load(Ordering::Relaxed)
     }
 
     fn add(&self, n: usize) {
+        // lint:allow(atomic-ordering): fetch_add/fetch_max are atomic RMWs, so counts and the high-water mark stay exact under any interleaving; ordering would only matter if the gauge published other memory, which it does not.
         let now = self.inner.current.fetch_add(n, Ordering::Relaxed) + n;
+        // lint:allow(atomic-ordering): same RMW argument as the line above.
         self.inner.peak.fetch_max(now, Ordering::Relaxed);
     }
 
     fn sub(&self, n: usize) {
+        // lint:allow(atomic-ordering): same RMW argument as `add` above.
         self.inner.current.fetch_sub(n, Ordering::Relaxed);
     }
 }

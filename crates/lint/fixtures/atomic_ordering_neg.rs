@@ -1,0 +1,36 @@
+//! atomic-ordering twin that MUST stay silent: `SeqCst` is always
+//! accepted, `cmp::Ordering` variants never collide with the atomic
+//! ones, and a weak ordering with a reasoned `lint:allow` is the
+//! documented escape hatch.
+
+use std::cmp::Ordering;
+use std::sync::atomic::AtomicUsize;
+
+pub static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    COUNTER.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+}
+
+pub fn classify(a: usize, b: usize) -> Ordering {
+    if a < b {
+        Ordering::Less
+    } else {
+        Ordering::Greater
+    }
+}
+
+pub fn stats_read() -> usize {
+    // lint:allow(atomic-ordering): fixture stats counter; nothing synchronizes on it and readers tolerate a stale value.
+    COUNTER.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn tests_may_use_weak_orderings() {
+        assert_eq!(super::COUNTER.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! atomic-ordering MUST fire: weak orderings outside the allowlisted
+//! files, with no reasoned `lint:allow`. Both the bare-reading
+//! `Relaxed` and the deceptively-principled `Release`/`Acquire` pair
+//! need a written argument.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release);
+}
+
+pub fn observe(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,30 @@
+//! lossy-cast twin that MUST stay silent: widening casts, index-width
+//! `usize` casts (the panic-path pass owns cast-fed indexing), a
+//! `try_into` with a typed error, and a reasoned `lint:allow` on a
+//! genuinely-bounded narrowing.
+
+pub fn widen(x: u16) -> u64 {
+    x as u64
+}
+
+pub fn index(i: u32) -> usize {
+    i as usize
+}
+
+pub fn checked(total: u64) -> Result<u32, std::num::TryFromIntError> {
+    u32::try_from(total)
+}
+
+pub fn bounded(small: u64) -> u32 {
+    // lint:allow(lossy-cast): fixture value is produced modulo 2^16 two lines up, so the narrowing is exact.
+    small as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_truncate() {
+        let x: u64 = 300;
+        assert_eq!(x as u8, 44);
+    }
+}

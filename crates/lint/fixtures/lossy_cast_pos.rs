@@ -1,0 +1,15 @@
+//! lossy-cast MUST fire: silently-truncating `as` casts in a
+//! deterministic crate's library code — the narrowing integer cast and
+//! the precision-dropping float cast.
+
+pub fn shrink(total: u64) -> u32 {
+    total as u32
+}
+
+pub fn quantize(x: f64) -> f32 {
+    x as f32
+}
+
+pub fn clip(x: i64) -> i16 {
+    x as i16
+}

@@ -1,0 +1,37 @@
+//! panic-path twin that MUST stay silent: the same two-hop chain, but
+//! the leaf only asserts in debug builds (`debug_assert!` is exempt),
+//! the fallible parse degrades instead of unwrapping, and the remaining
+//! panic-capable code sits in a `#[cfg(test)]` region or an unreachable
+//! helper — panics are free where the serving path cannot arrive.
+
+pub fn entry(input: &str) -> usize {
+    middle(input)
+}
+
+fn middle(input: &str) -> usize {
+    leaf(input)
+}
+
+fn leaf(input: &str) -> usize {
+    debug_assert!(!input.is_empty(), "callers never pass an empty span");
+    input.parse::<usize>().unwrap_or(0)
+}
+
+/// Never called from `entry`'s chain: not reachable, so its `expect`
+/// is baseline territory at worst — and under a seed of `entry` alone,
+/// silent.
+pub fn offline_tool(input: &str) -> usize {
+    input.parse::<usize>().expect("offline tooling input is trusted")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        assert_eq!(super::entry("7"), 7);
+        let empty: Vec<usize> = Vec::new();
+        assert!(empty.first().is_none());
+        super::entry("not a number");
+        panic!("unreached: entry degrades instead of panicking");
+    }
+}

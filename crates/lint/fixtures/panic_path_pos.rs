@@ -1,0 +1,21 @@
+//! panic-path MUST fire: a two-hop chain from the seeded entry point to
+//! a function whose body can panic (`unwrap`), plus an indexing site on
+//! the same path. The guard checks the reported chain, not just the
+//! firing, so the call graph itself is pinned.
+
+pub fn entry(input: &str) -> usize {
+    middle(input)
+}
+
+fn middle(input: &str) -> usize {
+    leaf(input) + first_byte(input)
+}
+
+fn leaf(input: &str) -> usize {
+    input.parse::<usize>().unwrap()
+}
+
+fn first_byte(input: &str) -> usize {
+    let bytes = input.as_bytes();
+    bytes[0] as usize
+}

@@ -77,15 +77,15 @@ pub fn hermetic_violations(root: &Path) -> Vec<Diagnostic> {
                 continue;
             }
             if in_deps && line.contains('=') && !is_hermetic(line) {
-                out.push(Diagnostic {
-                    file: file.clone(),
-                    line: lineno as u32 + 1,
-                    rule: "dependency-policy".into(),
-                    message: format!(
+                out.push(Diagnostic::deny(
+                    &file,
+                    lineno as u32 + 1,
+                    "dependency-policy",
+                    format!(
                         "non-hermetic dependency `{line}`; every dep must be `workspace = true` \
                          or `path = …`"
                     ),
-                });
+                ));
             }
         }
     }
@@ -103,12 +103,12 @@ pub fn banned_violations(root: &Path) -> Vec<Diagnostic> {
             let Some((key, _)) = line.split_once('=') else { continue };
             let key = key.trim().trim_matches('"');
             if BANNED_CRATES.contains(&key) {
-                out.push(Diagnostic {
-                    file: file.clone(),
-                    line: lineno as u32 + 1,
-                    rule: "dependency-policy".into(),
-                    message: format!("banned registry crate `{key}` (replaced by in-tree code)"),
-                });
+                out.push(Diagnostic::deny(
+                    &file,
+                    lineno as u32 + 1,
+                    "dependency-policy",
+                    format!("banned registry crate `{key}` (replaced by in-tree code)"),
+                ));
             }
         }
     }
@@ -121,15 +121,12 @@ pub fn banned_violations(root: &Path) -> Vec<Diagnostic> {
 pub fn check_manifests(root: &Path) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     if manifests(root).len() < 2 {
-        out.push(Diagnostic {
-            file: "Cargo.toml".into(),
-            line: 0,
-            rule: "dependency-policy".into(),
-            message: format!(
-                "expected the root manifest plus member crates under {}",
-                root.display()
-            ),
-        });
+        out.push(Diagnostic::deny(
+            "Cargo.toml",
+            0,
+            "dependency-policy",
+            format!("expected the root manifest plus member crates under {}", root.display()),
+        ));
     }
     out.extend(hermetic_violations(root));
     out.extend(banned_violations(root));

@@ -31,13 +31,31 @@
 //! rule.
 
 pub mod deps;
+pub mod flow;
+pub mod items;
+pub mod report;
 pub mod rules;
 pub mod scanner;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 use scanner::{Scanned, TokKind};
+
+/// How blocking a diagnostic is.
+///
+/// `Deny` findings fail the pass outright. `Warn` findings are tracked
+/// against the committed baseline (`results/lint_baseline.json`): the
+/// per-rule count may only stay equal or shrink — the ratchet — so
+/// pre-existing debt is visible and bounded without blocking every
+/// build, while *new* debt is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Counted against the baseline ratchet.
+    Warn,
+    /// Fails the pass unconditionally.
+    Deny,
+}
 
 /// One lint finding at a source location.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -46,15 +64,44 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule identifier (one of [`RULES`] or the meta rules).
+    /// Rule identifier (one of [`RULES`], [`FLOW_RULES`], or the meta
+    /// rules).
     pub rule: String,
+    /// Deny fails the pass; warn counts against the baseline.
+    pub severity: Severity,
     /// Human-readable explanation with a suggested fix.
     pub message: String,
+    /// For flow rules: the call chain from the entry point to the
+    /// function containing the site. Empty for per-file rules.
+    pub chain: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A deny-severity diagnostic with no call chain.
+    pub fn deny(file: &str, line: u32, rule: &str, message: String) -> Self {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            severity: Severity::Deny,
+            message,
+            chain: Vec::new(),
+        }
+    }
+
+    /// A warn-severity diagnostic with no call chain.
+    pub fn warn(file: &str, line: u32, rule: &str, message: String) -> Self {
+        Diagnostic { severity: Severity::Warn, ..Self::deny(file, line, rule, message) }
+    }
 }
 
 impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+        let sev = match self.severity {
+            Severity::Deny => "",
+            Severity::Warn => " warn",
+        };
+        write!(f, "{}:{}: [{}{}] {}", self.file, self.line, self.rule, sev, self.message)
     }
 }
 
@@ -74,8 +121,9 @@ pub enum Target {
     Example,
 }
 
-/// The source-level rules, in the order they run. `dependency-policy`
-/// is manifest-level and lives in [`deps`].
+/// The per-file source rules, in the order they run.
+/// `dependency-policy` is manifest-level and lives in [`deps`];
+/// [`FLOW_RULES`] need the whole workspace at once and live in [`flow`].
 pub const RULES: &[&str] = &[
     "hashmap-iteration",
     "wall-clock",
@@ -84,7 +132,13 @@ pub const RULES: &[&str] = &[
     "no-print-in-lib",
     "env-read",
     "net-io",
+    "atomic-ordering",
+    "lossy-cast",
 ];
+
+/// Rules that run over the whole workspace's call graph rather than one
+/// file at a time.
+pub const FLOW_RULES: &[&str] = &["panic-path"];
 
 /// Every rule name a `lint:allow` may reference.
 pub const ALL_RULE_NAMES: &[&str] = &[
@@ -95,6 +149,9 @@ pub const ALL_RULE_NAMES: &[&str] = &[
     "no-print-in-lib",
     "env-read",
     "net-io",
+    "atomic-ordering",
+    "lossy-cast",
+    "panic-path",
     "dependency-policy",
 ];
 
@@ -240,77 +297,139 @@ fn suppressions(scanned: &Scanned) -> Vec<Suppression> {
     out
 }
 
-/// Runs every source rule on one file and applies suppressions.
+/// One file, fully prepared for rule dispatch.
+struct Prepared {
+    rel: String,
+    crate_name: String,
+    target: Target,
+    scanned: Scanned,
+    regions: Vec<(u32, u32)>,
+    fns: Vec<items::FnDecl>,
+    allows: Vec<Suppression>,
+}
+
+/// Whether a reasoned `lint:allow` in `p` covers `(rule, line)`: the
+/// allow's own line, or the next line holding code (so it works as a
+/// trailing comment or on the line above the flagged statement).
+fn suppressed(p: &Prepared, rule: &str, line: u32) -> bool {
+    p.allows.iter().filter(|s| s.rule == rule && s.has_reason).any(|s| {
+        if s.line == line {
+            return true;
+        }
+        let next = p.scanned.tokens.iter().map(|t| t.line).find(|&l| l > s.line);
+        next == Some(line)
+    })
+}
+
+/// Runs the per-file rules on every file — plus the [`flow`] rules over
+/// the whole set when `flow_cfg` is given — applies suppressions, and
+/// returns the surviving diagnostics sorted by (file, line, rule).
 ///
-/// `rel_path` drives crate/target scoping, so fixture tests can exercise
-/// any scope by passing a synthetic path like `crates/tensor/src/x.rs`.
-pub fn check_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
-    let Some((crate_name, target)) = classify(rel_path) else {
-        return Vec::new();
-    };
-    let scanned = scanner::scan(source);
-    let regions = test_regions(&scanned);
-    let ctx = FileContext {
-        rel_path,
-        crate_name: &crate_name,
-        target,
-        scanned: &scanned,
-        test_regions: &regions,
-    };
+/// Each entry is `(workspace-relative path, source)`. The path drives
+/// crate/target scoping, so fixture tests can exercise any scope by
+/// passing a synthetic path like `crates/tensor/src/x.rs`.
+pub fn check_files(
+    files: &[(String, String)],
+    flow_cfg: Option<&flow::FlowConfig>,
+) -> Vec<Diagnostic> {
+    let mut prepared: Vec<Prepared> = Vec::new();
+    for (rel, source) in files {
+        let Some((crate_name, target)) = classify(rel) else { continue };
+        let scanned = scanner::scan(source);
+        let regions = test_regions(&scanned);
+        let fns = if flow_cfg.is_some() { items::parse(&scanned) } else { Vec::new() };
+        let allows = suppressions(&scanned);
+        prepared.push(Prepared { rel: rel.clone(), crate_name, target, scanned, regions, fns, allows });
+    }
 
-    let mut diags = rules::run_all(&ctx);
+    let mut raw = Vec::new();
+    for p in &prepared {
+        let ctx = FileContext {
+            rel_path: &p.rel,
+            crate_name: &p.crate_name,
+            target: p.target,
+            scanned: &p.scanned,
+            test_regions: &p.regions,
+        };
+        raw.extend(rules::run_all(&ctx));
+    }
+    if let Some(cfg) = flow_cfg {
+        let file_items: Vec<flow::FileItems<'_>> = prepared
+            .iter()
+            .map(|p| flow::FileItems {
+                rel_path: &p.rel,
+                crate_name: &p.crate_name,
+                target: p.target,
+                fns: &p.fns,
+                test_regions: &p.regions,
+            })
+            .collect();
+        raw.extend(flow::panic_path(&file_items, cfg));
+    }
 
-    // Apply suppressions: a `lint:allow(rule)` covers its own line and
-    // the next line holding code (so it works as a trailing comment or
-    // on the line above the flagged statement).
-    let allows = suppressions(&scanned);
-    let covered = |rule: &str, line: u32| -> bool {
-        allows.iter().filter(|s| s.rule == rule && s.has_reason).any(|s| {
-            if s.line == line {
-                return true;
-            }
-            // Next code line after the suppression comment.
-            let next = scanned
-                .tokens
-                .iter()
-                .map(|t| t.line)
-                .find(|&l| l > s.line);
-            next == Some(line)
+    // Apply suppressions. Diagnostics on synthetic files (e.g. an
+    // unresolved flow seed) have no source to carry an allow and pass
+    // through unfiltered — by design: they must fail loudly.
+    let by_rel: BTreeMap<&str, &Prepared> = prepared.iter().map(|p| (p.rel.as_str(), p)).collect();
+    let mut diags: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| {
+            by_rel.get(d.file.as_str()).map_or(true, |p| !suppressed(p, &d.rule, d.line))
         })
-    };
-    diags.retain(|d| !covered(&d.rule, d.line));
+        .collect();
 
     // Malformed suppressions are diagnostics themselves: an allow
     // without a reason is an undocumented exemption, and an allow for a
     // rule that does not exist is a typo that silently suppresses
     // nothing.
-    for s in &allows {
-        if !s.has_reason {
-            diags.push(Diagnostic {
-                file: rel_path.to_string(),
-                line: s.line,
-                rule: "lint-allow-needs-reason".into(),
-                message: format!(
-                    "`lint:allow({})` must carry a reason: `// lint:allow({}): <why this is sound>`",
-                    s.rule, s.rule
-                ),
-            });
-        } else if !s.known_rule {
-            diags.push(Diagnostic {
-                file: rel_path.to_string(),
-                line: s.line,
-                rule: "lint-allow-unknown-rule".into(),
-                message: format!(
-                    "`lint:allow({})` names no known rule (known: {})",
-                    s.rule,
-                    ALL_RULE_NAMES.join(", ")
-                ),
-            });
+    for p in &prepared {
+        for s in &p.allows {
+            if !s.has_reason {
+                diags.push(Diagnostic::deny(
+                    &p.rel,
+                    s.line,
+                    "lint-allow-needs-reason",
+                    format!(
+                        "`lint:allow({})` must carry a reason: `// lint:allow({}): <why this is sound>`",
+                        s.rule, s.rule
+                    ),
+                ));
+            } else if !s.known_rule {
+                diags.push(Diagnostic::deny(
+                    &p.rel,
+                    s.line,
+                    "lint-allow-unknown-rule",
+                    format!(
+                        "`lint:allow({})` names no known rule (known: {})",
+                        s.rule,
+                        ALL_RULE_NAMES.join(", ")
+                    ),
+                ));
+            }
         }
     }
 
     diags.sort();
     diags
+}
+
+/// Runs every per-file rule on one file and applies suppressions.
+/// Flow rules need the whole workspace and do not run here — see
+/// [`check_files`].
+pub fn check_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    check_files(&[(rel_path.to_string(), source.to_string())], None)
+}
+
+/// Per-rule count of warn-severity diagnostics, for the baseline
+/// ratchet.
+pub fn warn_counts(diags: &[Diagnostic]) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for d in diags {
+        if d.severity == Severity::Warn {
+            *out.entry(d.rule.clone()).or_insert(0) += 1;
+        }
+    }
+    out
 }
 
 /// Recursively collects `.rs` files under `dir` into `out`.
@@ -328,12 +447,13 @@ fn collect_rs(dir: &Path, out: &mut BTreeSet<PathBuf>) {
 
 /// Every source file the lint pass covers, workspace-relative, sorted.
 ///
-/// Walks the root package's `src/`, `tests/`, `examples/` and each
-/// member crate's `src/`, `tests/`, `benches/`. Anything else (fixture
-/// directories, `target/`, docs) is out of scope by construction.
+/// Walks `src/`, `tests/`, `benches/`, `examples/` for the root package
+/// and every member crate. Anything else (fixture directories,
+/// `target/`, docs) is out of scope by construction.
 pub fn workspace_sources(root: &Path) -> Vec<String> {
+    const TARGET_DIRS: [&str; 4] = ["src", "tests", "benches", "examples"];
     let mut files = BTreeSet::new();
-    for sub in ["src", "tests", "examples"] {
+    for sub in TARGET_DIRS {
         collect_rs(&root.join(sub), &mut files);
     }
     if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
@@ -341,7 +461,7 @@ pub fn workspace_sources(root: &Path) -> Vec<String> {
             entries.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect();
         crate_dirs.sort();
         for dir in crate_dirs {
-            for sub in ["src", "tests", "benches"] {
+            for sub in TARGET_DIRS {
                 collect_rs(&dir.join(sub), &mut files);
             }
         }
@@ -359,24 +479,24 @@ pub fn workspace_sources(root: &Path) -> Vec<String> {
         .collect()
 }
 
-/// Runs the full pass — all source rules over every workspace file,
-/// plus the manifest-level `dependency-policy` rule — and returns the
-/// surviving diagnostics, sorted by (file, line, rule).
+/// Runs the full pass — all per-file rules over every workspace file,
+/// the `panic-path` flow rule over the call graph (seeded at the real
+/// serving entry points, [`flow::FlowConfig::workspace`]), plus the
+/// manifest-level `dependency-policy` rule — and returns the surviving
+/// diagnostics, sorted by (file, line, rule).
 pub fn run_workspace(root: &Path) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
+    let mut files = Vec::new();
     for rel in workspace_sources(root) {
         let path = root.join(&rel);
-        let Ok(source) = std::fs::read_to_string(&path) else {
-            diags.push(Diagnostic {
-                file: rel.clone(),
-                line: 0,
-                rule: "io".into(),
-                message: "could not read file".into(),
-            });
-            continue;
-        };
-        diags.extend(check_source(&rel, &source));
+        match std::fs::read_to_string(&path) {
+            Ok(source) => files.push((rel, source)),
+            Err(_) => {
+                diags.push(Diagnostic::deny(&rel, 0, "io", "could not read file".into()));
+            }
+        }
     }
+    diags.extend(check_files(&files, Some(&flow::FlowConfig::workspace())));
     diags.extend(deps::check_manifests(root));
     diags.sort();
     diags

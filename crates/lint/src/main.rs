@@ -1,15 +1,20 @@
 //! CLI for the workspace lint pass.
 //!
 //! ```text
-//! cargo run -p nlidb-lint            # lint the whole workspace
-//! cargo run -p nlidb-lint -- --list  # print the rule catalog
+//! cargo run -p nlidb-lint                  # lint, text diagnostics
+//! cargo run -p nlidb-lint -- --format=json # + write results/lint_report.json
+//! cargo run -p nlidb-lint -- --list        # print the rule catalog
 //! ```
 //!
-//! Exits 0 on a clean tree, 1 with `file:line: [rule] message`
-//! diagnostics otherwise. The same engine backs `tests/lint_guard.rs`,
-//! so whatever this prints is exactly what tier-1 enforces.
+//! Exit status is the gate: 0 when there are no deny-severity
+//! diagnostics and every rule's warn count is within the committed
+//! baseline (`results/lint_baseline.json`), 1 otherwise. The same gate
+//! runs as `tests/lint_guard.rs`, so whatever this prints is exactly
+//! what tier-1 enforces.
 
 use std::path::PathBuf;
+
+use nlidb_lint::{report, Severity};
 
 fn workspace_root() -> PathBuf {
     // crates/lint/ → crates/ → workspace root.
@@ -24,24 +29,50 @@ fn workspace_root() -> PathBuf {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list") {
-        println!("source rules:");
+        println!("per-file rules:");
         for r in nlidb_lint::RULES {
+            println!("  {r}");
+        }
+        println!("flow rules (workspace call graph):");
+        for r in nlidb_lint::FLOW_RULES {
             println!("  {r}");
         }
         println!("manifest rules:\n  dependency-policy");
         println!("\nsuppress with: // lint:allow(<rule>): <reason>   (reason required)");
+        println!("warn-severity findings ratchet against {}", report::BASELINE_PATH);
         return;
     }
+    let json = args.iter().any(|a| a == "--format=json");
+
     let root = workspace_root();
     let files = nlidb_lint::workspace_sources(&root);
     let diags = nlidb_lint::run_workspace(&root);
-    if diags.is_empty() {
-        println!("nlidb-lint: {} files, 0 diagnostics", files.len());
+    let baseline = report::load_baseline(&root);
+
+    if json {
+        let doc = report::report(&diags, files.len(), &baseline);
+        let path = root.join(report::REPORT_PATH);
+        if let Err(e) = std::fs::write(&path, doc.pretty() + "\n") {
+            eprintln!("nlidb-lint: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("nlidb-lint: wrote {}", report::REPORT_PATH);
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+
+    let deny = diags.iter().filter(|d| d.severity == Severity::Deny).count();
+    let warn = diags.len() - deny;
+    println!("nlidb-lint: {} files, {deny} deny, {warn} warn", files.len());
+
+    let failures = report::gate(&diags, &baseline);
+    if failures.is_empty() {
         return;
     }
-    for d in &diags {
-        println!("{d}");
+    for f in &failures {
+        println!("nlidb-lint: FAIL: {f}");
     }
-    println!("nlidb-lint: {} files, {} diagnostics", files.len(), diags.len());
     std::process::exit(1);
 }

@@ -1,0 +1,168 @@
+//! Machine-readable diagnostics: the `--format=json` report and the
+//! warn-count baseline ratchet.
+//!
+//! The report (`results/lint_report.json`, schema
+//! `nlidb-lint-report-v1`) is the pass's full output as data — every
+//! diagnostic with its severity and call chain — so tooling can diff
+//! runs without scraping text. The baseline
+//! (`results/lint_baseline.json`, schema `nlidb-lint-baseline-v1`)
+//! pins the accepted per-rule warn counts: [`gate`] fails on any deny
+//! diagnostic and on any rule whose warn count *exceeds* its baseline
+//! entry, so warn-level debt can only shrink. Shrinking is a one-line
+//! baseline edit in the same PR that removes the sites.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use nlidb_json::Json;
+
+use crate::{warn_counts, Diagnostic, Severity};
+
+/// Schema tag of the report file.
+pub const REPORT_SCHEMA: &str = "nlidb-lint-report-v1";
+/// Schema tag of the baseline file.
+pub const BASELINE_SCHEMA: &str = "nlidb-lint-baseline-v1";
+/// Workspace-relative path the CLI writes the report to.
+pub const REPORT_PATH: &str = "results/lint_report.json";
+/// Workspace-relative path of the committed baseline.
+pub const BASELINE_PATH: &str = "results/lint_baseline.json";
+
+fn diagnostic_json(d: &Diagnostic) -> Json {
+    let severity = match d.severity {
+        Severity::Deny => "deny",
+        Severity::Warn => "warn",
+    };
+    Json::obj([
+        ("file", Json::Str(d.file.clone())),
+        ("line", Json::Int(i64::from(d.line))),
+        ("rule", Json::Str(d.rule.clone())),
+        ("severity", Json::Str(severity.into())),
+        ("message", Json::Str(d.message.clone())),
+        ("chain", Json::Arr(d.chain.iter().map(|c| Json::Str(c.clone())).collect())),
+    ])
+}
+
+/// Builds the `nlidb-lint-report-v1` document for one pass over
+/// `files` source files.
+pub fn report(diags: &[Diagnostic], files: usize, baseline: &BTreeMap<String, usize>) -> Json {
+    let deny = diags.iter().filter(|d| d.severity == Severity::Deny).count();
+    let warn = diags.iter().filter(|d| d.severity == Severity::Warn).count();
+    Json::obj([
+        ("schema", Json::Str(REPORT_SCHEMA.into())),
+        ("files", Json::Int(files as i64)),
+        ("deny_count", Json::Int(deny as i64)),
+        ("warn_count", Json::Int(warn as i64)),
+        (
+            "baseline",
+            Json::Obj(
+                baseline.iter().map(|(k, v)| (k.clone(), Json::Int(*v as i64))).collect(),
+            ),
+        ),
+        ("diagnostics", Json::Arr(diags.iter().map(diagnostic_json).collect())),
+    ])
+}
+
+/// Parses a `nlidb-lint-baseline-v1` document into per-rule warn
+/// counts.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let doc = Json::parse(text).map_err(|e| format!("baseline is not JSON: {}", e.message()))?;
+    if doc.get("schema").and_then(Json::as_str) != Some(BASELINE_SCHEMA) {
+        return Err(format!("baseline schema is not `{BASELINE_SCHEMA}`"));
+    }
+    let counts = doc
+        .get("warn_counts")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| "baseline has no `warn_counts` object".to_string())?;
+    let mut out = BTreeMap::new();
+    for (rule, v) in counts {
+        let n = v.as_i64().ok_or_else(|| format!("warn count for `{rule}` is not an integer"))?;
+        out.insert(rule.clone(), n.max(0) as usize);
+    }
+    Ok(out)
+}
+
+/// Loads the committed baseline from `root`. A missing or malformed
+/// baseline degrades to zero tolerance (every warn is over budget) —
+/// losing the file must tighten the gate, never loosen it.
+pub fn load_baseline(root: &Path) -> BTreeMap<String, usize> {
+    std::fs::read_to_string(root.join(BASELINE_PATH))
+        .ok()
+        .and_then(|text| parse_baseline(&text).ok())
+        .unwrap_or_default()
+}
+
+/// The pass/fail decision: returns one human-readable failure per deny
+/// diagnostic class and per rule over its warn budget. Empty means the
+/// gate is green.
+pub fn gate(diags: &[Diagnostic], baseline: &BTreeMap<String, usize>) -> Vec<String> {
+    let mut failures = Vec::new();
+    let deny = diags.iter().filter(|d| d.severity == Severity::Deny).count();
+    if deny > 0 {
+        failures.push(format!("{deny} deny-severity diagnostic(s)"));
+    }
+    for (rule, count) in warn_counts(diags) {
+        let budget = baseline.get(&rule).copied().unwrap_or(0);
+        if count > budget {
+            failures.push(format!(
+                "rule `{rule}`: {count} warn diagnostic(s) exceed the baseline budget of \
+                 {budget} ({BASELINE_PATH}); fix the new sites or justify them with \
+                 `lint:allow`"
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warn(rule: &str) -> Diagnostic {
+        Diagnostic::warn("crates/core/src/x.rs", 1, rule, "m".into())
+    }
+
+    #[test]
+    fn gate_passes_warns_within_budget_and_fails_over() {
+        let diags = vec![warn("lossy-cast"), warn("lossy-cast")];
+        let budget: BTreeMap<String, usize> = [("lossy-cast".to_string(), 2)].into();
+        assert!(gate(&diags, &budget).is_empty());
+        let tight: BTreeMap<String, usize> = [("lossy-cast".to_string(), 1)].into();
+        let failures = gate(&diags, &tight);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("exceed the baseline"), "{failures:?}");
+    }
+
+    #[test]
+    fn gate_fails_any_deny_regardless_of_baseline() {
+        let diags = vec![Diagnostic::deny("crates/core/src/x.rs", 1, "panic-path", "m".into())];
+        let budget: BTreeMap<String, usize> = [("panic-path".to_string(), 10)].into();
+        assert_eq!(gate(&diags, &budget).len(), 1);
+    }
+
+    #[test]
+    fn report_round_trips_through_the_parser() {
+        let diags = vec![
+            Diagnostic::deny("a.rs", 1, "panic-path", "m".into()),
+            Diagnostic::warn("b.rs", 2, "lossy-cast", "n".into()),
+        ];
+        let baseline: BTreeMap<String, usize> = [("lossy-cast".to_string(), 1)].into();
+        let doc = Json::parse(&report(&diags, 7, &baseline).pretty()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(REPORT_SCHEMA));
+        assert_eq!(doc.get("files").and_then(Json::as_i64), Some(7));
+        assert_eq!(doc.get("deny_count").and_then(Json::as_i64), Some(1));
+        assert_eq!(doc.get("warn_count").and_then(Json::as_i64), Some(1));
+        let arr = doc.get("diagnostics").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("severity").and_then(Json::as_str), Some("deny"));
+        assert_eq!(arr[1].get("rule").and_then(Json::as_str), Some("lossy-cast"));
+    }
+
+    #[test]
+    fn baseline_parses_and_rejects_wrong_schema() {
+        let good = "{\"schema\": \"nlidb-lint-baseline-v1\", \"warn_counts\": {\"lossy-cast\": 3}}";
+        let counts = parse_baseline(good).unwrap();
+        assert_eq!(counts.get("lossy-cast"), Some(&3));
+        assert!(parse_baseline("{\"schema\": \"other\", \"warn_counts\": {}}").is_err());
+        assert!(parse_baseline("not json").is_err());
+    }
+}

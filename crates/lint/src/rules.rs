@@ -61,6 +61,21 @@ const ORDER_FREE: &[&str] = &[
     "BTreeMap", "BTreeSet",
 ];
 
+/// Memory orderings weaker than `SeqCst`; every use outside the
+/// allowlisted files needs a written argument.
+const WEAK_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel"];
+
+/// Files whose job *is* fine-grained atomics, with the ordering
+/// arguments written where the atomics live: the work-stealing pool
+/// (task cursor / shutdown flags) and the trace registry's counters.
+const ATOMIC_ALLOWED_FILES: &[&str] = &["crates/tensor/src/pool.rs", "crates/trace/src/lib.rs"];
+
+/// Numeric `as`-cast targets that can silently truncate or lose
+/// precision. `usize`/`u64`/`i64` are deliberately absent: index-width
+/// casts are covered by `panic-path`'s cast-fed-index variant, and
+/// widening casts are lossless on every target this workspace supports.
+const LOSSY_CAST_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
 /// Runs every source rule that applies to `ctx`.
 pub fn run_all(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
@@ -71,11 +86,13 @@ pub fn run_all(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
     out.extend(no_print_in_lib(ctx));
     out.extend(env_read(ctx));
     out.extend(net_io(ctx));
+    out.extend(atomic_ordering(ctx));
+    out.extend(lossy_cast(ctx));
     out
 }
 
 fn diag(ctx: &FileContext<'_>, line: u32, rule: &str, message: String) -> Diagnostic {
-    Diagnostic { file: ctx.rel_path.to_string(), line, rule: rule.to_string(), message }
+    Diagnostic::deny(ctx.rel_path, line, rule, message)
 }
 
 fn is_ident(t: &Token, text: &str) -> bool {
@@ -566,6 +583,95 @@ fn net_io(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
     out
 }
 
+/// ---------------------------------------------------------------- ///
+/// atomic-ordering                                                  ///
+/// ---------------------------------------------------------------- ///
+///
+/// A weaker-than-`SeqCst` memory ordering is a claim about every other
+/// access to the same atomic — a claim that silently breaks when the
+/// next edit adds one. `SeqCst` is always sound (just slower), so the
+/// rule's default is: use `SeqCst`, or write the argument down. The two
+/// files whose job is fine-grained atomics (the pool's task cursor, the
+/// trace counters) are allowlisted because their orderings are argued
+/// in comments where the atomics live; everywhere else a `Relaxed` /
+/// `Acquire` / `Release` / `AcqRel` needs a reasoned
+/// `lint:allow(atomic-ordering)`.
+fn atomic_ordering(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    if ATOMIC_ALLOWED_FILES.contains(&ctx.rel_path)
+        || !matches!(ctx.target, Target::Lib | Target::Bin)
+    {
+        return Vec::new();
+    }
+    let toks = &ctx.scanned.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        // `Ordering :: Weak` — the variant names distinguish
+        // `atomic::Ordering` from `cmp::Ordering` (whose variants are
+        // Less/Equal/Greater), so no import tracking is needed.
+        if is_ident(&toks[i], "Ordering")
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some(":")
+            && toks.get(i + 2).map(|t| t.text.as_str()) == Some(":")
+            && toks.get(i + 3).is_some_and(|t| {
+                t.kind == TokKind::Ident && WEAK_ORDERINGS.contains(&t.text.as_str())
+            })
+            && !ctx.in_test(toks[i].line)
+        {
+            let variant = &toks[i + 3].text;
+            out.push(diag(
+                ctx,
+                toks[i].line,
+                "atomic-ordering",
+                format!(
+                    "`Ordering::{variant}` outside the allowlisted atomic sites; use \
+                     `Ordering::SeqCst`, or state the required happens-before relationship with \
+                     `// lint:allow(atomic-ordering): …`"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// ---------------------------------------------------------------- ///
+/// lossy-cast                                                       ///
+/// ---------------------------------------------------------------- ///
+///
+/// In the deterministic crates, `expr as u32`-style casts truncate
+/// silently — the bitwise-reproducibility contract makes that extra
+/// dangerous because a wrapped value is *stable* across reruns and so
+/// invisible to the determinism tests. Warn severity: existing casts
+/// are counted in the baseline and may only ratchet down; new ones
+/// need `try_into()` + a typed error, a documented value-range
+/// invariant via `lint:allow(lossy-cast)`, or a wider type.
+fn lossy_cast(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    if !DETERMINISTIC_CRATES.contains(&ctx.crate_name) || ctx.target != Target::Lib {
+        return Vec::new();
+    }
+    let toks = &ctx.scanned.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if is_ident(&toks[i], "as")
+            && toks.get(i + 1).is_some_and(|t| {
+                t.kind == TokKind::Ident && LOSSY_CAST_TARGETS.contains(&t.text.as_str())
+            })
+            && !ctx.in_test(toks[i].line)
+        {
+            let target_ty = &toks[i + 1].text;
+            out.push(Diagnostic::warn(
+                ctx.rel_path,
+                toks[i].line,
+                "lossy-cast",
+                format!(
+                    "`as {target_ty}` can truncate silently in a deterministic crate; use \
+                     `try_into()` with a typed error, widen the type, or document the value \
+                     range with `// lint:allow(lossy-cast): …`"
+                ),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use crate::check_source;
@@ -722,6 +828,52 @@ mod tests {
     fn serve_is_a_deterministic_crate_for_hash_iteration() {
         let src = "use std::collections::HashMap;\nfn f(m: &HashMap<String, u32>) -> Vec<u32> { m.values().cloned().collect() }\n";
         assert_eq!(rules_fired("crates/serve/src/fixture.rs", src), vec!["hashmap-iteration"]);
+    }
+
+    #[test]
+    fn atomic_ordering_flags_weak_orderings_outside_allowlist() {
+        for variant in ["Relaxed", "Acquire", "Release", "AcqRel"] {
+            let src = format!(
+                "use std::sync::atomic::{{AtomicUsize, Ordering}};\nfn f(a: &AtomicUsize) -> usize {{ a.load(Ordering::{variant}) }}\n"
+            );
+            assert_eq!(rules_fired("crates/data/src/fixture.rs", &src), vec!["atomic-ordering"]);
+        }
+    }
+
+    #[test]
+    fn atomic_ordering_spares_seqcst_allowlist_tests_and_cmp_ordering() {
+        let seqcst = "use std::sync::atomic::{AtomicUsize, Ordering};\nfn f(a: &AtomicUsize) -> usize { a.load(Ordering::SeqCst) }\n";
+        assert!(rules_fired("crates/data/src/fixture.rs", seqcst).is_empty());
+        let relaxed = "use std::sync::atomic::{AtomicUsize, Ordering};\nfn f(a: &AtomicUsize) -> usize { a.load(Ordering::Relaxed) }\n";
+        assert!(rules_fired("crates/tensor/src/pool.rs", relaxed).is_empty());
+        assert!(rules_fired("crates/trace/src/lib.rs", relaxed).is_empty());
+        assert!(rules_fired("crates/data/tests/fixture.rs", relaxed).is_empty());
+        // `cmp::Ordering`'s variants never collide with the weak set.
+        let cmp = "use std::cmp::Ordering;\nfn f(a: u32, b: u32) -> bool { a.cmp(&b) == Ordering::Less }\n";
+        assert!(rules_fired("crates/data/src/fixture.rs", cmp).is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_warns_on_truncating_targets_in_deterministic_libs() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }\n";
+        let diags = check_source(DET_LIB, src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "lossy-cast");
+        assert_eq!(diags[0].severity, crate::Severity::Warn);
+        let f32_src = "fn f(x: f64) -> f32 { x as f32 }\n";
+        assert_eq!(rules_fired(DET_LIB, f32_src), vec!["lossy-cast"]);
+    }
+
+    #[test]
+    fn lossy_cast_spares_widening_usize_bins_and_other_crates() {
+        assert!(rules_fired(DET_LIB, "fn f(x: u32) -> u64 { x as u64 }\n").is_empty());
+        assert!(rules_fired(DET_LIB, "fn f(x: u32) -> usize { x as usize }\n").is_empty());
+        let truncating = "fn f(x: u64) -> u32 { x as u32 }\n";
+        assert!(rules_fired("crates/bench/src/fixture.rs", truncating).is_empty());
+        assert!(rules_fired("crates/storage/src/bin/fixture.rs", truncating).is_empty());
+        assert!(rules_fired("crates/storage/tests/fixture.rs", truncating).is_empty());
+        // `use x as y` renames are not casts onto a numeric target.
+        assert!(rules_fired(DET_LIB, "use std::io::Result as IoResult;\n").is_empty());
     }
 
     #[test]

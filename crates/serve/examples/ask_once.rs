@@ -1,0 +1,55 @@
+//! The smallest possible round trip: train a tiny model, start the
+//! server in-process, register one table, ask one question, exit.
+//!
+//! ```bash
+//! cargo run --release -p nlidb-serve --example ask_once
+//! ```
+//!
+//! See `examples/serve_quickstart.rs` at the workspace root for the
+//! full tour (batching, stats, hot swap, shutdown semantics).
+
+use nlidb_core::{ModelConfig, Nlidb, NlidbOptions};
+use nlidb_data::wikisql::{generate, WikiSqlConfig};
+use nlidb_serve::{AskItem, Client, Op, Reply, Request, Server, ServerConfig};
+
+fn main() {
+    let corpus = generate(&WikiSqlConfig {
+        seed: 7,
+        train_tables: 8,
+        questions_per_table: 6,
+        ..WikiSqlConfig::default()
+    });
+    println!("training a tiny model (well under a minute) ...");
+    let opts = NlidbOptions { model: ModelConfig::tiny(), ..NlidbOptions::default() };
+    let nlidb = Nlidb::train(&corpus, opts);
+
+    let server = Server::start(nlidb, ServerConfig::default()).expect("start server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let example = &corpus.test[0];
+    let table = (*example.table).clone();
+    let reply = client
+        .request(&Request::new(1, "demo", Op::RegisterTable { table }))
+        .expect("register");
+    let fingerprint = match reply.result {
+        Ok(Reply::Registered { fingerprint }) => fingerprint,
+        other => panic!("unexpected register reply: {other:?}"),
+    };
+
+    let reply = client
+        .request(&Request::new(
+            2,
+            "demo",
+            Op::Ask(AskItem { fingerprint, question: example.question.clone() }),
+        ))
+        .expect("ask");
+    match reply.result {
+        Ok(Reply::Answer(a)) => println!(
+            "Q: {}\nSQL: {}",
+            example.question.join(" "),
+            a.sql.as_deref().unwrap_or("<no parse>")
+        ),
+        other => println!("unexpected reply: {other:?}"),
+    }
+    // Dropping `server` shuts the listener down and joins its threads.
+}

@@ -85,7 +85,10 @@ impl Admission {
     /// `total_in_flight + cost <= total`.
     pub fn try_admit(self: &Arc<Self>, tenant: &str, cost: usize) -> Option<Permit> {
         let cost = cost.max(1);
-        let mut st = self.state.lock().expect("admission lock poisoned");
+        // Poison recovery (here and below): the state is plain counters,
+        // valid after any partial update, so a panic in another holder
+        // must not take admission — and with it the server — down.
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         let total_ok = st.total_in_flight + cost <= self.cfg.total;
         let tc = st.tenants.entry(tenant.to_string()).or_default();
         let tenant_ok = tc.in_flight as usize + cost <= self.cfg.per_tenant;
@@ -101,12 +104,12 @@ impl Admission {
 
     /// Per-tenant counters, sorted by tenant name (for `stats`).
     pub fn snapshot(&self) -> Vec<(String, TenantCounters)> {
-        let st = self.state.lock().expect("admission lock poisoned");
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         st.tenants.iter().map(|(t, c)| (t.clone(), *c)).collect()
     }
 
     fn release(&self, tenant: &str, cost: usize) {
-        let mut st = self.state.lock().expect("admission lock poisoned");
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(tc) = st.tenants.get_mut(tenant) {
             tc.in_flight = tc.in_flight.saturating_sub(cost as u64);
         }

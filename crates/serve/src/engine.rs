@@ -241,33 +241,46 @@ impl Engine {
         nlidb_trace::count("server.questions", reqs.len() as u64);
 
         // Scatter predictions back to their jobs, render SQL, reply.
+        // `origin` only indexes resolved slots, so the lookups below
+        // cannot fail; if that invariant ever breaks, the affected item
+        // answers `internal` instead of panicking the engine thread.
+        let internal = |what: &str| {
+            WireError::new(ErrorCode::Internal, format!("engine invariant violated: {what}"))
+        };
         let mut answers: Vec<Vec<Option<BatchItem>>> =
             jobs.iter().map(|j| vec![None; j.items.len()]).collect();
         for ((ji, ii), pred) in origin.into_iter().zip(preds) {
-            let table = slots[ji][ii].as_ref().expect("origin only indexes resolved slots");
-            let cols = table.column_names();
-            answers[ji][ii] = Some(BatchItem::Answer(Answer {
-                sql: pred.as_ref().map(|q| q.to_sql(&cols)),
-                query: pred,
-            }));
+            let item = match slots[ji][ii].as_ref() {
+                Ok(table) => {
+                    let cols = table.column_names();
+                    BatchItem::Answer(Answer {
+                        sql: pred.as_ref().map(|q| q.to_sql(&cols)),
+                        query: pred,
+                    })
+                }
+                Err(_) => BatchItem::Failed(internal("origin maps to an unresolved slot")),
+            };
+            answers[ji][ii] = Some(item);
         }
         for (ji, job) in jobs.into_iter().enumerate() {
             let results: Vec<BatchItem> = answers[ji]
                 .drain(..)
                 .enumerate()
-                .map(|(ii, slot)| match slot {
-                    Some(b) => b,
-                    None => BatchItem::Failed(
-                        slots[ji][ii].clone().expect_err("unresolved slot holds its error"),
-                    ),
+                .map(|(ii, slot)| match (slot, &slots[ji][ii]) {
+                    (Some(b), _) => b,
+                    (None, Err(e)) => BatchItem::Failed(e.clone()),
+                    (None, Ok(_)) => {
+                        BatchItem::Failed(internal("resolved item received no prediction"))
+                    }
                 })
                 .collect();
             let reply = if job.wrap_batch {
                 Ok(Reply::Batch { results })
             } else {
-                match results.into_iter().next().expect("ask job has exactly one item") {
-                    BatchItem::Answer(a) => Ok(Reply::Answer(a)),
-                    BatchItem::Failed(e) => Err(e),
+                match results.into_iter().next() {
+                    Some(BatchItem::Answer(a)) => Ok(Reply::Answer(a)),
+                    Some(BatchItem::Failed(e)) => Err(e),
+                    None => Err(internal("ask job carried no items")),
                 }
             };
             if job.reply.send(reply).is_err() {
@@ -281,7 +294,13 @@ impl Engine {
     /// Handles a control job. Returns `true` on shutdown.
     fn handle_control(&mut self, job: Job) -> bool {
         match job {
-            Job::Serve(_) => unreachable!("serve jobs go through dispatch"),
+            // `run` routes serve jobs through `collect_batch`, so one
+            // arriving here is a routing bug — answer it as a batch of
+            // one rather than panicking the engine thread.
+            Job::Serve(job) => {
+                self.dispatch(vec![job]);
+                false
+            }
             Job::Register { tenant, table, reply } => {
                 let _sp = nlidb_trace::span("server.register");
                 let fingerprint = self.catalog.register(&tenant, table);
@@ -328,6 +347,7 @@ impl Engine {
             evictions: s.evictions,
         };
         ServerStats {
+            // lint:allow(atomic-ordering): monotonic stats counter read; no other memory is published under it, and stats tolerate a stale value.
             requests: self.requests.load(Ordering::Relaxed),
             questions: self.questions,
             batches: self.batches,

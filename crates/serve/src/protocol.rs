@@ -69,16 +69,21 @@ pub enum ErrorCode {
     ResponseTooLarge,
     /// The server is shutting down; the request was not processed.
     ShuttingDown,
+    /// An engine invariant was violated while answering (a bug, not a
+    /// bad request): the request fails with this code instead of
+    /// panicking the engine thread, and other requests are unaffected.
+    Internal,
 }
 
 impl ErrorCode {
     /// Every code, in wire-name order (the spec's §6 table is generated
     /// from the same list by hand; the conformance test cross-checks).
-    pub const ALL: [ErrorCode; 10] = [
+    pub const ALL: [ErrorCode; 11] = [
         ErrorCode::BadFrame,
         ErrorCode::BadRequest,
         ErrorCode::CheckpointFailed,
         ErrorCode::FrameTooLong,
+        ErrorCode::Internal,
         ErrorCode::Overloaded,
         ErrorCode::ResponseTooLarge,
         ErrorCode::ShuttingDown,
@@ -100,6 +105,7 @@ impl ErrorCode {
             ErrorCode::CheckpointFailed => "checkpoint_failed",
             ErrorCode::ResponseTooLarge => "response_too_large",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
         }
     }
 

@@ -468,6 +468,7 @@ fn write_response(writer: &mut TcpStream, shared: &Shared, resp: Response) -> bo
         body = fallback.to_json().to_string();
     }
     body.push('\n');
+    // lint:allow(atomic-ordering): monotonic stats counter bump; nothing synchronizes on it, readers tolerate staleness.
     shared.requests.fetch_add(1, Ordering::Relaxed);
     nlidb_trace::count("server.requests", 1);
     if resp.result.is_err() {

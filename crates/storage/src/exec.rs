@@ -129,7 +129,7 @@ pub fn execute(table: &Table, query: &Query) -> Result<ResultSet, ExecError> {
         Agg::Count => vec![Value::Int(
             selected.iter().filter(|v| !matches!(**v, Value::Null)).count() as i64,
         )],
-        agg => {
+        agg @ (Agg::Min | Agg::Max | Agg::Sum | Agg::Avg) => {
             let nums: Vec<f64> = selected.iter().filter_map(|v| v.as_number()).collect();
             if nums.len() < selected.len() {
                 return Err(ExecError::NonNumericAggregate {
@@ -150,8 +150,9 @@ pub fn execute(table: &Table, query: &Query) -> Result<ResultSet, ExecError> {
                     Agg::Min => nums.iter().cloned().fold(f64::INFINITY, f64::min),
                     Agg::Max => nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
                     Agg::Sum => nums.iter().sum(),
-                    Agg::Avg => nums.iter().sum::<f64>() / nums.len() as f64,
-                    Agg::None | Agg::Count => unreachable!("handled above"),
+                    // The outer arm binds only the four numeric
+                    // aggregates, so this covers exactly `Avg`.
+                    _ => nums.iter().sum::<f64>() / nums.len() as f64,
                 };
                 vec![Value::Float(v)]
             }

@@ -70,11 +70,13 @@ static KERNEL: AtomicU8 = AtomicU8::new(0);
 /// bitwise-identical results, so this is a performance knob, not a
 /// semantic one.
 pub fn set_matmul_kernel(k: MatmulKernel) {
+    // lint:allow(atomic-ordering): standalone mode flag; both kernels are bitwise-identical, so a stale read changes speed, never bytes.
     KERNEL.store(if k == MatmulKernel::Reference { 1 } else { 0 }, Ordering::Relaxed);
 }
 
 /// The kernel selection currently in effect.
 pub fn matmul_kernel() -> MatmulKernel {
+    // lint:allow(atomic-ordering): same mode-flag argument as `set_matmul_kernel`.
     if KERNEL.load(Ordering::Relaxed) == 1 {
         MatmulKernel::Reference
     } else {
@@ -94,6 +96,7 @@ enum SimdLevel {
 }
 
 fn simd_level() -> SimdLevel {
+    // lint:allow(atomic-ordering): capability cache; every initializer computes the same value, so a missed store only repeats detection.
     match SIMD_LEVEL.load(Ordering::Relaxed) {
         1 => SimdLevel::Scalar,
         2 => SimdLevel::Avx2,
@@ -106,6 +109,7 @@ fn simd_level() -> SimdLevel {
                 SimdLevel::Avx512 => 3,
             };
             // Racing initializers store the same value; last wins harmlessly.
+            // lint:allow(atomic-ordering): same capability-cache argument as the load above.
             SIMD_LEVEL.store(code, Ordering::Relaxed);
             detected
         }

@@ -108,6 +108,18 @@ unsafe impl Sync for Job {}
 
 impl Job {
     /// Claims and runs tasks until the cursor is exhausted.
+    ///
+    /// Ordering argument (the task cursor): `next.fetch_add(Relaxed)` is
+    /// sound because the RMW alone makes every claim unique — no two
+    /// threads can observe the same index — and claiming publishes
+    /// nothing: the closure and its captures were made visible to every
+    /// worker by the channel send that delivered the job (a
+    /// release/acquire pair), before any claim. The cursor orders *who
+    /// runs which task*, never *what memory they see*. Completion is
+    /// different: `unfinished.fetch_sub(AcqRel)` makes each task's
+    /// writes visible to the thread that observes zero and wakes the
+    /// caller, so the caller reads every task's output after its own
+    /// acquire.
     fn drain(&self) {
         let mut claimed = 0u64;
         loop {

@@ -20,10 +20,14 @@ cargo build --release --offline
 # links, missing docs where denied) fail verification.
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline
 
-# Static analysis: the in-tree determinism & safety lint must report
-# zero unsuppressed diagnostics (DESIGN.md "Static analysis"). The same
-# bar runs as tests/lint_guard.rs; this surfaces file:line output.
-cargo run -q --release --offline -p nlidb-lint
+# Static analysis: the in-tree determinism & safety lint, flow-aware
+# since v2 (DESIGN.md "Static analysis"). Fails on any deny-severity
+# diagnostic (including panic-capable code reachable from the serving
+# entry points) and on any rule whose warn count exceeds the committed
+# baseline at results/lint_baseline.json. Writes the machine-readable
+# report to results/lint_report.json; the same bar runs as
+# tests/lint_guard.rs; this surfaces file:line output.
+cargo run -q --release --offline -p nlidb-lint -- --format=json
 
 # The full suite twice: once pinned to the exact serial path, once with
 # the pool at its default width. The threading contract (DESIGN.md
