@@ -246,6 +246,16 @@ fn bench_pipeline(records: &mut Vec<Record>) {
     bench("pipeline/predict_end_to_end", records, || {
         black_box(nlidb.predict(black_box(&e.question), &e.table));
     });
+    // The cost of execution guidance: the same end-to-end prediction
+    // with guidance off vs. on. The delta is the guide's verdict work —
+    // recovering and executing beam candidates against the table
+    // (memoized per sequence within one decode).
+    bench("decode/greedy_vs_guided_off", records, || {
+        black_box(nlidb.predict(black_box(&e.question), &e.table));
+    });
+    bench("decode/greedy_vs_guided_on", records, || {
+        black_box(nlidb.predict_guided(black_box(&e.question), &e.table));
+    });
 }
 
 /// Batched serving: a repeated-table workload (64 requests cycling over 8
@@ -265,7 +275,7 @@ fn bench_serve(records: &mut Vec<Record>) {
     let reqs: Vec<ServeRequest<'_>> = (0..64)
         .map(|i| {
             let e = &ds.dev[i % pool_size];
-            ServeRequest { question: &e.question, table: &e.table }
+            ServeRequest { question: &e.question, table: &e.table, guided: false }
         })
         .collect();
     bench("serve/batch_1_cold", records, || {
@@ -321,6 +331,7 @@ fn bench_server(records: &mut Vec<Record>) {
         nlidb_serve::Op::Ask(nlidb_serve::AskItem {
             fingerprint: fp,
             question: e.question.clone(),
+            guided: false,
         }),
     );
     let ask_frame = nlidb_json::encode_frame(&nlidb_json::ToJson::to_json(&ask));

@@ -1,0 +1,147 @@
+//! **Table V** — execution-guided decoding versus the plain beam.
+//!
+//! Trains the annotated seq2seq once, then evaluates dev and test twice
+//! with the *same* trained model and the *same* corpus seed: once with
+//! [`Nlidb::predict`] (the plain ranked beam) and once with
+//! [`Nlidb::predict_guided`] (execution-guided repair over the same
+//! beam). Because the guide is a pure filter over an identical search,
+//! any delta is attributable to the repair walk alone — `Acc_ex` must
+//! not regress, and the executability accounting (how many plain vs.
+//! guided predictions execute cleanly — the repair walk's whole point)
+//! is reported alongside (DESIGN.md, "Execution-guided decoding").
+//!
+//! Exits non-zero if guided `Acc_ex` drops below the baseline on either
+//! split — this is the acceptance bar, enforced where it is measured.
+
+use nlidb_bench::{pct, print_header, wikisql_corpus, Scale};
+use nlidb_core::{evaluate, EvalResult, Nlidb, NlidbOptions};
+use nlidb_data::Example;
+use nlidb_sqlir::Query;
+use nlidb_storage::execute;
+
+fn eval_split<'a>(
+    name: &str,
+    split: &'a [Example],
+    predict: &mut dyn FnMut(&Example) -> Option<Query>,
+) -> EvalResult {
+    let preds: Vec<(Option<Query>, &Example)> =
+        split.iter().map(|e| (predict(e), e)).collect();
+    let r = evaluate(&preds);
+    eprintln!("  [{name}] n={} lf={} qm={} ex={}", r.n, pct(r.acc_lf), pct(r.acc_qm), pct(r.acc_ex));
+    r
+}
+
+fn row(label: &str, dev: EvalResult, test: EvalResult) -> nlidb_json::Json {
+    println!(
+        "{label:<28} | {} {} {} | {} {} {}",
+        pct(dev.acc_lf),
+        pct(dev.acc_qm),
+        pct(dev.acc_ex),
+        pct(test.acc_lf),
+        pct(test.acc_qm),
+        pct(test.acc_ex)
+    );
+    nlidb_json::json!({
+        "label": label,
+        "dev": nlidb_json::json!({"lf": dev.acc_lf, "qm": dev.acc_qm, "ex": dev.acc_ex}),
+        "test": nlidb_json::json!({"lf": test.acc_lf, "qm": test.acc_qm, "ex": test.acc_ex}),
+    })
+}
+
+/// Never-fails accounting over one split: how many plain-beam and
+/// guided predictions execute without `ExecError`. The guided deficit
+/// (if any) is the unguided last resort; the baseline deficit is what
+/// the repair walk exists to fix.
+fn executability(nlidb: &Nlidb, split: &[Example]) -> (usize, usize) {
+    let (mut base_ok, mut guided_ok) = (0usize, 0usize);
+    for e in split {
+        let base = nlidb.predict(&e.question, &e.table);
+        if matches!(base.as_ref().map(|q| execute(&e.table, q)), Some(Ok(_))) {
+            base_ok += 1;
+        }
+        let guided = nlidb.predict_guided(&e.question, &e.table);
+        if matches!(guided.as_ref().map(|q| execute(&e.table, q)), Some(Ok(_))) {
+            guided_ok += 1;
+        }
+    }
+    (base_ok, guided_ok)
+}
+
+fn main() {
+    let (scale, seed) = Scale::from_args();
+    print_header("Table V: execution-guided decoding (lf / qm / ex, dev | test)");
+    let ds = wikisql_corpus(scale, seed);
+    let cfg = scale.model_config(seed);
+    eprintln!(
+        "corpus: {} train / {} dev / {} test questions",
+        ds.train.len(),
+        ds.dev.len(),
+        ds.test.len()
+    );
+    println!(
+        "{:<28} | {:^20} | {:^20}",
+        "decoding", "dev (lf/qm/ex)", "test (lf/qm/ex)"
+    );
+    println!("{}", "-".repeat(76));
+
+    let nlidb = Nlidb::train(&ds, NlidbOptions { model: cfg, ..NlidbOptions::default() });
+
+    let base_dev =
+        eval_split("beam/dev", &ds.dev, &mut |e| nlidb.predict(&e.question, &e.table));
+    let base_test =
+        eval_split("beam/test", &ds.test, &mut |e| nlidb.predict(&e.question, &e.table));
+    let guided_dev =
+        eval_split("guided/dev", &ds.dev, &mut |e| nlidb.predict_guided(&e.question, &e.table));
+    let guided_test =
+        eval_split("guided/test", &ds.test, &mut |e| nlidb.predict_guided(&e.question, &e.table));
+
+    let rows = vec![
+        row("Beam (no guidance)", base_dev.clone(), base_test.clone()),
+        row("+ execution guidance", guided_dev.clone(), guided_test.clone()),
+    ];
+    println!("{}", "-".repeat(76));
+
+    let (dev_base_ok, dev_guided_ok) = executability(&nlidb, &ds.dev);
+    let (test_base_ok, test_guided_ok) = executability(&nlidb, &ds.test);
+    println!(
+        "executability (clean runs): dev beam {dev_base_ok}/{n_dev} -> guided {dev_guided_ok}/{n_dev}, \
+         test beam {test_base_ok}/{n_test} -> guided {test_guided_ok}/{n_test}",
+        n_dev = ds.dev.len(),
+        n_test = ds.test.len()
+    );
+
+    let ex_ok = guided_dev.acc_ex >= base_dev.acc_ex
+        && guided_test.acc_ex >= base_test.acc_ex
+        && dev_guided_ok >= dev_base_ok
+        && test_guided_ok >= test_base_ok;
+    println!(
+        "guided Acc_ex and executability >= baseline on both splits: {}",
+        if ex_ok { "yes" } else { "NO (regression)" }
+    );
+
+    nlidb_bench::write_result(
+        "table5_guided",
+        &nlidb_json::json!({
+            "scale": format!("{scale:?}"),
+            "seed": seed,
+            "rows": rows,
+            "executability": nlidb_json::json!({
+                "dev": nlidb_json::json!({
+                    "n": ds.dev.len() as f64,
+                    "beam_ok": dev_base_ok as f64,
+                    "guided_ok": dev_guided_ok as f64,
+                }),
+                "test": nlidb_json::json!({
+                    "n": ds.test.len() as f64,
+                    "beam_ok": test_base_ok as f64,
+                    "guided_ok": test_guided_ok as f64,
+                }),
+            }),
+            "guided_ex_ge_baseline": ex_ok,
+        }),
+    );
+    nlidb_trace::write_if_enabled("table5_guided");
+    if !ex_ok {
+        std::process::exit(1);
+    }
+}

@@ -44,7 +44,7 @@ fn main() {
     let mut reqs: Vec<ServeRequest<'_>> = ds
         .dev
         .iter()
-        .map(|e| ServeRequest { question: &e.question, table: &e.table })
+        .map(|e| ServeRequest { question: &e.question, table: &e.table, guided: false })
         .collect();
     let dups: Vec<ServeRequest<'_>> = reqs.iter().step_by(3).copied().collect();
     reqs.extend(dups);
@@ -101,7 +101,7 @@ fn main() {
     let workload: Vec<ServeRequest<'_>> = (0..64)
         .map(|i| {
             let e = &ds.dev[i % pool_size];
-            ServeRequest { question: &e.question, table: &e.table }
+            ServeRequest { question: &e.question, table: &e.table, guided: false }
         })
         .collect();
     let rounds = 5;

@@ -35,7 +35,7 @@ fn check(failed: &mut bool, ok: bool, what: &str) {
 /// registrations and must complete before the rest.
 fn build_log(tables: &[nlidb_storage::Table], questions: &[(usize, Vec<String>)], ckpt: &str) -> Vec<Request> {
     let fps: Vec<u64> = tables.iter().map(|t| t.fingerprint()).collect();
-    let ask = |ti: usize, q: &[String]| Op::Ask(AskItem { fingerprint: fps[ti], question: q.to_vec() });
+    let ask = |ti: usize, q: &[String]| Op::Ask(AskItem { fingerprint: fps[ti], question: q.to_vec(), guided: false });
     let mut log = vec![
         Request::new(0, "acme", Op::RegisterTable { table: tables[0].clone() }),
         Request::new(1, "acme", Op::RegisterTable { table: tables[1].clone() }),
@@ -56,8 +56,8 @@ fn build_log(tables: &[nlidb_storage::Table], questions: &[(usize, Vec<String>)]
         "acme",
         Op::Batch {
             items: vec![
-                AskItem { fingerprint: fps[0], question: questions[0].1.clone() },
-                AskItem { fingerprint: 0xdead_beef, question: vec!["nothing".into()] },
+                AskItem { fingerprint: fps[0], question: questions[0].1.clone(), guided: false },
+                AskItem { fingerprint: 0xdead_beef, question: vec!["nothing".into()], guided: false },
             ],
         },
     ));
@@ -68,7 +68,7 @@ fn build_log(tables: &[nlidb_storage::Table], questions: &[(usize, Vec<String>)]
         "flood",
         Op::Batch {
             items: (0..65)
-                .map(|_| AskItem { fingerprint: fps[0], question: questions[0].1.clone() })
+                .map(|_| AskItem { fingerprint: fps[0], question: questions[0].1.clone(), guided: false })
                 .collect(),
         },
     ));
@@ -76,6 +76,7 @@ fn build_log(tables: &[nlidb_storage::Table], questions: &[(usize, Vec<String>)]
     log.push(Request::new(log.len() as i64, "acme", Op::Ask(AskItem {
         fingerprint: 1,
         question: vec!["no".into(), "such".into(), "table".into()],
+        guided: false,
     })));
     log
 }

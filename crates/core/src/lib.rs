@@ -16,6 +16,9 @@
 //!   independent results).
 //! - [`pipeline`] — the [`pipeline::Nlidb`] facade: train / predict /
 //!   recover.
+//! - [`guide`] — execution-guided decoding: beam candidates are judged
+//!   by recovering and executing them against the target table, with a
+//!   deterministic repair walk through the ranked beam.
 //! - [`metrics`] — `Acc_lf` / `Acc_qm` / `Acc_ex` and §VII-A1 mention
 //!   accuracy.
 //! - [`serve`] — batched inference: per-table context sharing, pool
@@ -30,6 +33,7 @@ pub mod baselines;
 pub mod checkpoint;
 pub mod config;
 pub mod embed_init;
+pub mod guide;
 pub mod mention;
 pub mod metrics;
 pub mod pipeline;
@@ -41,6 +45,7 @@ pub mod vocab;
 
 pub use annotate::{AnnotateConfig, Annotation, SymbolEncoding};
 pub use config::ModelConfig;
+pub use guide::{ExecutionGuide, GuideVerdict};
 pub use mention::MentionDetector;
 pub use metrics::{cond_col_val_accuracy, evaluate, EvalResult};
 pub use pipeline::{Nlidb, NlidbOptions, TableContext};

@@ -14,6 +14,7 @@ use nlidb_text::{EmbeddingSpace, Lexicon, Vocab};
 
 use crate::annotate::{annotate, annotate_gold, gold_target, AnnotateConfig, Annotation};
 use crate::config::ModelConfig;
+use crate::guide::{ExecutionGuide, GuideVerdict};
 use crate::mention::{DetectContext, MentionDetector};
 use crate::seq2seq::{Seq2Seq, Seq2SeqItem};
 use crate::transformer::TransformerSeq2Seq;
@@ -318,6 +319,112 @@ impl Nlidb {
         let (sa, map) = self.predict_annotated_in(question, ctx);
         let _t = nlidb_trace::span("pipeline.recover");
         recover(&sa, &map).ok().or_else(|| fallback_query(&map))
+    }
+
+    /// Execution-guided prediction `q -> s` (ROADMAP item 3): decodes the
+    /// full beam, judges every candidate by recovering and executing it
+    /// against `table` (see [`ExecutionGuide`]), and commits the first
+    /// candidate — in the model's own rank order — that survives. The
+    /// repair walk is deterministic:
+    ///
+    /// The governing invariant: **guidance never second-guesses an
+    /// answer that already executes — it only repairs failing ones.**
+    /// Demoting an executing answer (e.g. a provably-empty one) in
+    /// favor of a lower-ranked candidate destroys correct predictions
+    /// on corpora where the gold answer is legitimately empty, so the
+    /// repair walk engages only when the unguided answer is broken:
+    ///
+    /// 1. the top-ranked candidate, whenever it executes at all
+    ///    ([`GuideVerdict::Pass`] or [`GuideVerdict::Vacuous`]) — this
+    ///    is byte-identical to the unguided answer;
+    /// 2. if the decode is [`GuideVerdict::Unrecoverable`], the
+    ///    slot-built [`fallback_query`] when it executes — also exactly
+    ///    the unguided answer, since `predict` falls back the same way;
+    /// 3. else the highest-ranked remaining candidate whose execution
+    ///    returns a non-vacuous result ([`GuideVerdict::Pass`]);
+    /// 4. else the highest-ranked remaining candidate that executes at
+    ///    all ([`GuideVerdict::Vacuous`]);
+    /// 5. else the slot-built [`fallback_query`], if it executes without
+    ///    [`ExecError`](nlidb_storage::ExecError);
+    /// 6. else exactly the unguided [`Self::predict`] answer — the
+    ///    documented last resort, and the only step that may still fail
+    ///    execution.
+    ///
+    /// Steps 1–2 cover every input whose unguided answer executes, so
+    /// guided `Acc_ex` can only differ from the plain beam on inputs the
+    /// plain beam already got wrong (an executing wrong answer is left
+    /// alone; a failing one is replaced by something that runs).
+    pub fn predict_guided(&self, question: &[String], table: &Table) -> Option<Query> {
+        self.predict_guided_in(question, &self.table_context(table), table)
+    }
+
+    /// [`Self::predict_guided`] against a prebuilt [`TableContext`] — the
+    /// batched path. The context carries no row data, so the guided path
+    /// also needs the table itself; `ctx` must have been built from
+    /// `table`.
+    pub fn predict_guided_in(
+        &self,
+        question: &[String],
+        ctx: &TableContext,
+        table: &Table,
+    ) -> Option<Query> {
+        let _t = nlidb_trace::span("decode.guide.predict");
+        let ann = self.annotate_question_in(question, ctx);
+        let (src, copy) = self.encode_src(&ann.tokens);
+        let mut guide = ExecutionGuide::new(&self.out_vocab, &ann.map, table);
+        let ranked: Vec<Vec<usize>> = if src.is_empty() {
+            Vec::new()
+        } else {
+            let _t = nlidb_trace::span("pipeline.decode");
+            match &self.translator {
+                Translator::Gru(m) => {
+                    m.decode_beam_guided(&src, &copy, self.opts.model.beam_width, &mut guide)
+                }
+                Translator::Transformer(m) => vec![m.decode_greedy(&src, &copy)],
+            }
+        };
+        // Repair walk, in the model's rank order (memoized verdicts from
+        // the search are reused here). An executing top candidate —
+        // vacuous or not — is committed as-is; repair engages only when
+        // the unguided answer fails to execute.
+        let top_verdict = ranked.first().map(|t| guide.verdict(t));
+        if matches!(top_verdict, Some(GuideVerdict::Pass | GuideVerdict::Vacuous)) {
+            nlidb_trace::count("decode.guide.repair.top", 1);
+            return ranked.first().and_then(|t| guide.recovered(t));
+        }
+        // An unrecoverable decode means the unguided answer *is* the
+        // slot-built fallback; when that executes there is nothing to
+        // repair, and the detector's evidence outranks lower-ranked
+        // candidates from the same broken search.
+        if !matches!(top_verdict, Some(GuideVerdict::Error)) {
+            if let Some(q) = fallback_query(&ann.map) {
+                if nlidb_storage::execute(table, &q).is_ok() {
+                    nlidb_trace::count("decode.guide.repair.fallback", 1);
+                    return Some(q);
+                }
+            }
+        }
+        for seq in ranked.iter().skip(1) {
+            if guide.verdict(seq) == GuideVerdict::Pass {
+                nlidb_trace::count("decode.guide.repair.beam", 1);
+                return guide.recovered(seq);
+            }
+        }
+        for seq in ranked.iter().skip(1) {
+            if guide.verdict(seq) == GuideVerdict::Vacuous {
+                nlidb_trace::count("decode.guide.repair.vacuous", 1);
+                return guide.recovered(seq);
+            }
+        }
+        if let Some(q) = fallback_query(&ann.map) {
+            if nlidb_storage::execute(table, &q).is_ok() {
+                nlidb_trace::count("decode.guide.repair.fallback", 1);
+                return Some(q);
+            }
+        }
+        nlidb_trace::count("decode.guide.repair.last_resort", 1);
+        let sa = self.out_vocab.decode(ranked.first().map(Vec::as_slice).unwrap_or(&[]));
+        recover(&sa, &ann.map).ok().or_else(|| fallback_query(&ann.map))
     }
 
     /// Steps 1–2 only: returns the predicted annotated SQL and the map.

@@ -25,6 +25,29 @@ use crate::vocab::OutVocab;
 /// Maximum decoded target length (annotated SQL is short).
 pub const MAX_DECODE_LEN: usize = 24;
 
+/// A pluggable observer/judge for beam decoding (execution-guided
+/// decoding, ROADMAP item 3).
+///
+/// The guide is deliberately a **pure filter, never a reorderer**: the
+/// beam search explores, scores, ranks, and truncates candidates exactly
+/// as the unguided [`Seq2Seq::decode_beam`] does, and the guide's
+/// verdicts influence only which ranked candidate the *caller* commits
+/// to (the repair walk in `pipeline::Nlidb::predict_guided`). Letting
+/// verdicts free beam slots mid-search would admit continuations the
+/// unguided search prunes, silently changing the top candidate and
+/// breaking the "guidance off ≡ guidance on when the top candidate
+/// passes" determinism pin (see DESIGN.md "Execution-guided decoding").
+pub trait DecodeGuide {
+    /// Called once per decode step with the step index and the number of
+    /// beams still extending (cost accounting; must not affect output).
+    fn on_step(&mut self, step: usize, live_beams: usize);
+
+    /// Judges a completed candidate (EOS reached). Implementations
+    /// should memoize: the same sequence is re-judged during the
+    /// caller's repair walk. Must be a pure function of `seq`.
+    fn admit(&mut self, seq: &[usize]) -> bool;
+}
+
 /// One training item: encoded source, per-position copy alignment, and
 /// target ids (ending in EOS).
 #[derive(Debug, Clone)]
@@ -380,6 +403,49 @@ impl Seq2Seq {
     /// Beam-search decoding (paper: width 5). Returns the best token
     /// sequence (without EOS).
     pub fn decode_beam(&self, src: &[usize], copy: &[Option<usize>], width: usize) -> Vec<usize> {
+        self.decode_beam_ranked(src, copy, width).into_iter().next().unwrap_or_default()
+    }
+
+    /// [`Self::decode_beam`], returning **every** final beam candidate in
+    /// descending-score order (the first element is exactly what
+    /// `decode_beam` returns). The ranked tail is what the
+    /// execution-guided repair walk falls back through.
+    pub fn decode_beam_ranked(
+        &self,
+        src: &[usize],
+        copy: &[Option<usize>],
+        width: usize,
+    ) -> Vec<Vec<usize>> {
+        self.beam_candidates(src, copy, width, None)
+    }
+
+    /// [`Self::decode_beam_ranked`] with a [`DecodeGuide`] observing the
+    /// search: `on_step` fires each decode step, `admit` fires the
+    /// moment a candidate completes (so execution verdicts are computed
+    /// — and memoized — during the search, "at candidate completion").
+    /// The returned ranking is byte-identical to the unguided one; the
+    /// guide never prunes or reorders beams (see [`DecodeGuide`]).
+    pub fn decode_beam_guided(
+        &self,
+        src: &[usize],
+        copy: &[Option<usize>],
+        width: usize,
+        guide: &mut dyn DecodeGuide,
+    ) -> Vec<Vec<usize>> {
+        self.beam_candidates(src, copy, width, Some(guide))
+    }
+
+    /// The one beam-search loop behind `decode_beam`,
+    /// `decode_beam_ranked`, and `decode_beam_guided`: identical
+    /// exploration/scoring/truncation in all three, with the guide (when
+    /// present) strictly observing.
+    fn beam_candidates(
+        &self,
+        src: &[usize],
+        copy: &[Option<usize>],
+        width: usize,
+        mut guide: Option<&mut dyn DecodeGuide>,
+    ) -> Vec<Vec<usize>> {
         assert!(width >= 1);
         let mut g = Graph::new();
         let (h, d0, b0) = self.encode_values(&mut g, src);
@@ -396,9 +462,12 @@ impl Seq2Seq {
         }
         let mut beams =
             vec![Beam { seq: Vec::new(), logp: 0.0, d: d0, beta: b0, done: false }];
-        for _ in 0..MAX_DECODE_LEN {
+        for step in 0..MAX_DECODE_LEN {
             if beams.iter().all(|b| b.done) {
                 break;
+            }
+            if let Some(gd) = guide.as_deref_mut() {
+                gd.on_step(step, beams.iter().filter(|b| !b.done).count());
             }
             let mut next: Vec<Beam> = Vec::new();
             for b in &beams {
@@ -423,6 +492,12 @@ impl Seq2Seq {
                     let done = tok == eos;
                     if !done {
                         seq.push(tok);
+                    } else if let Some(gd) = guide.as_deref_mut() {
+                        // Candidate completion: judge (and memoize) now,
+                        // while the search is still running. The verdict
+                        // is *recorded*, not acted on — pruning here
+                        // would free a beam slot and reorder the search.
+                        let _ = gd.admit(&seq);
                     }
                     next.push(Beam {
                         seq,
@@ -438,7 +513,7 @@ impl Seq2Seq {
             beams = next;
         }
         beams.sort_by(|a, b| b.logp.total_cmp(&a.logp));
-        beams.into_iter().next().map(|b| b.seq).unwrap_or_default()
+        beams.into_iter().map(|b| b.seq).collect()
     }
 }
 

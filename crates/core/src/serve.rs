@@ -15,16 +15,21 @@
 //!    `nlidb_tensor::pool`, each writing to its own slot. Results are
 //!    returned in request order.
 //! 3. **Cache.** A deterministic bounded [`PredictionCache`] keyed by
-//!    `(table fingerprint, tokenized question)` serves repeats across
-//!    batches; duplicates *within* a batch are deduplicated to one
-//!    computation regardless of cache settings.
+//!    `(table fingerprint, tokenized question, guided flag)` serves
+//!    repeats across batches; duplicates *within* a batch are
+//!    deduplicated to one computation regardless of cache settings.
 //!
 //! ## Determinism contract
 //!
 //! Batched predictions are **byte-identical** to running
 //! [`Nlidb::predict`] sequentially over the same requests, for every
 //! thread count and cache configuration
-//! (`crates/core/tests/serve_determinism.rs` pins this). The argument:
+//! (`crates/core/tests/serve_determinism.rs` pins this). Requests with
+//! [`ServeRequest::guided`] set are likewise byte-identical to
+//! sequential [`Nlidb::predict_guided`](crate::pipeline::Nlidb::predict_guided)
+//! — guidance is a pure per-request function of `(question, table,
+//! trained parameters)`, so every bullet below applies to it unchanged.
+//! The argument:
 //!
 //! - the per-table context is a pure function of the table, so sharing
 //!   one context across a group changes *when* state is computed, never
@@ -60,6 +65,12 @@ pub struct ServeRequest<'a> {
     pub question: &'a [String],
     /// The table to answer against.
     pub table: &'a Table,
+    /// Opt-in execution-guided decoding
+    /// ([`Nlidb::predict_guided`](crate::pipeline::Nlidb::predict_guided)):
+    /// candidates are executed against the table and repaired
+    /// deterministically. `false` is the pre-existing unguided path,
+    /// byte-for-byte.
+    pub guided: bool,
 }
 
 /// Serving configuration.
@@ -76,15 +87,19 @@ impl Default for ServeOptions {
     }
 }
 
-/// Cache key: the table's content fingerprint plus the tokenized
-/// question. Two requests collide exactly when the deterministic
-/// pipeline would produce the same prediction for both.
+/// Cache key: the table's content fingerprint, the tokenized question,
+/// and the decode mode. Two requests collide exactly when the
+/// deterministic pipeline would produce the same prediction for both —
+/// guided and unguided predictions can legitimately differ for the same
+/// `(table, question)`, so the mode is part of the key.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct CacheKey {
     /// [`Table::fingerprint`] of the request's table.
     pub fingerprint: u64,
     /// The tokenized question.
     pub question: Vec<String>,
+    /// Whether the prediction used execution-guided decoding.
+    pub guided: bool,
 }
 
 /// Per-table-fingerprint cache accounting (the per-tenant view a
@@ -346,9 +361,11 @@ impl<'m> ServeEngine<'m> {
         let mut unique: Vec<(CacheKey, Vec<usize>)> = Vec::new();
         let mut slot_of: BTreeMap<CacheKey, usize> = BTreeMap::new();
         for &i in &group.indices {
+            let Some(req) = requests.get(i) else { continue };
             let key = CacheKey {
                 fingerprint: group.fingerprint,
-                question: requests[i].question.to_vec(),
+                question: req.question.to_vec(),
+                guided: req.guided,
             };
             if let Some(cached) = self.cache.get(&key) {
                 results[i] = Some(cached.clone());
@@ -384,10 +401,19 @@ impl<'m> ServeEngine<'m> {
         let mut computed: Vec<Option<Option<Query>>> = vec![None; unique.len()];
         let nlidb = self.nlidb;
         let ctx = &ctx;
+        let table = group.table;
         pool::parallel_for_chunks(&mut computed, 1, |u, slot| {
             let _t = nlidb_trace::span("serve.predict");
-            let first = unique[u].1[0];
-            slot[0] = Some(nlidb.predict_in(requests[first].question, ctx));
+            let req = unique
+                .get(u)
+                .and_then(|(_, waiters)| waiters.first())
+                .and_then(|&first| requests.get(first));
+            if let (Some(out), Some(req)) = (slot.first_mut(), req) {
+                *out = Some(match req.guided {
+                    true => nlidb.predict_guided_in(req.question, ctx, table),
+                    false => nlidb.predict_in(req.question, ctx),
+                });
+            }
         });
 
         // Phase 3 (calling thread, question order): publish to every
@@ -416,7 +442,7 @@ mod tests {
     use nlidb_tensor::Rng;
 
     fn key(fp: u64, word: &str) -> CacheKey {
-        CacheKey { fingerprint: fp, question: vec![word.to_string()] }
+        CacheKey { fingerprint: fp, question: vec![word.to_string()], guided: false }
     }
 
     fn q(sel: usize) -> Option<Query> {

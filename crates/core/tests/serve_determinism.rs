@@ -74,7 +74,7 @@ fn batched_predictions_are_byte_identical_to_sequential() {
 
     let serve_reqs: Vec<ServeRequest<'_>> = reqs
         .iter()
-        .map(|&(question, table)| ServeRequest { question, table })
+        .map(|&(question, table)| ServeRequest { question, table, guided: false })
         .collect();
 
     for threads in [1usize, pool::default_threads()] {
@@ -118,7 +118,7 @@ fn cache_handoff_matches_a_persistent_engine_and_attributes_per_table() {
     let reqs = requests(&ds);
     let serve_reqs: Vec<ServeRequest<'_>> = reqs
         .iter()
-        .map(|&(question, table)| ServeRequest { question, table })
+        .map(|&(question, table)| ServeRequest { question, table, guided: false })
         .collect();
 
     // One engine kept alive across both passes…
@@ -170,7 +170,7 @@ fn engine_cache_state_is_thread_count_independent() {
     let reqs = requests(&ds);
     let serve_reqs: Vec<ServeRequest<'_>> = reqs
         .iter()
-        .map(|&(question, table)| ServeRequest { question, table })
+        .map(|&(question, table)| ServeRequest { question, table, guided: false })
         .collect();
 
     // Cache statistics and eviction order are functions of the request

@@ -40,7 +40,7 @@ fn main() {
         .request(&Request::new(
             2,
             "demo",
-            Op::Ask(AskItem { fingerprint, question: example.question.clone() }),
+            Op::Ask(AskItem { fingerprint, question: example.question.clone(), guided: false }),
         ))
         .expect("ask");
     match reply.result {

@@ -223,7 +223,7 @@ impl Engine {
         for (ji, job) in jobs.iter().enumerate() {
             for (ii, item) in job.items.iter().enumerate() {
                 if let Ok(table) = &slots[ji][ii] {
-                    reqs.push(ServeRequest { question: &item.question, table });
+                    reqs.push(ServeRequest { question: &item.question, table, guided: item.guided });
                     origin.push((ji, ii));
                 }
             }

@@ -160,14 +160,26 @@ pub struct AskItem {
     pub fingerprint: u64,
     /// The tokenized question.
     pub question: Vec<String>,
+    /// Opt-in execution-guided decoding (`docs/PROTOCOL.md` §4.2):
+    /// candidates are executed against the table and repaired
+    /// deterministically. Defaults to `false` (the unguided path); the
+    /// canonical encoding omits the field when false.
+    pub guided: bool,
 }
 
 impl AskItem {
     fn to_json_fields(&self) -> Vec<(String, Json)> {
-        vec![
+        let mut fields = vec![
             ("fingerprint".into(), Json::Str(fingerprint_to_hex(self.fingerprint))),
             ("question".into(), self.question.to_json()),
-        ]
+        ];
+        // Canonical encoding: `guided` appears exactly when true, so
+        // unguided requests are byte-identical to the pre-guidance wire
+        // format.
+        if self.guided {
+            fields.push(("guided".into(), Json::Bool(true)));
+        }
+        fields
     }
 
     fn from_json_fields(j: &Json) -> Result<AskItem, JsonError> {
@@ -180,7 +192,8 @@ impl AskItem {
             Some(Json::Str(s)) => s.split_whitespace().map(str::to_string).collect(),
             _ => j.req::<Vec<String>>("question")?,
         };
-        Ok(AskItem { fingerprint, question })
+        let guided = j.opt::<bool>("guided")?.unwrap_or(false);
+        Ok(AskItem { fingerprint, question, guided })
     }
 }
 
@@ -734,7 +747,7 @@ mod tests {
 
     #[test]
     fn every_op_roundtrips() {
-        let item = AskItem { fingerprint: 7, question: vec!["which".into(), "year".into()] };
+        let item = AskItem { fingerprint: 7, question: vec!["which".into(), "year".into()], guided: false };
         for op in [
             Op::RegisterTable { table: table() },
             Op::Ask(item.clone()),
@@ -744,6 +757,27 @@ mod tests {
             Op::Shutdown,
         ] {
             roundtrip_request(&Request::new(3, "acme", op));
+        }
+    }
+
+    #[test]
+    fn guided_flag_roundtrips_and_is_omitted_when_false() {
+        let unguided =
+            AskItem { fingerprint: 7, question: vec!["which".into(), "year".into()], guided: false };
+        let guided = AskItem { guided: true, ..unguided.clone() };
+        roundtrip_request(&Request::new(3, "acme", Op::Ask(guided.clone())));
+        roundtrip_request(&Request::new(4, "acme", Op::Batch { items: vec![guided.clone(), unguided.clone()] }));
+        // Canonical form: `guided` appears exactly when true, so the
+        // unguided wire bytes predate the flag unchanged.
+        let off = Request::new(3, "acme", Op::Ask(unguided)).to_json().to_string();
+        let on = Request::new(3, "acme", Op::Ask(guided)).to_json().to_string();
+        assert!(!off.contains("guided"), "false is omitted: {off}");
+        assert!(on.ends_with(",\"guided\":true}"), "true trails the item fields: {on}");
+        // Decoding defaults to unguided when the field is absent.
+        let parsed = Json::parse(&off).unwrap();
+        match Request::from_json(&parsed).unwrap().op {
+            Op::Ask(item) => assert!(!item.guided),
+            other => panic!("expected ask, got {}", other.name()),
         }
     }
 

@@ -54,7 +54,7 @@ fn ask_request(id: i64, fingerprint: u64) -> Request {
     Request::new(
         id,
         "acme",
-        Op::Ask(AskItem { fingerprint, question: system().questions[0].1.clone() }),
+        Op::Ask(AskItem { fingerprint, question: system().questions[0].1.clone(), guided: false }),
     )
 }
 
@@ -192,7 +192,7 @@ fn zero_capacity_tenant_sheds_deterministically_and_statelessly() {
         assert_eq!(c.roundtrip(&ask_request(7, fp)), expected);
     }
     let line = c.roundtrip(&Request::new(7, "acme", Op::Batch {
-        items: vec![AskItem { fingerprint: fp, question: sys.questions[0].1.clone() }],
+        items: vec![AskItem { fingerprint: fp, question: sys.questions[0].1.clone(), guided: false }],
     }));
     assert_eq!(line, expected, "batches shed with the same bytes");
 
@@ -222,6 +222,7 @@ fn pipelined_requests_are_answered_in_order() {
         let req = Request::new(i + 100, "acme", Op::Ask(AskItem {
             fingerprint: fp,
             question: sys.questions[i as usize % sys.questions.len()].1.clone(),
+            guided: false,
         }));
         burst.push_str(&encode_frame(&req.to_json()));
     }
@@ -252,6 +253,7 @@ fn requests_after_protocol_shutdown_get_shutting_down_or_eof() {
     let req = Request::new(1, "acme", Op::Ask(AskItem {
         fingerprint: sys.tables[0].fingerprint(),
         question: vec!["hello".into()],
+        guided: false,
     }));
     b.send_bytes(encode_frame(&req.to_json()).as_bytes());
     if let Some(line) = b.try_recv_line() {

@@ -24,7 +24,10 @@ fn build_log() -> (usize, Vec<Request>) {
     let sys = system();
     let fps: Vec<u64> = sys.tables.iter().map(|t| t.fingerprint()).collect();
     let ask = |ti: usize, q: &[String]| {
-        Op::Ask(AskItem { fingerprint: fps[ti], question: q.to_vec() })
+        Op::Ask(AskItem { fingerprint: fps[ti], question: q.to_vec(), guided: false })
+    };
+    let ask_guided = |ti: usize, q: &[String]| {
+        Op::Ask(AskItem { fingerprint: fps[ti], question: q.to_vec(), guided: true })
     };
 
     let mut log = vec![
@@ -41,16 +44,30 @@ fn build_log() -> (usize, Vec<Request>) {
     for (ti, q) in sys.questions.iter().step_by(2) {
         log.push(Request::new(log.len() as i64, "acme", ask(*ti, q)));
     }
+    // Mixed guided/unguided traffic: every third question again with
+    // execution-guided decoding on — including questions already cached
+    // unguided, so guided and unguided entries for the same
+    // `(table, question)` must coexist and stay byte-stable.
+    for (ti, q) in sys.questions.iter().step_by(3) {
+        log.push(Request::new(log.len() as i64, "acme", ask_guided(*ti, q)));
+    }
+    // And a guided repeat (the guided cache-hit path).
+    log.push(Request::new(
+        log.len() as i64,
+        "acme",
+        ask_guided(sys.questions[0].0, &sys.questions[0].1),
+    ));
     // A mixed batch spanning both tables plus a bogus fingerprint (the
-    // per-item error path).
+    // per-item error path), with guided and unguided items side by side.
     log.push(Request::new(
         log.len() as i64,
         "acme",
         Op::Batch {
             items: vec![
-                AskItem { fingerprint: fps[0], question: sys.questions[0].1.clone() },
-                AskItem { fingerprint: fps[1], question: sys.questions[1].1.clone() },
-                AskItem { fingerprint: 0xdead_beef, question: vec!["nothing".into()] },
+                AskItem { fingerprint: fps[0], question: sys.questions[0].1.clone(), guided: false },
+                AskItem { fingerprint: fps[0], question: sys.questions[0].1.clone(), guided: true },
+                AskItem { fingerprint: fps[1], question: sys.questions[1].1.clone(), guided: true },
+                AskItem { fingerprint: 0xdead_beef, question: vec!["nothing".into()], guided: false },
             ],
         },
     ));
@@ -185,6 +202,7 @@ fn hot_swap_is_seamless_and_failed_swap_keeps_the_old_model() {
         Op::Ask(AskItem {
             fingerprint: sys.tables[0].fingerprint(),
             question: sys.questions[0].1.clone(),
+            guided: false,
         }),
     );
     let before = c.roundtrip(&ask);
@@ -248,6 +266,7 @@ fn swap_under_concurrent_load_drops_no_requests() {
                     Op::Ask(AskItem {
                         fingerprint: fp,
                         question: sys.questions[i as usize % sys.questions.len()].1.clone(),
+                        guided: false,
                     }),
                 );
                 let line = c.roundtrip(&req);
@@ -290,7 +309,7 @@ fn stats_attribute_cache_and_admission_per_tenant() {
     let ask = Request::new(
         2,
         "alpha",
-        Op::Ask(AskItem { fingerprint: fp0, question: sys.questions[0].1.clone() }),
+        Op::Ask(AskItem { fingerprint: fp0, question: sys.questions[0].1.clone(), guided: false }),
     );
     let first = c.roundtrip(&ask);
     assert_eq!(c.roundtrip(&ask), first, "cache hit changed the answer bytes");
@@ -299,7 +318,7 @@ fn stats_attribute_cache_and_admission_per_tenant() {
     let intrusion = c.roundtrip(&Request::new(
         3,
         "beta",
-        Op::Ask(AskItem { fingerprint: fp0, question: sys.questions[0].1.clone() }),
+        Op::Ask(AskItem { fingerprint: fp0, question: sys.questions[0].1.clone(), guided: false }),
     ));
     assert!(intrusion.contains("\"code\":\"unknown_table\""), "{intrusion}");
 

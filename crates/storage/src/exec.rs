@@ -35,6 +35,17 @@ impl ResultSet {
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
+
+    /// Whether the result is **provably empty** ("vacuous"): it carries
+    /// no rows at all, or every value is NULL (the marker a numeric
+    /// aggregate emits over an empty or all-NULL selection). This is the
+    /// exact predicate execution-guided decoding prunes on — note that
+    /// `COUNT` answers are integers, so a zero count (`Int(0)`) is a
+    /// real answer and never vacuous, and a vacuous result is still an
+    /// `Ok` execution, distinguishable from every [`ExecError`].
+    pub fn is_vacuous(&self) -> bool {
+        self.values.iter().all(|v| matches!(v, Value::Null))
+    }
 }
 
 /// Execution failures.
@@ -93,8 +104,10 @@ fn matches(cell: &Value, op: CmpOp, lit: &nlidb_sqlir::Literal) -> bool {
 /// Executes a query against a table.
 ///
 /// Aggregate semantics follow SQL: `COUNT(col)` counts non-NULL cells
-/// only, and numeric aggregates refuse NaN inputs
-/// ([`ExecError::NanInAggregate`]) rather than silently dropping them.
+/// only, numeric aggregates skip NULL cells (an empty or all-NULL
+/// selection aggregates to `NULL`, never an error), and numeric
+/// aggregates refuse NaN inputs ([`ExecError::NanInAggregate`]) rather
+/// than silently dropping them.
 pub fn execute(table: &Table, query: &Query) -> Result<ResultSet, ExecError> {
     let _t = nlidb_trace::span("storage.execute");
     let ncols = table.num_cols();
@@ -130,8 +143,14 @@ pub fn execute(table: &Table, query: &Query) -> Result<ResultSet, ExecError> {
             selected.iter().filter(|v| !matches!(**v, Value::Null)).count() as i64,
         )],
         agg @ (Agg::Min | Agg::Max | Agg::Sum | Agg::Avg) => {
-            let nums: Vec<f64> = selected.iter().filter_map(|v| v.as_number()).collect();
-            if nums.len() < selected.len() {
+            // SQL numeric aggregates skip NULL cells (like `COUNT(col)`
+            // above); only *non-NULL* non-numeric cells are an error. An
+            // all-NULL selection therefore aggregates to NULL — an `Ok`
+            // result, distinguishable from `NonNumericAggregate`.
+            let non_null: Vec<&&Value> =
+                selected.iter().filter(|v| !matches!(***v, Value::Null)).collect();
+            let nums: Vec<f64> = non_null.iter().filter_map(|v| v.as_number()).collect();
+            if nums.len() < non_null.len() {
                 return Err(ExecError::NonNumericAggregate {
                     column: query.select_col,
                     agg: agg.keyword(),
@@ -339,6 +358,90 @@ mod tests {
             .with_agg(Agg::Count)
             .and_where(0, CmpOp::Eq, Literal::Text("b".into()));
         assert_eq!(execute(&null_table(), &q).unwrap().values, vec![Value::Int(0)]);
+    }
+
+    #[test]
+    fn numeric_aggregates_skip_null_cells() {
+        // Regression: NULL cells used to read as "non-numeric" and turn
+        // SUM/MIN/MAX/AVG over a nullable column into
+        // `NonNumericAggregate`. SQL semantics skip them instead.
+        let t = null_table();
+        for (agg, expected) in [
+            (Agg::Min, 1.0),
+            (Agg::Max, 3.0),
+            (Agg::Sum, 4.0),
+            (Agg::Avg, 2.0),
+        ] {
+            let q = Query::select(1).with_agg(agg);
+            assert_eq!(
+                execute(&t, &q).unwrap().values,
+                vec![Value::Float(expected)],
+                "{agg:?} must skip the NULL cell"
+            );
+        }
+    }
+
+    #[test]
+    fn all_null_selection_aggregates_to_null_not_error() {
+        // The empty-vs-error distinction the decode guide relies on: an
+        // all-NULL condition column is a *vacuous* Ok, never ExecError.
+        let t = null_table();
+        let q = Query::select(1)
+            .with_agg(Agg::Sum)
+            .and_where(0, CmpOp::Eq, Literal::Text("b".into()));
+        let rs = execute(&t, &q).unwrap();
+        assert_eq!(rs.values, vec![Value::Null]);
+        assert!(rs.is_vacuous());
+        // A fully-NULL column with no condition behaves the same.
+        let schema = Schema::new(vec![Column::new("X", DataType::Int)]);
+        let mut nulls = Table::new("nulls", schema);
+        nulls.push_row(vec![Value::Null]);
+        nulls.push_row(vec![Value::Null]);
+        for agg in [Agg::Min, Agg::Max, Agg::Sum, Agg::Avg] {
+            let q = Query::select(0).with_agg(agg);
+            let rs = execute(&nulls, &q).unwrap();
+            assert_eq!(rs.values, vec![Value::Null], "{agg:?}");
+            assert!(rs.is_vacuous(), "{agg:?}");
+        }
+        // COUNT over the same column is a real zero, not vacuous.
+        let q = Query::select(0).with_agg(Agg::Count);
+        let rs = execute(&nulls, &q).unwrap();
+        assert_eq!(rs.values, vec![Value::Int(0)]);
+        assert!(!rs.is_vacuous(), "COUNT = 0 is an answer, not vacuity");
+    }
+
+    #[test]
+    fn empty_table_executes_ok_and_is_vacuous_not_error() {
+        let schema = Schema::new(vec![
+            Column::new("Name", DataType::Text),
+            Column::new("Score", DataType::Int),
+        ]);
+        let t = Table::new("empty", schema);
+        // Plain projection: empty result set, Ok.
+        let rs = execute(&t, &Query::select(0)).unwrap();
+        assert!(rs.is_empty() && rs.is_vacuous());
+        // Numeric aggregate over no rows: NULL, Ok, vacuous.
+        let rs = execute(&t, &Query::select(1).with_agg(Agg::Sum)).unwrap();
+        assert_eq!(rs.values, vec![Value::Null]);
+        assert!(rs.is_vacuous());
+        // COUNT over the empty table returns 0 — a real answer the
+        // guide must never prune.
+        let rs = execute(&t, &Query::select(1).with_agg(Agg::Count)).unwrap();
+        assert_eq!(rs.values, vec![Value::Int(0)]);
+        assert!(!rs.is_vacuous());
+        // Out-of-schema columns still error: vacuity never swallows
+        // genuine ExecError cases.
+        assert_eq!(execute(&t, &Query::select(9)), Err(ExecError::BadColumn(9)));
+    }
+
+    #[test]
+    fn vacuous_classification_on_nonempty_results() {
+        assert!(ResultSet { values: vec![] }.is_vacuous());
+        assert!(ResultSet { values: vec![Value::Null] }.is_vacuous());
+        assert!(ResultSet { values: vec![Value::Null, Value::Null] }.is_vacuous());
+        assert!(!ResultSet { values: vec![Value::Int(0)] }.is_vacuous());
+        assert!(!ResultSet { values: vec![Value::Null, Value::Int(1)] }.is_vacuous());
+        assert!(!ResultSet { values: vec![Value::Text(String::new())] }.is_vacuous());
     }
 
     #[test]

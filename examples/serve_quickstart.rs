@@ -48,7 +48,7 @@ fn main() {
             .request(&Request::new(
                 10 + i as i64,
                 "quickstart",
-                Op::Ask(AskItem { fingerprint, question: e.question.clone() }),
+                Op::Ask(AskItem { fingerprint, question: e.question.clone(), guided: false }),
             ))
             .expect("ask");
         match reply.result {
@@ -64,7 +64,7 @@ fn main() {
         .test
         .iter()
         .take(4)
-        .map(|e| AskItem { fingerprint, question: e.question.clone() })
+        .map(|e| AskItem { fingerprint, question: e.question.clone(), guided: false })
         .collect();
     let reply = client
         .request(&Request::new(20, "quickstart", Op::Batch { items }))

@@ -63,6 +63,15 @@ NLIDB_TRACE=1 cargo run -q --release --offline -p nlidb-bench --bin trace_smoke
 # (DESIGN.md "Serving & batching").
 NLIDB_TRACE=1 cargo run -q --release --offline -p nlidb-bench --bin serve_smoke
 
+# Guided smoke: execution-guided decoding. Guidance-off decoding must be
+# byte-identical to the pre-guidance path, every guided prediction over a
+# fresh sharded corpus must execute without ExecError (or be the
+# documented unguided last resort), passing top candidates must be
+# committed unchanged, and the decode.guide.* trace families must appear
+# next to the storage.* executor counters (DESIGN.md "Execution-guided
+# decoding").
+NLIDB_TRACE=1 cargo run -q --release --offline -p nlidb-bench --bin guided_smoke
+
 # Server smoke: replays a fixed request log against the TCP server under
 # different inference thread counts, connection counts, and micro-batch
 # timings — every response line must be byte-identical — and asserts the

@@ -94,6 +94,7 @@ fn batched_serving_matches_sequential_and_reports_cache_traffic() {
         .map(|(i, e)| ServeRequest {
             question: &e.question,
             table: if i % 2 == 0 { table_a } else { table_b },
+            guided: false,
         })
         .collect();
     let mut reqs = base.clone();
